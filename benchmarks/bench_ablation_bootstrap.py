@@ -1,0 +1,59 @@
+"""Ablation: oracle construction vs Section 6.1 protocol bootstrap.
+
+Both build a consistent n-node network; the oracle does it from global
+knowledge in zero messages, the protocol bootstrap pays the full join
+traffic.  This bench quantifies the trade, and doubles as a benchmark
+of oracle construction cost (used by every experiment setup).
+"""
+
+import random
+
+from repro.consistency.checker import check_consistency
+from repro.ids.idspace import IdSpace
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.network_init import initialize_network
+from repro.routing.oracle import build_consistent_tables
+from repro.topology.attachment import UniformLatencyModel
+
+N = 150
+
+
+def make_ids():
+    space = IdSpace(16, 8)
+    return space, space.random_unique_ids(N, random.Random(11))
+
+
+def oracle_build():
+    space, ids = make_ids()
+    tables = build_consistent_tables(ids, random.Random(12))
+    return tables
+
+
+def protocol_bootstrap():
+    space, ids = make_ids()
+    net = JoinProtocolNetwork(
+        space,
+        latency_model=UniformLatencyModel(random.Random(13), 1.0, 100.0),
+        seed=13,
+    )
+    initialize_network(net, ids, stagger=0.0)
+    net.run()
+    assert net.all_in_system()
+    return net
+
+
+def test_oracle_construction(benchmark):
+    tables = benchmark(oracle_build)
+    assert check_consistency(tables).consistent
+    benchmark.extra_info["nodes"] = N
+    benchmark.extra_info["messages"] = 0
+
+
+def test_protocol_bootstrap(benchmark):
+    net = benchmark.pedantic(protocol_bootstrap, rounds=1, iterations=1)
+    assert check_consistency(net.tables()).consistent
+    benchmark.extra_info["nodes"] = N
+    benchmark.extra_info["messages"] = net.stats.total_messages
+    benchmark.extra_info["messages_per_node"] = round(
+        net.stats.total_messages / N, 1
+    )

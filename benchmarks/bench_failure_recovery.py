@@ -1,0 +1,45 @@
+"""Failure recovery: consistency restoration vs failure fraction.
+
+For each failure fraction, crash that share of a 200-node network and
+run the recovery sweep; record rounds, repairs, clears, messages, and
+whether full Definition 3.8 consistency was restored.
+"""
+
+import random
+
+from benchmarks.conftest import fresh_network, sampled_workload
+from repro.recovery import fail_nodes, recover_from_failures
+
+FRACTIONS = (0.05, 0.15, 0.30)
+
+
+def run_fraction(fraction, seed=29):
+    space, initial, _ = sampled_workload(
+        base=16, num_digits=8, n=150, m=1, seed=seed
+    )
+    net = fresh_network(space, initial, seed=seed)
+    rng = random.Random(seed)
+    victims = rng.sample(initial, int(len(initial) * fraction))
+    fail_nodes(net, victims)
+    before = net.stats.total_messages
+    report = recover_from_failures(net)
+    messages = net.stats.total_messages - before
+    return report, messages, len(victims)
+
+
+def run_all():
+    return {f: run_fraction(f) for f in FRACTIONS}
+
+
+def test_failure_recovery(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for fraction, (report, messages, victims) in results.items():
+        label = f"{fraction:.0%}"
+        benchmark.extra_info[f"{label}_consistent"] = report.consistent
+        benchmark.extra_info[f"{label}_rounds"] = report.rounds
+        benchmark.extra_info[f"{label}_repaired"] = report.repaired_entries
+        benchmark.extra_info[f"{label}_cleared"] = report.cleared_entries
+        benchmark.extra_info[f"{label}_messages_per_failure"] = round(
+            messages / victims, 1
+        )
+        assert report.consistent, f"{label}: {report}"

@@ -1,0 +1,66 @@
+"""Routing availability under failures: primary-only vs backups.
+
+Footnote 6 / Tapestry's motivation for multi-neighbor entries: between
+a crash and the recovery sweep, primary-only routing loses paths while
+backup-assisted routing keeps most of them.  Measures delivery rates
+at several failure fractions.
+"""
+
+import random
+
+from repro.recovery import fail_nodes
+from repro.routing.backups import harvest_backups, route_fault_tolerant
+from repro.routing.router import route
+
+from benchmarks.conftest import fresh_network, sampled_workload
+
+FRACTIONS = (0.05, 0.15, 0.30)
+PROBES = 300
+
+
+def run_fraction(fraction, seed=51):
+    space, initial, _ = sampled_workload(
+        base=16, num_digits=8, n=250, m=1, seed=seed
+    )
+    net = fresh_network(space, initial, seed=seed)
+    harvest_backups(net)
+    rng = random.Random(seed)
+    victims = set(rng.sample(initial, int(len(initial) * fraction)))
+    fail_nodes(net, victims)
+    live = set(net.member_ids())
+    tables = {nid: net.departed[nid].table for nid in victims}
+    tables.update(net.tables())
+    stores = {
+        nid: (net.nodes.get(nid) or net.departed[nid]).backups
+        for nid in list(net.nodes) + list(victims)
+    }
+    provider = lambda nid: tables[nid]  # noqa: E731
+    backups = lambda nid: stores[nid]  # noqa: E731
+
+    members = sorted(live, key=lambda n: n.digits)
+    primary_ok = ft_ok = 0
+    for _ in range(PROBES):
+        source, target = rng.sample(members, 2)
+        plain = route(provider, source, target)
+        if plain.success and all(h not in victims for h in plain.path):
+            primary_ok += 1
+        ft = route_fault_tolerant(provider, backups, live, source, target)
+        if ft.success:
+            ft_ok += 1
+    return primary_ok / PROBES, ft_ok / PROBES
+
+
+def run_all():
+    return {f: run_fraction(f) for f in FRACTIONS}
+
+
+def test_fault_tolerant_routing(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for fraction, (primary, ft) in results.items():
+        label = f"{fraction:.0%}"
+        benchmark.extra_info[f"{label}_primary_delivery"] = round(primary, 3)
+        benchmark.extra_info[f"{label}_backup_delivery"] = round(ft, 3)
+        assert ft >= primary
+    # At 30% failures backups must still deliver a clear majority.
+    assert results[0.30][1] > 0.8
+    assert results[0.30][1] > results[0.30][0]

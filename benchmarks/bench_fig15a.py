@@ -1,0 +1,46 @@
+"""Figure 15(a): theoretical upper bound of E(J).
+
+Regenerates the paper's four curves (m in {500, 1000}, d in {8, 40},
+b=16, n = 10k..100k) and records spot values; benchmarks the cost of
+evaluating the Theorem 5 closed form across the full grid.
+"""
+
+import pytest
+
+from repro.analysis.expected_cost import expected_join_noti_upper_bound
+from repro.experiments.fig15a import (
+    FIG15A_CONFIGS,
+    FIG15A_N_VALUES,
+    figure15a_series,
+)
+
+
+def all_curves():
+    return {
+        config.label: figure15a_series(config)
+        for config in FIG15A_CONFIGS
+    }
+
+
+def test_fig15a_curves(benchmark):
+    curves = benchmark(all_curves)
+    assert len(curves) == 4
+    for label, series in curves.items():
+        assert len(series) == len(FIG15A_N_VALUES)
+        # The paper's y-axis range.
+        assert all(3.0 < bound < 9.0 for _, bound in series)
+    # Spot-check the paper's printed Theorem 5 values.
+    benchmark.extra_info["bound_n3096_m1000_d8"] = round(
+        expected_join_noti_upper_bound(3096, 1000, 16, 8), 3
+    )
+    benchmark.extra_info["bound_n7192_m1000_d8"] = round(
+        expected_join_noti_upper_bound(7192, 1000, 16, 8), 3
+    )
+    assert benchmark.extra_info["bound_n3096_m1000_d8"] == pytest.approx(
+        8.001
+    )
+    assert benchmark.extra_info["bound_n7192_m1000_d8"] == pytest.approx(
+        6.986
+    )
+    for label, series in curves.items():
+        benchmark.extra_info[f"{label} @ n=100000"] = round(series[-1][1], 3)

@@ -1,0 +1,41 @@
+"""Figure 15(b) across seeds: statistical stability of the result.
+
+A single simulation is one sample; this bench repeats the scaled
+configuration over five seeds and reports mean +/- stddev of the mean
+JoinNotiMsg count, checking every run stays under the Theorem 5 bound
+and consistent.
+"""
+
+from repro.experiments.fig15b import Fig15bConfig
+from repro.experiments.sweep import sweep_fig15b
+from repro.experiments.workloads import SMALL_TOPOLOGY
+
+CONFIG = Fig15bConfig(
+    n=300,
+    m=100,
+    base=16,
+    num_digits=8,
+    use_topology=True,
+    topology_params=SMALL_TOPOLOGY,
+)
+
+
+def run_sweep():
+    return sweep_fig15b(CONFIG, seeds=range(5))
+
+
+def test_fig15b_seed_sweep(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    stats = sweep.mean_join_noti
+    benchmark.extra_info["mean_of_means"] = round(stats.mean, 3)
+    benchmark.extra_info["stddev"] = round(stats.stddev, 3)
+    benchmark.extra_info["envelope"] = (
+        f"[{stats.minimum:.3f}, {stats.maximum:.3f}]"
+    )
+    benchmark.extra_info["theorem5_bound"] = round(
+        sweep.theorem5_bound, 3
+    )
+    assert sweep.all_consistent
+    assert sweep.bound_never_exceeded
+    # The seed-to-seed spread is modest relative to the bound gap.
+    assert stats.maximum < sweep.theorem5_bound

@@ -1,0 +1,69 @@
+"""Footnote 2: hop-count scaling across schemes.
+
+"The number is O(log n) for Chord and O(d n^{1/d}) for CAN" -- and
+O(log_b n) for the hypercube scheme.  Measures mean lookup hops for
+the three schemes over the same member sets at growing n.
+"""
+
+import random
+
+from repro.baselines.can import CanNetwork
+from repro.baselines.chord import ChordNetwork
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.router import surrogate_route
+
+SIZES = (50, 150, 450)
+PROBES = 120
+
+
+def measure_size(n, seed=61):
+    space = IdSpace(16, 6)
+    rng = random.Random(seed + n)
+    members = space.random_unique_ids(n, rng)
+    pairs = [
+        (rng.choice(members), space.from_int(rng.randrange(space.size)))
+        for _ in range(PROBES)
+    ]
+
+    tables = build_consistent_tables(members, random.Random(seed))
+    provider = lambda nid: tables[nid]  # noqa: E731
+    hypercube_hops = []
+    for origin, key in pairs:
+        result = surrogate_route(provider, origin, key)
+        assert result.success
+        hypercube_hops.append(result.hops)
+
+    chord = ChordNetwork(members)
+    chord_hops, _ = chord.lookup_stats(pairs)
+
+    can = CanNetwork(members, dims=2, rng=random.Random(seed))
+    can_hops = can.mean_lookup_hops(pairs)
+
+    return (
+        sum(hypercube_hops) / len(hypercube_hops),
+        chord_hops,
+        can_hops,
+    )
+
+
+def run_all():
+    return {n: measure_size(n) for n in SIZES}
+
+
+def test_hops_scaling(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for n, (hypercube, chord, can) in results.items():
+        benchmark.extra_info[f"n={n}_hypercube"] = round(hypercube, 2)
+        benchmark.extra_info[f"n={n}_chord"] = round(chord, 2)
+        benchmark.extra_info[f"n={n}_can"] = round(can, 2)
+    small, large = results[SIZES[0]], results[SIZES[-1]]
+    # Logarithmic schemes grow slowly over a 9x size increase...
+    assert large[0] - small[0] < 2.5  # hypercube: +log_16(9) ~ 0.8
+    assert large[1] - small[1] < 4.0  # chord: +log_2(9) ~ 3.2
+    # ...CAN grows like sqrt(n): a 9x size increase ~triples hops.
+    assert large[2] > small[2] * 2.0
+    # And at every size the hypercube uses the fewest hops.
+    for hypercube, chord, can in results.values():
+        assert hypercube <= chord
+        assert hypercube <= can

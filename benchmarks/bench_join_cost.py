@@ -1,0 +1,41 @@
+"""Communication cost breakdown of the join protocol (Section 5.2).
+
+Regenerates the per-message-type accounting behind the paper's cost
+analysis: big messages (table-carrying) vs small messages, per join.
+"""
+
+from benchmarks.conftest import fresh_network, run_concurrent, sampled_workload
+
+BIG = ("CpRstMsg", "JoinWaitMsg", "JoinNotiMsg")
+SMALL = (
+    "InSysNotiMsg",
+    "SpeNotiMsg",
+    "SpeNotiRlyMsg",
+    "RvNghNotiMsg",
+    "RvNghNotiRlyMsg",
+)
+
+
+def run_workload():
+    space, initial, joiners = sampled_workload(16, 8, 400, 120, seed=21)
+    net = fresh_network(space, initial, seed=21)
+    run_concurrent(net, joiners)
+    return net, len(joiners)
+
+
+def test_join_cost_breakdown(benchmark):
+    net, m = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    assert net.check_consistency().consistent
+    for name in BIG + SMALL:
+        benchmark.extra_info[f"{name}_per_join"] = round(
+            net.stats.count(name) / m, 3
+        )
+    big_total = sum(net.stats.count(name) for name in BIG)
+    benchmark.extra_info["big_messages_per_join"] = round(big_total / m, 3)
+    benchmark.extra_info["total_bytes_per_join"] = round(
+        net.stats.total_bytes / m
+    )
+    # Each big message has exactly one reply (Section 5.2).
+    assert net.stats.count("CpRstMsg") == net.stats.count("CpRlyMsg")
+    assert net.stats.count("JoinWaitMsg") == net.stats.count("JoinWaitRlyMsg")
+    assert net.stats.count("JoinNotiMsg") == net.stats.count("JoinNotiRlyMsg")

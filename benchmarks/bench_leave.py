@@ -1,0 +1,39 @@
+"""Leave-protocol cost (extension).
+
+Measures messages per leave and verifies the network shrinks
+consistently -- the leave-side counterpart of the paper's join-cost
+analysis (Section 5.2).
+"""
+
+import random
+
+from benchmarks.conftest import fresh_network, sampled_workload
+from repro.protocol.leave import leave_sequentially
+
+PARAMS = dict(base=16, num_digits=8, n=300, m=1)
+
+
+def run_leaves():
+    space, initial, _ = sampled_workload(seed=13, **PARAMS)
+    net = fresh_network(space, initial, seed=13)
+    rng = random.Random(13)
+    leavers = rng.sample(initial, 100)
+    before = net.stats.total_messages
+    leave_sequentially(net, leavers)
+    assert net.check_consistency().consistent
+    return net, len(leavers), net.stats.total_messages - before
+
+
+def test_leave_cost(benchmark):
+    net, count, messages = benchmark.pedantic(
+        run_leaves, rounds=1, iterations=1
+    )
+    benchmark.extra_info["leaves"] = count
+    benchmark.extra_info["messages_per_leave"] = round(messages / count, 1)
+    benchmark.extra_info["notify_per_leave"] = round(
+        net.stats.count("LeaveNotifyMsg") / count, 1
+    )
+    benchmark.extra_info["remaining_consistent"] = True
+    assert net.stats.count("LeaveNotifyMsg") == net.stats.count(
+        "LeaveNotifyRlyMsg"
+    )

@@ -1,0 +1,44 @@
+"""Table optimization: route stretch before/after (property P2).
+
+On the transit-stub topology, the join protocol's consistency-only
+tables route correctly but ignore proximity; the optimization protocol
+(the paper's problem 3) switches each entry to the nearest member of
+its suffix class.  Records mean/max stretch before and after.
+"""
+
+from repro.experiments.workloads import SMALL_TOPOLOGY, make_workload
+from repro.optimize import measure_stretch, optimize_tables
+
+
+def run_optimization():
+    workload = make_workload(
+        base=16,
+        num_digits=8,
+        n=200,
+        m=1,
+        seed=31,
+        use_topology=True,
+        topology_params=SMALL_TOPOLOGY,
+    )
+    workload.start_all_joins()
+    workload.run()
+    net = workload.network
+    before = measure_stretch(net, sample_pairs=200)
+    report = optimize_tables(net)
+    after = measure_stretch(net, sample_pairs=200)
+    assert net.check_consistency().consistent
+    return before, report, after
+
+
+def test_optimization_stretch(benchmark):
+    before, report, after = benchmark.pedantic(
+        run_optimization, rounds=1, iterations=1
+    )
+    benchmark.extra_info["stretch_before"] = round(before.mean_stretch, 2)
+    benchmark.extra_info["stretch_after"] = round(after.mean_stretch, 2)
+    benchmark.extra_info["max_stretch_before"] = round(before.max_stretch, 2)
+    benchmark.extra_info["max_stretch_after"] = round(after.max_stretch, 2)
+    benchmark.extra_info["switches"] = report.total_switches
+    benchmark.extra_info["rounds"] = report.rounds
+    assert after.mean_stretch < before.mean_stretch
+    assert report.converged

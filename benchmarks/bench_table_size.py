@@ -1,0 +1,51 @@
+"""Storage cost: O(log n) distinct neighbors per node (Section 1).
+
+"Each node maintains a neighbor table storing pointers to O(log n)
+nodes in the network."  Measures mean distinct-neighbor counts for a
+range of network sizes and checks the growth is logarithmic, not
+linear: the expected filled-entry count is ~ (b−1)·log_b(n) non-self
+entries plus the d self-pointers.
+"""
+
+import math
+import random
+
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+
+SIZES = (50, 100, 200, 400, 800)
+BASE, DIGITS = 16, 8
+
+
+def measure():
+    results = {}
+    for n in SIZES:
+        space = IdSpace(BASE, DIGITS)
+        ids = space.random_unique_ids(n, random.Random(n))
+        tables = build_consistent_tables(ids, random.Random(n + 1))
+        distinct = [
+            len(tables[node].distinct_neighbors() - {node})
+            for node in ids
+        ]
+        results[n] = sum(distinct) / len(distinct)
+    return results
+
+
+def test_table_size_logarithmic(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for n, mean_neighbors in results.items():
+        benchmark.extra_info[f"n={n}"] = round(mean_neighbors, 1)
+    # Doubling n adds ~ (b-1) * log_b(2) ~ 3.75 neighbors, far from
+    # doubling the count: check growth is additive, not multiplicative.
+    ratios = [
+        results[b] / results[a]
+        for a, b in zip(SIZES, SIZES[1:])
+    ]
+    assert all(ratio < 1.5 for ratio in ratios), ratios
+    increments = [
+        results[b] - results[a]
+        for a, b in zip(SIZES, SIZES[1:])
+    ]
+    expected = (BASE - 1) * math.log(2, BASE)
+    for increment in increments:
+        assert abs(increment - expected) <= 2.5, (increment, expected)

@@ -1,0 +1,28 @@
+"""Theorem 3: CpRstMsg + JoinWaitMsg per join is at most d+1.
+
+Runs a concurrent-join workload and records the observed maximum and
+mean against the bound.
+"""
+
+from repro.analysis.expected_cost import theorem3_bound
+
+from benchmarks.conftest import fresh_network, run_concurrent, sampled_workload
+
+
+def run_workload():
+    space, initial, joiners = sampled_workload(16, 8, 300, 100, seed=7)
+    net = fresh_network(space, initial, seed=7)
+    run_concurrent(net, joiners)
+    return space, net
+
+
+def test_theorem3_bound(benchmark):
+    space, net = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    counts = net.theorem3_counts()
+    bound = theorem3_bound(space.num_digits)
+    assert max(counts) <= bound
+    benchmark.extra_info["bound_d_plus_1"] = bound
+    benchmark.extra_info["observed_max"] = max(counts)
+    benchmark.extra_info["observed_mean"] = round(
+        sum(counts) / len(counts), 3
+    )

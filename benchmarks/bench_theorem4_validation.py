@@ -1,0 +1,44 @@
+"""Theorem 4 validation: measured E(J) for single joins vs the model.
+
+Joins one node at a time into fresh oracle networks and compares the
+average number of JoinNotiMsg against the analytic expectation.
+"""
+
+import random
+
+from repro.analysis.expected_cost import expected_join_noti
+from repro.ids.idspace import IdSpace
+from repro.protocol.join import JoinProtocolNetwork
+from repro.topology.attachment import UniformLatencyModel
+
+BASE, DIGITS, N, TRIALS = 16, 8, 200, 40
+
+
+def measure_single_join_cost():
+    space = IdSpace(BASE, DIGITS)
+    totals = []
+    for seed in range(TRIALS):
+        rng = random.Random(seed)
+        ids = space.random_unique_ids(N + 1, rng)
+        net = JoinProtocolNetwork.from_oracle(
+            space,
+            ids[:N],
+            latency_model=UniformLatencyModel(random.Random(seed + 1)),
+            seed=seed,
+        )
+        net.start_join(ids[N], at=0.0)
+        net.run()
+        totals.append(net.stats.sent_by(ids[N], "JoinNotiMsg"))
+    return sum(totals) / len(totals)
+
+
+def test_theorem4_vs_simulation(benchmark):
+    measured = benchmark.pedantic(
+        measure_single_join_cost, rounds=1, iterations=1
+    )
+    predicted = expected_join_noti(N, BASE, DIGITS)
+    benchmark.extra_info["measured_mean_E_J"] = round(measured, 3)
+    benchmark.extra_info["theorem4_E_J"] = round(predicted, 3)
+    # The simulation should land near the model (generous tolerance:
+    # 40 trials of a heavy-tailed count).
+    assert abs(measured - predicted) / predicted < 0.4

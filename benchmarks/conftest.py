@@ -1,0 +1,56 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables/figures (or an
+ablation called out in DESIGN.md) and attaches the reproduced numbers
+to the benchmark record via ``extra_info`` so that
+``pytest benchmarks/ --benchmark-only`` doubles as the experiment
+driver.  Scaled-down parameters keep the suite fast; the
+``examples/figure15b_full.py`` script runs paper-scale settings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.idspace import IdSpace
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.sizing import SizingPolicy
+from repro.topology.attachment import UniformLatencyModel
+
+
+def sampled_workload(
+    base: int,
+    num_digits: int,
+    n: int,
+    m: int,
+    seed: int = 0,
+) -> Tuple[IdSpace, List[NodeId], List[NodeId]]:
+    space = IdSpace(base, num_digits)
+    ids = space.random_unique_ids(n + m, random.Random(seed))
+    return space, ids[:n], ids[n:]
+
+
+def fresh_network(
+    space: IdSpace,
+    initial: List[NodeId],
+    seed: int = 0,
+    sizing: SizingPolicy = SizingPolicy.FULL,
+) -> JoinProtocolNetwork:
+    return JoinProtocolNetwork.from_oracle(
+        space,
+        initial,
+        latency_model=UniformLatencyModel(
+            random.Random(f"bench-lat-{seed}"), 1.0, 100.0
+        ),
+        sizing=sizing,
+        seed=seed,
+    )
+
+
+def run_concurrent(network, joiners) -> None:
+    for joiner in joiners:
+        network.start_join(joiner, at=0.0)
+    network.run()
+    assert network.all_in_system()

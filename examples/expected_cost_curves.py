@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Figure 15(a): theoretical upper bound of E(J) vs network size.
+
+Prints the paper's four curves (m in {500, 1000}, d in {8, 40}, b=16)
+as a table over n = 10,000..100,000, plus the Theorem 5 values the
+paper quotes for its simulation configurations.
+
+Run:  python examples/expected_cost_curves.py
+"""
+
+from repro.analysis.expected_cost import (
+    expected_join_noti,
+    expected_join_noti_upper_bound,
+)
+from repro.experiments.fig15a import render_figure15a
+
+
+def main() -> None:
+    print("Figure 15(a): upper bound of E(J)  (Theorem 5)")
+    print(render_figure15a())
+    print()
+    print("Theorem 5 bounds for the Figure 15(b) configurations")
+    for n in (3096, 7192):
+        for d in (8, 40):
+            bound = expected_join_noti_upper_bound(n, 1000, 16, d)
+            print(f"  n={n:5d}, m=1000, b=16, d={d:2d}: {bound:.3f}")
+    print("  (the paper prints 8.001, 8.001, 6.986, 6.986)")
+    print()
+    print("Theorem 4 (single join) for the same networks")
+    for n in (3096, 7192):
+        print(f"  n={n:5d}: E(J) = {expected_join_noti(n, 16, 8):.3f}")
+
+
+if __name__ == "__main__":
+    main()

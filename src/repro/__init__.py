@@ -1,0 +1,91 @@
+"""repro: Liu & Lam (ICDCS 2003), "Neighbor Table Construction and
+Update in a Dynamic Peer-to-Peer Network" -- a full reproduction.
+
+The package implements the hypercube (suffix-matching) routing scheme
+of PRR/Pastry/Tapestry, the paper's join protocol for constructing and
+updating neighbor tables under arbitrary concurrent joins, the C-set
+tree machinery used in the consistency proof, the communication-cost
+analysis (Theorems 3-5), an event-driven simulator with a transit-stub
+topology substrate, a Tapestry-style multicast-join baseline, and a
+harness regenerating every figure in the paper's evaluation.
+
+Quickstart::
+
+    import random
+    from repro import IdSpace, JoinProtocolNetwork
+
+    space = IdSpace(base=16, num_digits=8)
+    rng = random.Random(1)
+    ids = space.random_unique_ids(120, rng)
+    net = JoinProtocolNetwork.from_oracle(space, ids[:100], seed=1)
+    for joiner in ids[100:]:
+        net.start_join(joiner)       # all concurrent, t = 0
+    net.run()
+    assert net.all_in_system()                   # Theorem 2
+    assert net.check_consistency().consistent    # Theorem 1
+"""
+
+from repro.analysis import (
+    expected_join_noti,
+    expected_join_noti_upper_bound,
+    level_distribution,
+    theorem3_bound,
+)
+from repro.consistency import check_consistency, verify_reachability
+from repro.csettree import (
+    build_realized_tree,
+    build_template,
+    notification_set,
+)
+from repro.ids import IdSpace, NodeId
+from repro.optimize import measure_stretch, optimize_tables
+from repro.protocol import (
+    JoinProtocolNetwork,
+    NodeStatus,
+    ProtocolNode,
+    SizingPolicy,
+    initialize_network,
+)
+from repro.protocol.leave import leave_sequentially
+from repro.recovery import fail_nodes, recover_from_failures
+from repro.routing import (
+    NeighborState,
+    NeighborTable,
+    build_consistent_tables,
+    format_table,
+    route,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IdSpace",
+    "JoinProtocolNetwork",
+    "NeighborState",
+    "NeighborTable",
+    "NodeId",
+    "NodeStatus",
+    "ProtocolNode",
+    "Simulator",
+    "SizingPolicy",
+    "build_consistent_tables",
+    "build_realized_tree",
+    "build_template",
+    "check_consistency",
+    "expected_join_noti",
+    "expected_join_noti_upper_bound",
+    "fail_nodes",
+    "format_table",
+    "initialize_network",
+    "leave_sequentially",
+    "level_distribution",
+    "measure_stretch",
+    "notification_set",
+    "optimize_tables",
+    "recover_from_failures",
+    "route",
+    "theorem3_bound",
+    "verify_reachability",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Analytic communication-cost model (Section 5.2).
+
+* Theorem 3: a joining node sends at most ``d + 1`` CpRstMsg +
+  JoinWaitMsg.
+* Theorem 4: the expected number of JoinNotiMsg sent by a single
+  joiner, via the notification-level distribution ``P_i(n)``.
+* Theorem 5: an upper bound on that expectation under ``m`` concurrent
+  joins.
+
+Two implementations of ``P_i(n)`` are provided: the paper's literal
+sum (exact integer arithmetic; feasible only for small ``b**d``) and a
+numerically stable closed form obtained by Vandermonde's identity
+(valid for the paper's ``b=16, d=40`` regime); tests cross-validate
+them.
+"""
+
+from repro.analysis.combinatorics import (
+    comb_exact,
+    log_comb,
+    log_comb_ratio,
+)
+from repro.analysis.expected_cost import (
+    expected_join_noti,
+    expected_join_noti_upper_bound,
+    level_distribution,
+    level_distribution_naive,
+    theorem3_bound,
+)
+
+__all__ = [
+    "comb_exact",
+    "expected_join_noti",
+    "expected_join_noti_upper_bound",
+    "level_distribution",
+    "level_distribution_naive",
+    "log_comb",
+    "log_comb_ratio",
+    "theorem3_bound",
+]

@@ -1,0 +1,66 @@
+"""Combinatorial helpers for the cost analysis.
+
+The Theorem 4 probabilities are ratios of binomial coefficients whose
+upper indices reach ``16**40 - 1``.  Computing ``lgamma`` differences
+of such magnitudes loses all precision to cancellation, so the ratio
+``C(a, k) / C(n, k)`` is evaluated as ``exp(sum_t log((a-t)/(n-t)))``
+-- a length-``k`` sum that is exact in structure and accurate in
+float64 for both the huge-``a`` and small-``a`` regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from math import comb as comb_exact  # re-export: exact integer binomial
+
+try:  # numpy accelerates the length-k log sums; fall back gracefully.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
+
+def log_comb(n: int, k: int) -> float:
+    """``log C(n, k)`` via lgamma.
+
+    Suitable when ``n`` is at most a few orders of magnitude above
+    ``k``; do **not** difference two of these for astronomically large
+    ``n`` (use :func:`log_comb_ratio` instead).
+    """
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def log_comb_ratio(a: int, n: int, k: int) -> float:
+    """``log( C(a, k) / C(n, k) )`` for ``a <= n``, stable at any scale.
+
+    Equals ``sum_{t=0}^{k-1} log((a - t) / (n - t))``.  Returns ``-inf``
+    when ``C(a, k)`` is zero (``k > a``).
+    """
+    if not 0 <= a <= n:
+        raise ValueError("need 0 <= a <= n")
+    if k < 0 or k > n:
+        raise ValueError("need 0 <= k <= n")
+    if k > a:
+        return float("-inf")
+    if k == 0 or a == n:
+        return 0.0
+    if _np is not None and k >= 64:
+        t = _np.arange(k, dtype=_np.float64)
+        return float(
+            _np.sum(_np.log(float(a) - t) - _np.log(float(n) - t))
+        )
+    total = 0.0
+    for t in range(k):
+        total += math.log((a - t) / (n - t))
+    return total
+
+
+def comb_ratio(a: int, n: int, k: int) -> float:
+    """``C(a, k) / C(n, k)`` as a float in [0, 1]."""
+    log_ratio = log_comb_ratio(a, n, k)
+    if log_ratio == float("-inf"):
+        return 0.0
+    return math.exp(log_ratio)

@@ -1,0 +1,36 @@
+"""Baselines for comparison (Section 1's related-work discussion).
+
+* :mod:`~repro.baselines.multicast_join` -- a Tapestry/Hildrum-style
+  join in which the joiner's existence is announced by an acknowledged
+  multicast over the neighbor-table forest, and every intermediate
+  node must hold per-joiner state until its downstream acks arrive.
+  The paper's protocol is designed to avoid exactly that burden
+  ("we put the burden of the join process on joining nodes only").
+* :mod:`~repro.baselines.sequential_gate` -- joins serialized through a
+  global gate (one join at a time), the trivially correct alternative
+  to concurrent joins; used to measure the latency benefit of the
+  paper's concurrency support.
+* :mod:`~repro.baselines.chord` -- a Chord ring (successors + fingers)
+  for the introduction's P2 comparison: similar hop counts, far worse
+  routing locality.
+* :mod:`~repro.baselines.can` -- a CAN d-torus for footnote 2's hop
+  scaling comparison: O(d n^(1/d)) hops vs the hypercube's O(log_b n).
+"""
+
+from repro.baselines.can import CanLookupResult, CanNetwork
+from repro.baselines.chord import ChordLookupResult, ChordNetwork
+from repro.baselines.multicast_join import (
+    MulticastJoinNetwork,
+    MulticastJoinStats,
+)
+from repro.baselines.sequential_gate import join_sequentially
+
+__all__ = [
+    "CanLookupResult",
+    "CanNetwork",
+    "ChordLookupResult",
+    "ChordNetwork",
+    "MulticastJoinNetwork",
+    "MulticastJoinStats",
+    "join_sequentially",
+]

@@ -1,0 +1,183 @@
+"""A CAN-style d-dimensional torus baseline (routing comparison only).
+
+Footnote 2 of the paper: a name resolves in O(log n) hops for Chord
+and O(d * n^(1/d)) for CAN.  This module implements CAN's structure so
+the hop-count scaling can be measured against the hypercube scheme.
+
+The coordinate space is the unit d-torus.  Instead of CAN's incremental
+zone splitting, zones are built from global knowledge as an equal-width
+grid perturbed to the member count (the asymptotics footnote 2 cites
+assume balanced zones, which is also what CAN's uniform hashing
+approximates): with ``n`` members we choose grid sides whose product
+is at least ``n``, assign each cell to one owner, and let owners of
+multiple cells merge them.  Greedy coordinate routing then forwards to
+whichever neighbor zone is closest (torus distance) to the target
+point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ids.digits import NodeId
+
+Cell = Tuple[int, ...]
+
+
+def _grid_sides(n: int, dims: int) -> Tuple[int, ...]:
+    """Grid side lengths whose product is >= n, as equal as possible."""
+    base = max(1, math.ceil(n ** (1.0 / dims)))
+    sides = [base] * dims
+    # Shave excess while keeping the product >= n.
+    for axis in range(dims):
+        while sides[axis] > 1:
+            sides[axis] -= 1
+            if math.prod(sides) < n:
+                sides[axis] += 1
+                break
+    return tuple(sides)
+
+
+@dataclass
+class CanLookupResult:
+    success: bool
+    path: List[NodeId]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class CanNetwork:
+    """A CAN overlay with balanced zones over ``dims`` dimensions."""
+
+    def __init__(
+        self,
+        members: Sequence[NodeId],
+        dims: int = 2,
+        rng: Optional[random.Random] = None,
+    ):
+        if not members:
+            raise ValueError("need at least one member")
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+        self.members = list(members)
+        if rng is None:
+            rng = random.Random(0)
+        self.sides = _grid_sides(len(self.members), dims)
+        # Assign each grid cell an owner: the first n cells get the n
+        # members (shuffled), the remainder wrap around (merged zones).
+        cells = list(itertools.product(*(range(s) for s in self.sides)))
+        owners = list(self.members)
+        rng.shuffle(owners)
+        self.owner_of_cell: Dict[Cell, NodeId] = {}
+        for index, cell in enumerate(cells):
+            self.owner_of_cell[cell] = owners[index % len(owners)]
+        # Neighbor sets: owners of adjacent cells (torus adjacency).
+        self.neighbors: Dict[NodeId, List[NodeId]] = {
+            member: [] for member in self.members
+        }
+        seen = {member: set() for member in self.members}
+        for cell, owner in self.owner_of_cell.items():
+            for axis in range(dims):
+                for step in (-1, 1):
+                    other = list(cell)
+                    other[axis] = (other[axis] + step) % self.sides[axis]
+                    neighbor = self.owner_of_cell[tuple(other)]
+                    if neighbor != owner and neighbor not in seen[owner]:
+                        seen[owner].add(neighbor)
+                        self.neighbors[owner].append(neighbor)
+        # Cells per owner (for choosing the exit point of a lookup).
+        self.cells_of_owner: Dict[NodeId, List[Cell]] = {
+            member: [] for member in self.members
+        }
+        for cell, owner in self.owner_of_cell.items():
+            self.cells_of_owner[owner].append(cell)
+
+    # -- key mapping -------------------------------------------------------
+
+    def point_of_key(self, key: NodeId) -> Tuple[float, ...]:
+        """Hash a key to a point on the torus (splitting its digits
+        round-robin across dimensions)."""
+        values = [0] * self.dims
+        scales = [1] * self.dims
+        for index, digit in enumerate(key.digits):
+            axis = index % self.dims
+            values[axis] = values[axis] * key.base + digit
+            scales[axis] *= key.base
+        return tuple(v / s for v, s in zip(values, scales))
+
+    def owner_of_point(self, point: Tuple[float, ...]) -> NodeId:
+        """The member owning the grid cell containing ``point``."""
+        cell = tuple(
+            min(side - 1, int(point[axis] * side))
+            for axis, side in enumerate(self.sides)
+        )
+        return self.owner_of_cell[cell]
+
+    def _cell_steps(self, a: Cell, b: Cell) -> int:
+        """Torus Manhattan distance between grid cells."""
+        total = 0
+        for axis, side in enumerate(self.sides):
+            d = abs(a[axis] - b[axis])
+            total += min(d, side - d)
+        return total
+
+    # -- routing -----------------------------------------------------------
+
+    def lookup(
+        self, origin: NodeId, key: NodeId, max_hops: Optional[int] = None
+    ) -> CanLookupResult:
+        """Coordinate routing: walk the cell grid toward the key's
+        cell, one axis at a time along the shorter torus direction.
+        The application-level path is the sequence of distinct zone
+        owners crossed -- CAN's hop count.  Always terminates (each
+        step reduces the cell distance by one)."""
+        target_point = self.point_of_key(key)
+        target_cell = tuple(
+            min(side - 1, int(target_point[axis] * side))
+            for axis, side in enumerate(self.sides)
+        )
+        # Exit the origin's zone through its cell nearest the target.
+        current_cell = min(
+            self.cells_of_owner[origin],
+            key=lambda cell: self._cell_steps(cell, target_cell),
+        )
+        path = [origin]
+        current_owner = origin
+        while current_cell != target_cell:
+            axis = next(
+                a
+                for a in range(self.dims)
+                if current_cell[a] != target_cell[a]
+            )
+            side = self.sides[axis]
+            forward = (target_cell[axis] - current_cell[axis]) % side
+            step = 1 if forward <= side - forward else -1
+            moved = list(current_cell)
+            moved[axis] = (moved[axis] + step) % side
+            current_cell = tuple(moved)
+            owner = self.owner_of_cell[current_cell]
+            if owner != current_owner:
+                path.append(owner)
+                current_owner = owner
+            if max_hops is not None and len(path) - 1 > max_hops:
+                return CanLookupResult(False, path)
+        return CanLookupResult(True, path)
+
+    def mean_lookup_hops(
+        self, pairs: Sequence[Tuple[NodeId, NodeId]]
+    ) -> float:
+        """Average lookup hop count over ``(origin, key)`` pairs."""
+        hops = []
+        for origin, key in pairs:
+            result = self.lookup(origin, key)
+            if not result.success:
+                raise RuntimeError(f"lookup {origin} -> {key} failed")
+            hops.append(result.hops)
+        return sum(hops) / len(hops)

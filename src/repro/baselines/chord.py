@@ -1,0 +1,177 @@
+"""A Chord-style ring baseline (routing comparison only).
+
+The paper's introduction contrasts the hypercube scheme with Chord
+[12]: Chord resolves names in O(log n) application-level hops but "the
+actual distance of each hop through the Internet ... may be very
+large" -- it does not satisfy property P2 (routing locality).  This
+module implements Chord's routing structure so that claim can be
+measured: same member set, same topology, hop counts comparable,
+stretch much worse than the (optimized) hypercube tables.
+
+Only the routing state is built (successors + finger tables, from
+global knowledge, like our oracle); Chord's stabilization protocol is
+out of scope -- the baseline exists to compare lookup *paths*, which
+is exactly what the intro's argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.ids.digits import NodeId
+
+
+def _in_half_open(value: int, low: int, high: int, modulus: int) -> bool:
+    """True iff ``value`` lies in the ring interval ``(low, high]``."""
+    low, high, value = low % modulus, high % modulus, value % modulus
+    if low < high:
+        return low < value <= high
+    if low > high:
+        return value > low or value <= high
+    return True  # full circle
+
+
+@dataclass
+class ChordLookupResult:
+    success: bool
+    path: List[NodeId]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class ChordNode:
+    """Successor pointer plus finger table."""
+
+    def __init__(self, node_id: NodeId, ring_size: int):
+        self.node_id = node_id
+        self.ring_size = ring_size
+        self.successor: Optional[NodeId] = None
+        self.fingers: List[NodeId] = []
+
+    def closest_preceding(self, key: int) -> Optional[NodeId]:
+        """The finger most closely preceding ``key`` (classic Chord)."""
+        own = self.node_id.to_int()
+        best: Optional[NodeId] = None
+        for finger in self.fingers:
+            value = finger.to_int()
+            if _in_half_open(value, own, key - 1, self.ring_size) and (
+                value != own
+            ):
+                best = finger  # fingers are sorted by offset; keep last
+        return best
+
+
+class ChordNetwork:
+    """A complete Chord ring over a set of node IDs."""
+
+    def __init__(self, members: Sequence[NodeId]):
+        if not members:
+            raise ValueError("need at least one member")
+        self.ring_size = members[0].base ** members[0].num_digits
+        ordered = sorted(members, key=lambda node: node.to_int())
+        if len({node.to_int() for node in ordered}) != len(ordered):
+            raise ValueError("member IDs must be unique")
+        self.members = ordered
+        self.nodes: Dict[NodeId, ChordNode] = {
+            node_id: ChordNode(node_id, self.ring_size)
+            for node_id in ordered
+        }
+        self._build_pointers()
+
+    # -- construction ----------------------------------------------------
+
+    def _successor_of_value(self, value: int) -> NodeId:
+        """The first member at or after ``value`` on the ring."""
+        value %= self.ring_size
+        lo, hi = 0, len(self.members)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.members[mid].to_int() < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self.members):
+            return self.members[0]
+        return self.members[lo]
+
+    def _build_pointers(self) -> None:
+        bits = max(1, (self.ring_size - 1).bit_length())
+        for index, node_id in enumerate(self.members):
+            node = self.nodes[node_id]
+            node.successor = self.members[(index + 1) % len(self.members)]
+            own = node_id.to_int()
+            fingers: List[NodeId] = []
+            for i in range(bits):
+                target = self._successor_of_value(own + 2**i)
+                if target != node_id and (
+                    not fingers or fingers[-1] != target
+                ):
+                    fingers.append(target)
+            node.fingers = fingers
+
+    # -- lookups ---------------------------------------------------------
+
+    def successor_of(self, key: NodeId) -> NodeId:
+        """Ground truth: the member responsible for ``key``."""
+        return self._successor_of_value(key.to_int())
+
+    def lookup(
+        self, origin: NodeId, key: NodeId, max_hops: Optional[int] = None
+    ) -> ChordLookupResult:
+        """Iterative Chord lookup: walk closest-preceding fingers until
+        the key falls between a node and its successor."""
+        if max_hops is None:
+            max_hops = 2 * max(1, (self.ring_size - 1).bit_length()) + len(
+                self.members
+            )
+        key_value = key.to_int()
+        path = [origin]
+        current = origin
+        for _ in range(max_hops):
+            node = self.nodes[current]
+            if _in_half_open(
+                key_value,
+                current.to_int(),
+                node.successor.to_int(),
+                self.ring_size,
+            ):
+                if node.successor != current:
+                    path.append(node.successor)
+                return ChordLookupResult(True, path)
+            nxt = node.closest_preceding(key_value)
+            if nxt is None or nxt == current:
+                nxt = node.successor
+            path.append(nxt)
+            current = nxt
+        return ChordLookupResult(False, path)
+
+    # -- metrics -----------------------------------------------------------
+
+    def lookup_stats(self, pairs, latency_model=None):
+        """Mean hops (and mean stretch when a latency model is given)
+        over (origin, key) pairs."""
+        hops: List[int] = []
+        stretches: List[float] = []
+        for origin, key in pairs:
+            result = self.lookup(origin, key)
+            if not result.success:
+                raise RuntimeError(f"lookup {origin} -> {key} failed")
+            hops.append(result.hops)
+            if latency_model is not None:
+                route_latency = sum(
+                    latency_model.latency(a, b)
+                    for a, b in zip(result.path, result.path[1:])
+                )
+                direct = latency_model.latency(
+                    origin, result.path[-1]
+                )
+                if direct > 0:
+                    stretches.append(route_latency / direct)
+        mean_hops = sum(hops) / len(hops)
+        mean_stretch = (
+            sum(stretches) / len(stretches) if stretches else None
+        )
+        return mean_hops, mean_stretch

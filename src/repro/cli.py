@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artifacts:
+
+* ``fig1``      -- print the Figure 1 example neighbor table.
+* ``fig2``      -- print the Figure 2 C-set tree template/realization.
+* ``fig15a``    -- print the Theorem 5 upper-bound curves.
+* ``fig15b``    -- run a Figure 15(b) simulation (scaled by default,
+  ``--full`` for the paper's 8320-router configurations).
+* ``join``      -- run a concurrent-join experiment and verify
+  Theorems 1-3.
+* ``churn``     -- joins + leaves + crashes + recovery + optimization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1 import figure1_example
+
+    _, rendering = figure1_example()
+    print(rendering)
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.fig2 import figure2_example
+
+    result = figure2_example(seed=args.seed)
+    print("Template C(V, W):")
+    print(result.template.render())
+    print("\nRealized cset(V, W):")
+    print(result.realized.render())
+    print(f"\nconsistent: {result.consistent}; "
+          f"conditions (1)-(3) hold: {result.all_conditions_hold}")
+    return 0 if result.consistent else 1
+
+
+def _cmd_fig15a(args: argparse.Namespace) -> int:
+    from repro.experiments.fig15a import (
+        FIG15A_CONFIGS,
+        figure15a_series,
+        render_figure15a,
+    )
+    from repro.experiments.plotting import ascii_chart
+
+    print(render_figure15a())
+    print()
+    series = {c.label: figure15a_series(c) for c in FIG15A_CONFIGS}
+    print(
+        ascii_chart(
+            series,
+            width=60,
+            height=14,
+            x_label="n",
+            y_label="upper bound of E(J)   [Figure 15(a)]",
+            y_min=3.0,
+            y_max=9.0,
+        )
+    )
+    return 0
+
+
+def _cmd_fig15b(args: argparse.Namespace) -> int:
+    from repro.experiments.fig15b import (
+        Fig15bConfig,
+        PAPER_CONFIGS,
+        run_fig15b,
+    )
+    from repro.experiments.harness import render_cdf_table
+    from repro.experiments.workloads import SMALL_TOPOLOGY
+
+    if args.full:
+        configs = PAPER_CONFIGS
+    else:
+        configs = (
+            Fig15bConfig(
+                n=args.n,
+                m=args.m,
+                base=16,
+                num_digits=args.digits,
+                seed=args.seed,
+                topology_params=SMALL_TOPOLOGY,
+            ),
+        )
+    from repro.experiments.plotting import cdf_chart
+
+    ok = True
+    samples = {}
+    for config in configs:
+        result = run_fig15b(config)
+        print(f"== {config.label} ==")
+        print(render_cdf_table(result.cdf))
+        print(f"  mean {result.mean_join_noti:.3f}  "
+              f"bound {result.theorem5_bound:.3f}  "
+              f"consistent {result.consistent}")
+        ok = ok and result.consistent and result.all_in_system
+        samples[config.label] = result.join_noti_counts
+    print()
+    print(cdf_chart(samples, width=60, height=12, x_max=50))
+    return 0 if ok else 1
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.analysis.expected_cost import theorem3_bound
+    from repro.experiments.workloads import make_workload
+
+    workload = make_workload(
+        base=args.base,
+        num_digits=args.digits,
+        n=args.n,
+        m=args.m,
+        seed=args.seed,
+    )
+    workload.start_all_joins()
+    workload.run()
+    net = workload.network
+    report = net.check_consistency()
+    bound = theorem3_bound(args.digits)
+    counts = net.theorem3_counts()
+    print(f"members            : {len(net.member_ids())}")
+    print(f"Theorem 1 (consistent): {report.consistent}")
+    print(f"Theorem 2 (all S-node): {net.all_in_system()}")
+    print(f"Theorem 3 (<= {bound}): max {max(counts)}")
+    print(f"mean JoinNotiMsg   : "
+          f"{sum(net.join_noti_counts()) / args.m:.3f}")
+    print(f"total messages     : {net.stats.total_messages}")
+    return 0 if report.consistent and net.all_in_system() else 1
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from repro.experiments.churn import ChurnConfig, run_churn
+    from repro.experiments.workloads import SMALL_TOPOLOGY
+
+    result = run_churn(
+        ChurnConfig(
+            n=args.n,
+            m=args.m,
+            leaves=args.leaves,
+            failures=args.failures,
+            seed=args.seed,
+            topology_params=SMALL_TOPOLOGY,
+        )
+    )
+    for phase in result.phases:
+        print(phase)
+    print(f"final consistency  : {result.all_consistent}")
+    return 0 if result.all_consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser with all subcommands attached."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Liu & Lam (ICDCS 2003) reproduction: hypercube routing "
+            "join protocol"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Figure 1 example table").set_defaults(
+        func=_cmd_fig1
+    )
+
+    fig2 = sub.add_parser("fig2", help="Figure 2 C-set tree example")
+    fig2.add_argument("--seed", type=int, default=0)
+    fig2.set_defaults(func=_cmd_fig2)
+
+    sub.add_parser(
+        "fig15a", help="Theorem 5 upper-bound curves"
+    ).set_defaults(func=_cmd_fig15a)
+
+    fig15b = sub.add_parser("fig15b", help="Figure 15(b) simulation")
+    fig15b.add_argument("--full", action="store_true",
+                        help="paper-scale (8320 routers, four configs)")
+    fig15b.add_argument("--n", type=int, default=300)
+    fig15b.add_argument("--m", type=int, default=100)
+    fig15b.add_argument("--digits", type=int, default=8)
+    fig15b.add_argument("--seed", type=int, default=0)
+    fig15b.set_defaults(func=_cmd_fig15b)
+
+    join = sub.add_parser("join", help="concurrent-join experiment")
+    join.add_argument("--base", type=int, default=16)
+    join.add_argument("--digits", type=int, default=8)
+    join.add_argument("--n", type=int, default=300)
+    join.add_argument("--m", type=int, default=100)
+    join.add_argument("--seed", type=int, default=0)
+    join.set_defaults(func=_cmd_join)
+
+    churn = sub.add_parser("churn", help="full membership lifecycle")
+    churn.add_argument("--n", type=int, default=150)
+    churn.add_argument("--m", type=int, default=50)
+    churn.add_argument("--leaves", type=int, default=30)
+    churn.add_argument("--failures", type=int, default=20)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.set_defaults(func=_cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse ``argv`` (or ``sys.argv``) and run the chosen command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Structural consistency check (Definition 3.8).
+
+For a network ``<V, N(V)>`` and every node ``x`` in ``V``:
+
+(a) if ``V_{j . x[i-1]...x[0]}`` is non-empty then ``N_x(i, j)`` holds
+    some member of it (false-negative free);
+(b) if that suffix set is empty then ``N_x(i, j)`` is null
+    (false-positive free).
+
+The checker also validates that each filled entry's occupant satisfies
+the entry's suffix constraint and is a member of the network, and that
+every recorded neighbor *state* is ``S`` -- by the end of all joins,
+every node is an S-node (Theorem 2), so a lingering ``T`` marks a
+bookkeeping bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.suffix import SuffixIndex
+from repro.routing.entry import NeighborState
+from repro.routing.table import NeighborTable
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One consistency violation."""
+
+    node: NodeId
+    level: int
+    digit: int
+    kind: str  # "false_negative", "false_positive", "bad_occupant", "stale_state"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"{self.kind} at ({self.level},{self.digit}) of {self.node}: "
+            f"{self.detail}"
+        )
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a full Definition 3.8 check."""
+
+    consistent: bool
+    violations: List[Violation] = field(default_factory=list)
+    nodes_checked: int = 0
+    entries_checked: int = 0
+
+    def by_kind(self) -> Dict[str, int]:
+        """Violation counts grouped by kind."""
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.kind] = out.get(violation.kind, 0) + 1
+        return out
+
+
+def check_consistency(
+    tables: Mapping[NodeId, NeighborTable],
+    max_violations: Optional[int] = None,
+    require_s_states: bool = True,
+) -> ConsistencyReport:
+    """Check Definition 3.8 over ``tables`` (the membership is the key
+    set).  Set ``require_s_states=False`` to check a network snapshot
+    taken *during* joins, where ``T`` states are legitimate."""
+    members = list(tables)
+    index = SuffixIndex(members)
+    report = ConsistencyReport(consistent=True)
+    member_set = set(members)
+
+    def add(violation: Violation) -> bool:
+        report.violations.append(violation)
+        report.consistent = False
+        return max_violations is not None and len(
+            report.violations
+        ) >= max_violations
+
+    for node_id in members:
+        table = tables[node_id]
+        report.nodes_checked += 1
+        for level in range(node_id.num_digits):
+            shared = node_id.suffix(level)
+            for digit in range(node_id.base):
+                report.entries_checked += 1
+                desired = shared + (digit,)
+                occupant = table.get(level, digit)
+                exists = index.any_with(desired)
+                if occupant is None:
+                    if exists:
+                        if add(Violation(
+                            node_id, level, digit, "false_negative",
+                            f"suffix set non-empty (e.g. "
+                            f"{next(iter(index.nodes_with(desired)))}) but "
+                            f"entry is null",
+                        )):
+                            return report
+                    continue
+                if not exists:
+                    if add(Violation(
+                        node_id, level, digit, "false_positive",
+                        f"entry holds {occupant} but no node has the "
+                        f"required suffix",
+                    )):
+                        return report
+                    continue
+                if occupant not in member_set:
+                    if add(Violation(
+                        node_id, level, digit, "bad_occupant",
+                        f"{occupant} is not a member of the network",
+                    )):
+                        return report
+                    continue
+                if not occupant.has_suffix(desired):
+                    if add(Violation(
+                        node_id, level, digit, "bad_occupant",
+                        f"{occupant} lacks the required suffix",
+                    )):
+                        return report
+                    continue
+                if (
+                    require_s_states
+                    and table.state(level, digit) is not NeighborState.S
+                ):
+                    if add(Violation(
+                        node_id, level, digit, "stale_state",
+                        f"neighbor {occupant} still recorded as T",
+                    )):
+                        return report
+    return report

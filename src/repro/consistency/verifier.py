@@ -1,0 +1,80 @@
+"""Behavioural consistency: reachability verification (Lemma 3.1).
+
+Lemma 3.1 states that in ``<V, N(V)>`` any node is reachable from any
+other node iff condition (a) of Definition 3.8 holds.  This module
+verifies the reachability side directly by routing: exhaustively for
+small networks, or over a random sample of pairs for large ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from repro.ids.digits import NodeId
+from repro.routing.router import route
+from repro.routing.table import NeighborTable
+
+
+@dataclass
+class ReachabilityReport:
+    """Outcome of a reachability sweep."""
+
+    all_reachable: bool
+    pairs_checked: int = 0
+    max_hops: int = 0
+    total_hops: int = 0
+    failures: List[Tuple[NodeId, NodeId]] = field(default_factory=list)
+
+    @property
+    def mean_hops(self) -> float:
+        if self.pairs_checked == 0:
+            return 0.0
+        return self.total_hops / self.pairs_checked
+
+
+def verify_reachability(
+    tables: Mapping[NodeId, NeighborTable],
+    sample_pairs: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    max_failures: int = 10,
+) -> ReachabilityReport:
+    """Route between node pairs and report failures.
+
+    With ``sample_pairs=None`` every ordered pair is tried (quadratic --
+    fine for a few hundred nodes); otherwise ``sample_pairs`` random
+    ordered pairs are tried.
+    """
+    members = list(tables)
+    provider = lambda node_id: tables[node_id]  # noqa: E731
+    report = ReachabilityReport(all_reachable=True)
+
+    def try_pair(source: NodeId, target: NodeId) -> bool:
+        result = route(provider, source, target)
+        report.pairs_checked += 1
+        if result.success:
+            report.total_hops += result.hops
+            report.max_hops = max(report.max_hops, result.hops)
+            return True
+        report.all_reachable = False
+        report.failures.append((source, target))
+        return len(report.failures) < max_failures
+
+    if sample_pairs is None:
+        for source in members:
+            for target in members:
+                if source == target:
+                    continue
+                if not try_pair(source, target):
+                    return report
+    else:
+        if rng is None:
+            rng = random.Random(0)
+        if len(members) < 2:
+            return report
+        for _ in range(sample_pairs):
+            source, target = rng.sample(members, 2)
+            if not try_pair(source, target):
+                return report
+    return report

@@ -1,0 +1,95 @@
+"""The paper's primary contribution, under one roof.
+
+``repro.core`` re-exports the join protocol, the consistency notions it
+guarantees, the C-set tree machinery behind its proof, and the
+communication-cost theorems -- i.e. everything Sections 3-5 of the
+paper contribute, as opposed to the substrates (simulator, topology,
+transport, routing tables) they stand on.
+"""
+
+from repro.analysis.expected_cost import (
+    expected_join_noti,
+    expected_join_noti_upper_bound,
+    level_distribution,
+    theorem3_bound,
+)
+from repro.consistency.checker import (
+    ConsistencyReport,
+    Violation,
+    check_consistency,
+)
+from repro.consistency.verifier import verify_reachability
+from repro.csettree.classify import (
+    JoiningPeriod,
+    joins_are_concurrent,
+    joins_are_dependent,
+    joins_are_independent,
+    joins_are_sequential,
+)
+from repro.csettree.conditions import (
+    check_condition1,
+    check_condition2,
+    check_condition3,
+)
+from repro.csettree.notification import (
+    group_by_notification_suffix,
+    notification_set,
+    notification_suffix,
+)
+from repro.csettree.realized import RealizedCSetTree, build_realized_tree
+from repro.csettree.template import CSetTreeTemplate, build_template
+from repro.optimize import (
+    OptimizationReport,
+    measure_stretch,
+    optimize_tables,
+)
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.leave import leave_sequentially
+from repro.protocol.network_init import initialize_network, single_node_table
+from repro.protocol.node import ProtocolNode
+from repro.protocol.sizing import SizingPolicy
+from repro.protocol.status import NodeStatus
+from repro.recovery import (
+    RecoveryReport,
+    fail_nodes,
+    recover_from_failures,
+)
+
+__all__ = [
+    "CSetTreeTemplate",
+    "ConsistencyReport",
+    "JoinProtocolNetwork",
+    "JoiningPeriod",
+    "NodeStatus",
+    "OptimizationReport",
+    "ProtocolNode",
+    "RealizedCSetTree",
+    "RecoveryReport",
+    "SizingPolicy",
+    "Violation",
+    "build_realized_tree",
+    "build_template",
+    "check_condition1",
+    "check_condition2",
+    "check_condition3",
+    "check_consistency",
+    "expected_join_noti",
+    "expected_join_noti_upper_bound",
+    "fail_nodes",
+    "group_by_notification_suffix",
+    "initialize_network",
+    "leave_sequentially",
+    "measure_stretch",
+    "optimize_tables",
+    "recover_from_failures",
+    "joins_are_concurrent",
+    "joins_are_dependent",
+    "joins_are_independent",
+    "joins_are_sequential",
+    "level_distribution",
+    "notification_set",
+    "notification_suffix",
+    "single_node_table",
+    "theorem3_bound",
+    "verify_reachability",
+]

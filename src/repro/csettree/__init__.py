@@ -1,0 +1,59 @@
+"""C-set trees: the paper's conceptual foundation (Sections 3 and 5.1).
+
+C-set trees are *conceptual* structures -- the paper stresses they are
+"not implemented in any node".  Here they are implemented **outside**
+the protocol, as analysis artifacts computed from global snapshots, and
+used to state and test the propositions behind the consistency proof:
+
+* :mod:`~repro.csettree.notification` -- notification sets
+  ``V^Notify_x`` (Definition 3.4) and grouping of joiners by
+  notification suffix.
+* :mod:`~repro.csettree.classify` -- sequential / concurrent /
+  independent / dependent join classification (Definitions 3.2-3.6).
+* :mod:`~repro.csettree.template` -- the tree template ``C(V, W)``
+  (Definition 3.9).
+* :mod:`~repro.csettree.realized` -- the realized tree ``cset(V, W)``
+  (Definition 5.1), computed from a snapshot of neighbor tables.
+* :mod:`~repro.csettree.conditions` -- conditions (1)-(3) of
+  Section 3.3 (Propositions 5.1-5.3).
+"""
+
+from repro.csettree.classify import (
+    JoiningPeriod,
+    joins_are_concurrent,
+    joins_are_dependent,
+    joins_are_independent,
+    joins_are_sequential,
+    partition_into_dependent_groups,
+)
+from repro.csettree.conditions import (
+    check_condition1,
+    check_condition2,
+    check_condition3,
+)
+from repro.csettree.notification import (
+    group_by_notification_suffix,
+    notification_set,
+    notification_suffix,
+)
+from repro.csettree.realized import RealizedCSetTree, build_realized_tree
+from repro.csettree.template import CSetTreeTemplate, build_template
+
+__all__ = [
+    "CSetTreeTemplate",
+    "JoiningPeriod",
+    "RealizedCSetTree",
+    "build_realized_tree",
+    "build_template",
+    "check_condition1",
+    "check_condition2",
+    "check_condition3",
+    "group_by_notification_suffix",
+    "joins_are_concurrent",
+    "joins_are_dependent",
+    "joins_are_independent",
+    "joins_are_sequential",
+    "notification_set",
+    "notification_suffix",
+    "partition_into_dependent_groups",
+]

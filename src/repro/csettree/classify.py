@@ -1,0 +1,142 @@
+"""Join classification (Definitions 3.2-3.6 and Lemma 5.5's grouping).
+
+* **sequential** (Def 3.2): no two joining periods overlap.
+* **concurrent** (Def 3.3): every joiner's period overlaps some other
+  joiner's, and the union of periods covers ``[t^b, t^e]`` gaplessly.
+* **independent** (Def 3.5): all notification sets pairwise disjoint.
+* **dependent** (Def 3.6): every pair either intersects directly or is
+  bridged by a third joiner whose notification set contains both.
+* :func:`partition_into_dependent_groups` -- the construction in the
+  proof of Lemma 5.5: split joiners into groups such that joins within
+  a group are dependent and across groups are mutually independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.ids.digits import NodeId
+
+
+@dataclass(frozen=True)
+class JoiningPeriod:
+    """The paper's ``[t^b_x, t^e_x]`` (Definition 3.1)."""
+
+    node: NodeId
+    begin: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ValueError("joining period must not end before it begins")
+
+    def overlaps(self, other: "JoiningPeriod") -> bool:
+        """True iff the two closed intervals intersect."""
+        return self.begin <= other.end and other.begin <= self.end
+
+
+def joins_are_sequential(periods: Sequence[JoiningPeriod]) -> bool:
+    """Definition 3.2: pairwise non-overlapping joining periods."""
+    if len(periods) < 2:
+        return False
+    ordered = sorted(periods, key=lambda p: p.begin)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if earlier.overlaps(later):
+            return False
+    return True
+
+
+def joins_are_concurrent(periods: Sequence[JoiningPeriod]) -> bool:
+    """Definition 3.3: every period overlaps another and the union of
+    periods covers ``[min t^b, max t^e]`` without a gap."""
+    if len(periods) < 2:
+        return False
+    for period in periods:
+        if not any(
+            period.overlaps(other)
+            for other in periods
+            if other is not period
+        ):
+            return False
+    ordered = sorted(periods, key=lambda p: (p.begin, p.end))
+    covered_until = ordered[0].end
+    for period in ordered[1:]:
+        if period.begin > covered_until:
+            return False
+        covered_until = max(covered_until, period.end)
+    return True
+
+
+def joins_are_independent(
+    notify_sets: Dict[NodeId, Set[NodeId]]
+) -> bool:
+    """Definition 3.5: pairwise disjoint notification sets."""
+    joiners = list(notify_sets)
+    if len(joiners) < 2:
+        return False
+    for i, x in enumerate(joiners):
+        for y in joiners[i + 1:]:
+            if notify_sets[x] & notify_sets[y]:
+                return False
+    return True
+
+
+def joins_are_dependent(
+    notify_sets: Dict[NodeId, Set[NodeId]]
+) -> bool:
+    """Definition 3.6: each pair intersects or is bridged by a third
+    joiner whose notification set contains both."""
+    joiners = list(notify_sets)
+    if len(joiners) < 2:
+        return False
+    for i, x in enumerate(joiners):
+        for y in joiners[i + 1:]:
+            if notify_sets[x] & notify_sets[y]:
+                continue
+            bridged = any(
+                u != x
+                and u != y
+                and notify_sets[x] <= notify_sets[u]
+                and notify_sets[y] <= notify_sets[u]
+                for u in joiners
+            )
+            if not bridged:
+                return False
+    return True
+
+
+def partition_into_dependent_groups(
+    notify_sets: Dict[NodeId, Set[NodeId]]
+) -> List[List[NodeId]]:
+    """Lemma 5.5's grouping: connected components of the "related"
+    relation (intersecting notification sets, or both contained in a
+    third joiner's set).  Joins within a group are dependent; joins in
+    different groups are mutually independent."""
+    joiners = list(notify_sets)
+
+    def related(x: NodeId, y: NodeId) -> bool:
+        if notify_sets[x] & notify_sets[y]:
+            return True
+        return any(
+            u != x
+            and u != y
+            and notify_sets[x] <= notify_sets[u]
+            and notify_sets[y] <= notify_sets[u]
+            for u in joiners
+        )
+
+    groups: List[List[NodeId]] = []
+    remaining = list(joiners)
+    while remaining:
+        group = [remaining.pop(0)]
+        changed = True
+        while changed:
+            changed = False
+            for candidate in list(remaining):
+                if any(related(candidate, member) for member in group):
+                    group.append(candidate)
+                    remaining.remove(candidate)
+                    changed = True
+        groups.append(group)
+    return groups

@@ -1,0 +1,98 @@
+"""Conditions (1)-(3) of Section 3.3 (Propositions 5.1-5.3).
+
+At the end of all joins these must hold for the network to be
+consistent:
+
+1. ``cset(V, W)`` has the template's structure and no empty C-set.
+2. Every node of the root set ``V_omega`` stores, for each child C-set
+   of the root, some node with that C-set's suffix.
+3. For every joiner ``x``, and every C-set on the path from the leaf
+   whose suffix is ``x.ID`` up to the root, ``x`` stores a node with
+   the suffix of each *sibling* of that C-set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.suffix import SuffixIndex, suffix_str
+from repro.csettree.realized import RealizedCSetTree
+from repro.csettree.template import CSetTreeTemplate
+from repro.routing.table import NeighborTable
+
+
+def check_condition1(
+    template: CSetTreeTemplate, realized: RealizedCSetTree
+) -> List[str]:
+    """Condition (1): same structure, no empty C-set.  Returns a list
+    of human-readable violations (empty list == holds)."""
+    problems: List[str] = []
+    for suffix in template.suffixes:
+        members = realized.cset(suffix)
+        if not members:
+            problems.append(
+                f"C-set {suffix_str(suffix)} is empty in cset(V, W)"
+            )
+    for suffix in realized.non_empty_suffixes():
+        if suffix not in template.suffixes:
+            problems.append(
+                f"realized C-set {suffix_str(suffix)} is not in the template"
+            )
+    # When condition (1) holds, each leaf contains the joiner whose ID
+    # is the leaf suffix, hence the union of C-sets is W (Section 3.3).
+    if not problems:
+        union = realized.union_of_csets()
+        missing = set(template.members) - union
+        if missing:
+            problems.append(
+                "union of C-sets misses joiners: "
+                + ", ".join(str(n) for n in sorted(missing))
+            )
+    return problems
+
+
+def check_condition2(
+    template: CSetTreeTemplate,
+    existing: Iterable[NodeId],
+    tables: Mapping[NodeId, NeighborTable],
+) -> List[str]:
+    """Condition (2): each root-set node stores a suitable node for
+    every child C-set of the root."""
+    index = existing if isinstance(existing, SuffixIndex) else SuffixIndex(existing)
+    omega = template.root_suffix
+    k = len(omega)
+    problems: List[str] = []
+    for member in index.nodes_with(omega):
+        table = tables[member]
+        for child in template.children(omega):
+            digit = child[-1]
+            stored = table.get(k, digit)
+            if stored is None or not stored.has_suffix(child):
+                problems.append(
+                    f"root node {member} lacks a ({k},{digit})-neighbor "
+                    f"with suffix {suffix_str(child)}"
+                )
+    return problems
+
+
+def check_condition3(
+    template: CSetTreeTemplate,
+    tables: Mapping[NodeId, NeighborTable],
+) -> List[str]:
+    """Condition (3): every joiner stores a node for each sibling C-set
+    along its leaf-to-root path."""
+    problems: List[str] = []
+    for joiner in template.members:
+        table = tables[joiner]
+        for suffix in template.path_to_root(joiner):
+            for sibling in template.siblings(suffix):
+                level = len(sibling) - 1
+                digit = sibling[-1]
+                stored = table.get(level, digit)
+                if stored is None or not stored.has_suffix(sibling):
+                    problems.append(
+                        f"joiner {joiner} lacks a ({level},{digit})-neighbor "
+                        f"with suffix {suffix_str(sibling)}"
+                    )
+    return problems

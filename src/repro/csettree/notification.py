@@ -1,0 +1,47 @@
+"""Notification sets (Definition 3.4) and joiner grouping.
+
+``V^Notify_x`` is the suffix set ``V_{x[k-1]...x[0]}`` where ``k`` is
+maximal such that some node of ``V`` shares the rightmost ``k`` digits
+with ``x`` (so no node shares ``k+1``).  Joiners with the same
+notification *suffix* belong to the same C-set tree; the trees of all
+joiners form a forest (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.suffix import (
+    SuffixIndex,
+    notification_set as _notification_set,
+    notification_suffix_len,
+)
+
+Suffix = Tuple[int, ...]
+
+
+def notification_suffix(joiner: NodeId, existing: Iterable[NodeId]) -> Suffix:
+    """The suffix ``omega`` with ``V^Notify_x = V_omega``."""
+    index = existing if isinstance(existing, SuffixIndex) else SuffixIndex(existing)
+    k = notification_suffix_len(joiner, index)
+    return joiner.suffix(k)
+
+
+def notification_set(joiner: NodeId, existing: Iterable[NodeId]) -> Set[NodeId]:
+    """``V^Notify_x`` (Definition 3.4)."""
+    index = existing if isinstance(existing, SuffixIndex) else SuffixIndex(existing)
+    return _notification_set(joiner, index)
+
+
+def group_by_notification_suffix(
+    joiners: Iterable[NodeId], existing: Iterable[NodeId]
+) -> Dict[Suffix, List[NodeId]]:
+    """Partition joiners into the paper's ``G(V_omega)`` groups: joiners
+    sharing one notification suffix belong to one C-set tree."""
+    index = existing if isinstance(existing, SuffixIndex) else SuffixIndex(existing)
+    groups: Dict[Suffix, List[NodeId]] = {}
+    for joiner in joiners:
+        key = joiner.suffix(notification_suffix_len(joiner, index))
+        groups.setdefault(key, []).append(joiner)
+    return groups

@@ -1,0 +1,103 @@
+"""The realized C-set tree ``cset(V, W)`` (Definition 5.1).
+
+Computed from a snapshot of neighbor tables (taken at ``t^e``, the end
+of all joins):
+
+* ``C_{l_1 . omega}`` = members of ``W_{l_1 . omega}`` stored as the
+  ``(k, l_1)``-neighbor of at least one node of ``V_omega``;
+* ``C_{l_j ... l_1 . omega}`` = members of ``W_{l_j ... l_1 . omega}``
+  stored as the ``(k+j-1, l_j)``-neighbor of at least one node of the
+  parent C-set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.suffix import SuffixIndex, suffix_str
+from repro.csettree.template import CSetTreeTemplate
+from repro.routing.table import NeighborTable
+
+Suffix = Tuple[int, ...]
+
+
+class RealizedCSetTree:
+    """``cset(V, W)``: a mapping from C-set suffix to realized set."""
+
+    def __init__(
+        self,
+        root_suffix: Suffix,
+        root_set: Set[NodeId],
+        csets: Dict[Suffix, Set[NodeId]],
+    ):
+        self.root_suffix = tuple(root_suffix)
+        self.root_set = root_set
+        self.csets = csets
+
+    def cset(self, suffix: Suffix) -> Set[NodeId]:
+        """The realized C-set for ``suffix`` (empty set if absent)."""
+        return set(self.csets.get(tuple(suffix), ()))
+
+    def non_empty_suffixes(self) -> Set[Suffix]:
+        """Suffixes whose realized C-set is non-empty."""
+        return {s for s, members in self.csets.items() if members}
+
+    def union_of_csets(self) -> Set[NodeId]:
+        """Union of all realized C-sets (equals W when condition (1) holds)."""
+        out: Set[NodeId] = set()
+        for members in self.csets.values():
+            out |= members
+        return out
+
+    def render(self) -> str:
+        """ASCII rendering (cf. the paper's Figure 2(c))."""
+        lines = [
+            f"root: V_{suffix_str(self.root_suffix) or '(all)'} = "
+            + "{" + ", ".join(str(n) for n in sorted(self.root_set)) + "}"
+        ]
+        for suffix in sorted(self.csets, key=lambda s: (len(s), s)):
+            members = ", ".join(str(n) for n in sorted(self.csets[suffix]))
+            depth = len(suffix) - len(self.root_suffix)
+            lines.append("  " * depth + f"C_{suffix_str(suffix)} = {{{members}}}")
+        return "\n".join(lines)
+
+
+def build_realized_tree(
+    template: CSetTreeTemplate,
+    existing: Iterable[NodeId],
+    tables: Mapping[NodeId, NeighborTable],
+) -> RealizedCSetTree:
+    """Compute ``cset(V, W)`` from the template and a table snapshot.
+
+    ``existing`` is ``V``; ``tables`` must cover ``V`` and ``W``.
+    C-sets are computed top-down, level by level, exactly as in
+    Definition 5.1.
+    """
+    index = existing if isinstance(existing, SuffixIndex) else SuffixIndex(existing)
+    omega = template.root_suffix
+    k = len(omega)
+    root_set = index.nodes_with(omega)
+    joiner_set = set(template.members)
+
+    csets: Dict[Suffix, Set[NodeId]] = {}
+    # Process template suffixes in order of increasing length so each
+    # parent C-set is realized before its children.
+    for suffix in sorted(template.suffixes, key=len):
+        level = len(suffix) - 1  # the (k + j - 1) of Definition 5.1
+        digit = suffix[-1]
+        parent_suffix = suffix[:-1]
+        if parent_suffix == omega:
+            parents: Set[NodeId] = root_set
+        else:
+            parents = csets.get(parent_suffix, set())
+        realized: Set[NodeId] = set()
+        eligible = {
+            node for node in joiner_set if node.has_suffix(suffix)
+        }
+        for parent in parents:
+            stored = tables[parent].get(level, digit)
+            if stored is not None and stored in eligible:
+                realized.add(stored)
+        csets[suffix] = realized
+    return RealizedCSetTree(omega, root_set, csets)

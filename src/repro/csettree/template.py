@@ -1,0 +1,126 @@
+"""The C-set tree template ``C(V, W)`` (Definition 3.9).
+
+Given ``V`` and a set ``W`` of joiners whose notification sets all
+equal ``V_omega``, the template is a trie over the joiners' IDs rooted
+at ``V_omega``: the set ``C_{l_1 . omega}`` is a child of the root when
+``W_{l_1 . omega}`` is non-empty, and ``C_{l_j ... l_1 . omega}`` is a
+child of ``C_{l_{j-1} ... l_1 . omega}`` when ``W`` has a member with
+that suffix.  "Given V and W, the tree template is determined."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.suffix import SuffixIndex, suffix_str
+from repro.csettree.notification import notification_suffix
+
+Suffix = Tuple[int, ...]
+
+
+class CSetTreeTemplate:
+    """The template: a set of C-set suffixes arranged in a trie.
+
+    ``root_suffix`` is ``omega`` (the root itself, ``V_omega``, is not
+    a C-set).  ``suffixes`` contains every C-set suffix in the tree.
+    """
+
+    def __init__(self, root_suffix: Suffix, members: Sequence[NodeId]):
+        self.root_suffix = tuple(root_suffix)
+        self.members: List[NodeId] = list(members)
+        self.suffixes: Set[Suffix] = set()
+        k = len(self.root_suffix)
+        for node in self.members:
+            if not node.has_suffix(self.root_suffix):
+                raise ValueError(
+                    f"{node} does not extend the root suffix "
+                    f"{suffix_str(self.root_suffix) or '(empty)'}"
+                )
+            for length in range(k + 1, node.num_digits + 1):
+                self.suffixes.add(node.suffix(length))
+
+    def children(self, suffix: Suffix) -> List[Suffix]:
+        """Child C-set suffixes of ``suffix`` (or of the root when the
+        root suffix is given), sorted by extending digit."""
+        suffix = tuple(suffix)
+        out = [
+            candidate
+            for candidate in self.suffixes
+            if len(candidate) == len(suffix) + 1
+            and candidate[: len(suffix)] == suffix
+        ]
+        return sorted(out, key=lambda s: s[-1])
+
+    def parent(self, suffix: Suffix) -> Suffix:
+        """The parent C-set suffix (the root has no parent)."""
+        suffix = tuple(suffix)
+        if suffix == self.root_suffix:
+            raise ValueError("the root has no parent")
+        return suffix[:-1]
+
+    def siblings(self, suffix: Suffix) -> List[Suffix]:
+        """Sibling C-sets of ``suffix`` (condition (3) of Section 3.3
+        quantifies over these)."""
+        suffix = tuple(suffix)
+        return [s for s in self.children(self.parent(suffix)) if s != suffix]
+
+    def leaves(self) -> List[Suffix]:
+        """Leaf C-sets; each corresponds to (at least) one member ID."""
+        return sorted(
+            (
+                suffix
+                for suffix in self.suffixes
+                if not self.children(suffix)
+            ),
+            key=lambda s: (len(s), s),
+        )
+
+    def path_to_root(self, node: NodeId) -> List[Suffix]:
+        """C-set suffixes from the leaf whose suffix is ``node.ID``
+        up to (excluding) the root."""
+        if node not in self.members:
+            raise ValueError(f"{node} is not a member of this tree")
+        out = []
+        for length in range(node.num_digits, len(self.root_suffix), -1):
+            out.append(node.suffix(length))
+        return out
+
+    def expected_members(self, suffix: Suffix) -> Set[NodeId]:
+        """``W_{suffix}``: the members carrying ``suffix``."""
+        suffix = tuple(suffix)
+        return {node for node in self.members if node.has_suffix(suffix)}
+
+    def render(self) -> str:
+        """ASCII rendering (cf. the paper's Figure 2(b))."""
+        lines = [f"root: V_{suffix_str(self.root_suffix) or '(all)'}"]
+
+        def walk(suffix: Suffix, depth: int) -> None:
+            for child in self.children(suffix):
+                lines.append("  " * depth + f"C_{suffix_str(child)}")
+                walk(child, depth + 1)
+
+        walk(self.root_suffix, 1)
+        return "\n".join(lines)
+
+
+def build_template(
+    existing: Iterable[NodeId], joiners: Sequence[NodeId]
+) -> CSetTreeTemplate:
+    """Build ``C(V, W)`` for joiners sharing one notification set.
+
+    Raises if the joiners do not share a single notification suffix
+    (they would then belong to different trees of the forest; use
+    :func:`repro.csettree.notification.group_by_notification_suffix`
+    first).
+    """
+    index = existing if isinstance(existing, SuffixIndex) else SuffixIndex(existing)
+    if not joiners:
+        raise ValueError("W must be non-empty")
+    suffixes = {notification_suffix(j, index) for j in joiners}
+    if len(suffixes) != 1:
+        raise ValueError(
+            "joiners have different notification suffixes: "
+            + ", ".join(suffix_str(s) or "(empty)" for s in sorted(suffixes))
+        )
+    return CSetTreeTemplate(next(iter(suffixes)), joiners)

@@ -1,0 +1,32 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`~repro.experiments.harness` -- CDFs and summary statistics.
+* :mod:`~repro.experiments.workloads` -- ID sampling and network setup.
+* :mod:`~repro.experiments.fig1` -- the Figure 1 example neighbor table.
+* :mod:`~repro.experiments.fig2` -- the Figure 2 C-set tree example.
+* :mod:`~repro.experiments.fig15a` -- Theorem 5 upper-bound curves.
+* :mod:`~repro.experiments.fig15b` -- the concurrent-join simulation
+  (CDF of JoinNotiMsg per joiner) on a transit-stub topology.
+"""
+
+from repro.experiments.fig1 import figure1_example
+from repro.experiments.fig2 import figure2_example
+from repro.experiments.fig15a import figure15a_series, FIG15A_CONFIGS
+from repro.experiments.fig15b import (
+    Fig15bConfig,
+    Fig15bResult,
+    run_fig15b,
+)
+from repro.experiments.harness import Cdf, summarize
+
+__all__ = [
+    "Cdf",
+    "FIG15A_CONFIGS",
+    "Fig15bConfig",
+    "Fig15bResult",
+    "figure15a_series",
+    "figure1_example",
+    "figure2_example",
+    "run_fig15b",
+    "summarize",
+]

@@ -1,0 +1,60 @@
+"""Figure 1: the example neighbor table of node 21233 (b=4, d=5).
+
+The paper's figure shows the table of node ``21233`` in some network.
+The exact neighbor choices are arbitrary (any member of the right
+suffix set is valid); we rebuild a network containing the node IDs
+readable off the figure, construct consistent tables, and render
+21233's table in the figure's layout.  A test asserts that the figure's
+entries are *valid* choices for our network, and that our table has
+exactly the same fill pattern (an entry is filled iff the figure shows
+one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.table import NeighborTable, format_table
+
+#: The figure's (level, digit) -> neighbor ID, as printed.  An absent
+#: position means the figure shows an empty entry (no node with the
+#: required suffix exists in the example network).
+FIGURE1_ENTRIES: Dict[Tuple[int, int], str] = {
+    (0, 0): "01100",
+    (0, 1): "33121",
+    (0, 2): "12232",
+    (0, 3): "21233",
+    (1, 0): "22303",
+    (1, 1): "13113",
+    (1, 2): "00123",
+    (1, 3): "21233",
+    (2, 0): "31033",
+    (2, 1): "03133",
+    (2, 2): "21233",
+    (3, 0): "10233",
+    (3, 1): "21233",
+    (3, 3): "03233",
+    (4, 0): "01233",
+    (4, 1): "11233",
+    (4, 2): "21233",
+    (4, 3): "31233",
+}
+
+
+def figure1_network_ids(idspace: IdSpace) -> List[NodeId]:
+    """The distinct node IDs appearing in Figure 1's table."""
+    names = sorted({name for name in FIGURE1_ENTRIES.values()})
+    return [idspace.from_string(name) for name in names]
+
+
+def figure1_example() -> Tuple[NeighborTable, str]:
+    """Build the Figure 1 network and return (21233's table, rendering)."""
+    idspace = IdSpace(base=4, num_digits=5)
+    members = figure1_network_ids(idspace)
+    tables = build_consistent_tables(members)
+    owner = idspace.from_string("21233")
+    table = tables[owner]
+    return table, format_table(table)

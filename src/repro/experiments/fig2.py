@@ -1,0 +1,75 @@
+"""Figure 2: the paper's C-set tree example (b=8, d=5).
+
+``W = {10261, 47051, 00261}`` joins ``V = {72430, 10353, 62332, 13141,
+31701}``.  All three joiners share the notification set ``V_1``
+(= {13141, 31701}), so they belong to one C-set tree rooted at ``V_1``.
+This module rebuilds the tree template of Figure 2(b), runs the join
+protocol, and computes a realization of the template (Figure 2(c)
+shows one possible realization; which nodes land in which C-set
+depends on message interleaving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.csettree.conditions import (
+    check_condition1,
+    check_condition2,
+    check_condition3,
+)
+from repro.csettree.realized import RealizedCSetTree, build_realized_tree
+from repro.csettree.template import CSetTreeTemplate, build_template
+from repro.ids.idspace import IdSpace
+from repro.protocol.join import JoinProtocolNetwork
+from repro.topology.attachment import UniformLatencyModel
+
+import random
+
+V_IDS = ["72430", "10353", "62332", "13141", "31701"]
+W_IDS = ["10261", "47051", "00261"]
+
+
+@dataclass
+class Figure2Result:
+    template: CSetTreeTemplate
+    realized: RealizedCSetTree
+    condition1: List[str]
+    condition2: List[str]
+    condition3: List[str]
+    consistent: bool
+
+    @property
+    def all_conditions_hold(self) -> bool:
+        return not (self.condition1 or self.condition2 or self.condition3)
+
+
+def figure2_example(seed: int = 0) -> Figure2Result:
+    """Run the Figure 2 scenario and check Section 3.3's conditions."""
+    idspace = IdSpace(base=8, num_digits=5)
+    existing = [idspace.from_string(s) for s in V_IDS]
+    joiners = [idspace.from_string(s) for s in W_IDS]
+
+    template = build_template(existing, joiners)
+
+    network = JoinProtocolNetwork.from_oracle(
+        idspace,
+        existing,
+        latency_model=UniformLatencyModel(random.Random(f"fig2-{seed}")),
+        seed=seed,
+    )
+    for joiner in joiners:
+        network.start_join(joiner, at=0.0)
+    network.run()
+
+    tables = network.tables()
+    realized = build_realized_tree(template, existing, tables)
+    return Figure2Result(
+        template=template,
+        realized=realized,
+        condition1=check_condition1(template, realized),
+        condition2=check_condition2(template, existing, tables),
+        condition3=check_condition3(template, tables),
+        consistent=network.check_consistency().consistent,
+    )

@@ -1,0 +1,105 @@
+"""Shared experiment utilities: CDFs and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+class Cdf:
+    """Empirical cumulative distribution of integer samples.
+
+    Figure 15(b) plots the cumulative distribution of the number of
+    JoinNotiMsg sent by each joining node; this class reproduces those
+    series.
+    """
+
+    def __init__(self, samples: Sequence[int]):
+        if not samples:
+            raise ValueError("need at least one sample")
+        self.samples = sorted(samples)
+        self.n = len(self.samples)
+
+    def at(self, value: float) -> float:
+        """Fraction of samples <= ``value``."""
+        lo, hi = 0, self.n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.samples[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / self.n
+
+    def series(self) -> List[Tuple[int, float]]:
+        """Points ``(value, F(value))`` at each distinct sample value."""
+        out: List[Tuple[int, float]] = []
+        seen = 0
+        previous = None
+        for sample in self.samples:
+            seen += 1
+            if sample != previous and previous is not None:
+                out.append((previous, (seen - 1) / self.n))
+            previous = sample
+        out.append((previous, 1.0))
+        return out
+
+    def quantile(self, q: float) -> int:
+        """Smallest sample value with cumulative fraction >= ``q``."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        index = min(self.n - 1, max(0, math.ceil(q * self.n) - 1))
+        return self.samples[index]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / self.n
+
+    @property
+    def max(self) -> int:
+        return self.samples[-1]
+
+
+@dataclass
+class Summary:
+    """Basic descriptive statistics for a sample of counts."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"n={self.count} mean={self.mean:.3f} min={self.minimum} "
+            f"max={self.maximum} sd={self.stddev:.3f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Descriptive statistics (count/mean/min/max/stddev) of samples."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        minimum=min(samples),
+        maximum=max(samples),
+        stddev=math.sqrt(variance),
+    )
+
+
+def render_cdf_table(
+    cdf: Cdf, points: Sequence[int] = (0, 1, 2, 5, 10, 15, 20, 30, 40, 50)
+) -> str:
+    """Text rendering of a CDF at fixed x positions (Figure 15(b)'s
+    x-axis runs 0..50)."""
+    lines = ["  #JoinNotiMsg   cumulative fraction"]
+    for point in points:
+        lines.append(f"  {point:>12}   {cdf.at(point):.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Dependency-free ASCII charts for the experiment harness.
+
+Renders the paper's two figure styles in a terminal: multi-series line
+charts (Figure 15(a)) and step CDFs (Figure 15(b)).  Pure-text output
+keeps the repository free of plotting dependencies while still giving
+``python -m repro fig15a``/``fig15b`` figure-shaped output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Glyphs assigned to successive series.
+MARKERS = "*+ox#@%&"
+
+
+def _scale(
+    value: float, low: float, high: float, cells: int
+) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def ascii_chart(
+    series_by_label: Dict[str, Series],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """A multi-series scatter/line chart on a character grid."""
+    if not series_by_label:
+        raise ValueError("need at least one series")
+    all_points = [
+        point
+        for series in series_by_label.values()
+        for point in series
+    ]
+    if not all_points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(ys) if y_min is None else y_min
+    y_high = max(ys) if y_max is None else y_max
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, series) in enumerate(series_by_label.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in series:
+            col = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        value = y_high - (y_high - y_low) * row_index / (height - 1)
+        lines.append(f"{value:>8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_low:g}"
+    right = f"{x_high:g}"
+    padding = width - len(left) - len(right)
+    lines.append(
+        " " * 10 + left + " " * max(1, padding) + right
+        + (f"   {x_label}" if x_label else "")
+    )
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}"
+        for i, label in enumerate(series_by_label)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    samples_by_label: Dict[str, Sequence[int]],
+    width: int = 64,
+    height: int = 16,
+    x_max: Optional[int] = None,
+) -> str:
+    """Step-CDF chart (the Figure 15(b) style: y in [0, 1])."""
+    series: Dict[str, Series] = {}
+    for label, samples in samples_by_label.items():
+        if not samples:
+            raise ValueError(f"series {label!r} is empty")
+        ordered = sorted(samples)
+        limit = x_max if x_max is not None else ordered[-1]
+        points: List[Tuple[float, float]] = []
+        n = len(ordered)
+        for x in range(0, limit + 1):
+            covered = sum(1 for s in ordered if s <= x)
+            points.append((x, covered / n))
+        series[label] = points
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label="#JoinNotiMsg",
+        y_label="cumulative fraction",
+        y_min=0.0,
+        y_max=1.0,
+    )

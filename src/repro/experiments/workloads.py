@@ -1,0 +1,114 @@
+"""Workload generation for the experiments.
+
+Builds the paper's simulation setups: ``n`` initial nodes forming a
+consistent network plus ``m`` joiners, with IDs drawn uniformly from a
+``(b, d)`` space, over either a uniform-latency model (fast) or a full
+transit-stub topology with randomly attached end-hosts (the paper's
+GT-ITM setup).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ids.digits import NodeId
+from repro.ids.idspace import IdSpace
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.sizing import SizingPolicy
+from repro.topology.attachment import (
+    HostAttachment,
+    LatencyModel,
+    TopologyLatencyModel,
+    UniformLatencyModel,
+)
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    generate_transit_stub,
+)
+
+#: A scaled-down transit-stub parameterization for tests and benches
+#: (same code path as the full 8320-router topology, ~410 routers).
+SMALL_TOPOLOGY = TransitStubParams(
+    num_transit_domains=2,
+    transit_domain_size=3,
+    stubs_per_transit_router=3,
+    stub_size=22,
+)
+
+
+@dataclass
+class Workload:
+    """A ready-to-run experiment: network plus joiner schedule."""
+
+    idspace: IdSpace
+    network: JoinProtocolNetwork
+    initial_ids: List[NodeId]
+    joiner_ids: List[NodeId]
+
+    def start_all_joins(self, at: float = 0.0) -> None:
+        """Start every join at the same instant (the paper: "all joins
+        start at the same time")."""
+        for joiner in self.joiner_ids:
+            self.network.start_join(joiner, at=at)
+
+    def run(self) -> None:
+        """Run the underlying network to quiescence."""
+        self.network.run()
+
+
+def sample_ids(
+    idspace: IdSpace, n: int, m: int, rng: random.Random
+) -> Tuple[List[NodeId], List[NodeId]]:
+    """``n`` initial IDs and ``m`` joiner IDs, all distinct."""
+    ids = idspace.random_unique_ids(n + m, rng)
+    return ids[:n], ids[n:]
+
+
+def make_latency_model(
+    hosts: List[NodeId],
+    rng: random.Random,
+    use_topology: bool,
+    topology_params: Optional[TransitStubParams] = None,
+) -> LatencyModel:
+    """Uniform-jitter latencies, or a transit-stub topology with the
+    given hosts attached (``topology_params`` defaults to the scaled
+    :data:`SMALL_TOPOLOGY`)."""
+    if not use_topology:
+        return UniformLatencyModel(rng, low=1.0, high=100.0)
+    params = topology_params if topology_params is not None else SMALL_TOPOLOGY
+    topology = generate_transit_stub(params, rng)
+    attachment = HostAttachment(topology, hosts, rng)
+    return TopologyLatencyModel(topology, attachment)
+
+
+def make_workload(
+    base: int,
+    num_digits: int,
+    n: int,
+    m: int,
+    seed: int = 0,
+    use_topology: bool = False,
+    topology_params: Optional[TransitStubParams] = None,
+    sizing: SizingPolicy = SizingPolicy.FULL,
+) -> Workload:
+    """Build the paper's setup: an ``n``-node consistent network (via
+    the oracle) and ``m`` joiners ready to start."""
+    idspace = IdSpace(base, num_digits)
+    rng = random.Random(f"workload-{seed}")
+    initial_ids, joiner_ids = sample_ids(idspace, n, m, rng)
+    latency = make_latency_model(
+        initial_ids + joiner_ids,
+        random.Random(f"latency-{seed}"),
+        use_topology,
+        topology_params,
+    )
+    network = JoinProtocolNetwork.from_oracle(
+        idspace,
+        initial_ids,
+        latency_model=latency,
+        sizing=sizing,
+        seed=seed,
+    )
+    return Workload(idspace, network, initial_ids, joiner_ids)

@@ -1,0 +1,163 @@
+"""Immutable node identifiers.
+
+A :class:`NodeId` is a ``d``-digit base-``b`` string.  Digit ``i`` is the
+``i``-th digit *from the right* (the paper's ``x[i]`` notation, with the
+0th digit being the rightmost).  IDs are value objects: hashable,
+totally ordered by numeric value, and cheap to compare.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+_DIGIT_CHARS = "0123456789abcdefghijklmnopqrstuvwxyz"
+_CHAR_VALUES = {c: v for v, c in enumerate(_DIGIT_CHARS)}
+
+MAX_BASE = len(_DIGIT_CHARS)
+
+
+class NodeId:
+    """A fixed-length base-``b`` identifier.
+
+    ``digits`` is stored rightmost-first: ``digits[0]`` is the paper's
+    ``x[0]`` (rightmost digit).  The printable form is most-significant
+    digit first, matching the paper's figures (node ``21233`` has
+    ``x[0] == 3``).
+    """
+
+    __slots__ = ("_digits", "_base", "_hash")
+
+    def __init__(self, digits: Tuple[int, ...], base: int):
+        if not 2 <= base <= MAX_BASE:
+            raise ValueError(f"base must be in [2, {MAX_BASE}], got {base}")
+        if not digits:
+            raise ValueError("an ID must have at least one digit")
+        for dg in digits:
+            if not 0 <= dg < base:
+                raise ValueError(f"digit {dg} out of range for base {base}")
+        self._digits = tuple(digits)
+        self._base = base
+        self._hash = hash((self._digits, base))
+
+    @property
+    def digits(self) -> Tuple[int, ...]:
+        """Digits rightmost-first: ``digits[i]`` is the paper's ``x[i]``."""
+        return self._digits
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def num_digits(self) -> int:
+        """The paper's ``d``."""
+        return len(self._digits)
+
+    def digit(self, i: int) -> int:
+        """The paper's ``x[i]``: the ``i``-th digit from the right."""
+        return self._digits[i]
+
+    def __getitem__(self, i: int) -> int:
+        return self._digits[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._digits)
+
+    def __len__(self) -> int:
+        return len(self._digits)
+
+    def to_int(self) -> int:
+        """Numeric value of the ID (rightmost digit least significant)."""
+        value = 0
+        for dg in reversed(self._digits):
+            value = value * self._base + dg
+        return value
+
+    def suffix(self, k: int) -> Tuple[int, ...]:
+        """The rightmost ``k`` digits, rightmost-first.
+
+        ``suffix(0)`` is the empty suffix shared by every ID.
+        """
+        if not 0 <= k <= len(self._digits):
+            raise ValueError(f"suffix length {k} out of range")
+        return self._digits[:k]
+
+    def has_suffix(self, suffix: Tuple[int, ...]) -> bool:
+        """True iff this ID ends with ``suffix`` (rightmost-first tuple)."""
+        k = len(suffix)
+        if k > len(self._digits):
+            return False
+        return self._digits[:k] == tuple(suffix)
+
+    def csuf_len(self, other: "NodeId") -> int:
+        """Length of the longest common suffix with ``other``.
+
+        This is the paper's ``|csuf(x.ID, y.ID)|``.
+        """
+        n = 0
+        for a, c in zip(self._digits, other._digits):
+            if a != c:
+                break
+            n += 1
+        return n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._digits == other._digits and self._base == other._base
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    def __lt__(self, other: "NodeId") -> bool:
+        return self.to_int() < other.to_int()
+
+    def __le__(self, other: "NodeId") -> bool:
+        return self.to_int() <= other.to_int()
+
+    def __gt__(self, other: "NodeId") -> bool:
+        return self.to_int() > other.to_int()
+
+    def __ge__(self, other: "NodeId") -> bool:
+        return self.to_int() >= other.to_int()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return "".join(_DIGIT_CHARS[dg] for dg in reversed(self._digits))
+
+    def __repr__(self) -> str:
+        return f"NodeId('{self}', b={self._base})"
+
+
+def digits_from_string(text: str, base: int) -> Tuple[int, ...]:
+    """Parse a printable ID (most-significant digit first) into a
+    rightmost-first digit tuple."""
+    values = []
+    for ch in reversed(text.lower()):
+        if ch not in _CHAR_VALUES:
+            raise ValueError(f"invalid digit character {ch!r}")
+        v = _CHAR_VALUES[ch]
+        if v >= base:
+            raise ValueError(f"digit {ch!r} out of range for base {base}")
+        values.append(v)
+    return tuple(values)
+
+
+def digits_from_int(value: int, base: int, num_digits: int) -> Tuple[int, ...]:
+    """Convert a non-negative integer into a rightmost-first digit tuple."""
+    if value < 0:
+        raise ValueError("ID value must be non-negative")
+    if value >= base ** num_digits:
+        raise ValueError(
+            f"value {value} does not fit in {num_digits} base-{base} digits"
+        )
+    out = []
+    for _ in range(num_digits):
+        out.append(value % base)
+        value //= base
+    return tuple(out)

@@ -1,0 +1,106 @@
+"""The ``(b, d)`` ID space.
+
+An :class:`IdSpace` fixes the base ``b`` and the number of digits ``d``
+and acts as the factory for all :class:`~repro.ids.digits.NodeId`
+values used by a network.  IDs may be parsed from strings, converted
+from integers, hashed from arbitrary names (the paper's "typically
+generated using a hash function, such as MD5 or SHA-1"), or sampled
+uniformly at random.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, List, Optional, Set
+
+from repro.ids.digits import NodeId, digits_from_int, digits_from_string
+
+
+class IdSpace:
+    """Factory and namespace for ``d``-digit base-``b`` identifiers."""
+
+    def __init__(self, base: int, num_digits: int):
+        if num_digits < 1:
+            raise ValueError("num_digits must be >= 1")
+        self.base = base
+        self.num_digits = num_digits
+        # Validate the base eagerly through a throwaway ID.
+        NodeId((0,) * num_digits, base)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct IDs, ``b**d``."""
+        return self.base ** self.num_digits
+
+    def from_string(self, text: str) -> NodeId:
+        """Parse a printable ID such as ``"21233"``.
+
+        The string must have exactly ``d`` digits.
+        """
+        if len(text) != self.num_digits:
+            raise ValueError(
+                f"expected {self.num_digits} digits, got {len(text)}"
+            )
+        return NodeId(digits_from_string(text, self.base), self.base)
+
+    def from_int(self, value: int) -> NodeId:
+        """The ID whose numeric value is ``value``."""
+        return NodeId(
+            digits_from_int(value, self.base, self.num_digits), self.base
+        )
+
+    def from_digits(self, digits: Iterable[int]) -> NodeId:
+        """Build an ID from a rightmost-first digit sequence."""
+        digits = tuple(digits)
+        if len(digits) != self.num_digits:
+            raise ValueError(
+                f"expected {self.num_digits} digits, got {len(digits)}"
+            )
+        return NodeId(digits, self.base)
+
+    def hash_name(self, name: str, algorithm: str = "sha1") -> NodeId:
+        """Derive an ID by hashing ``name`` (Section 2 of the paper)."""
+        digest = hashlib.new(algorithm, name.encode("utf-8")).digest()
+        value = int.from_bytes(digest, "big") % self.size
+        return self.from_int(value)
+
+    def random_id(self, rng: random.Random) -> NodeId:
+        """A uniformly random ID."""
+        return self.from_int(rng.randrange(self.size))
+
+    def random_unique_ids(
+        self,
+        count: int,
+        rng: random.Random,
+        exclude: Optional[Iterable[NodeId]] = None,
+    ) -> List[NodeId]:
+        """Sample ``count`` distinct IDs uniformly, avoiding ``exclude``.
+
+        Node IDs in the paper are unique in the network, so experiment
+        drivers use this to populate ``V`` and ``W``.
+        """
+        taken: Set[NodeId] = set(exclude) if exclude is not None else set()
+        if count + len(taken) > self.size:
+            raise ValueError("not enough IDs in the space")
+        out: List[NodeId] = []
+        while len(out) < count:
+            candidate = self.random_id(rng)
+            if candidate in taken:
+                continue
+            taken.add(candidate)
+            out.append(candidate)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdSpace):
+            return NotImplemented
+        return (
+            self.base == other.base and self.num_digits == other.num_digits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.base, self.num_digits))
+
+    def __repr__(self) -> str:
+        return f"IdSpace(base={self.base}, num_digits={self.num_digits})"

@@ -1,0 +1,151 @@
+"""Suffix algebra and suffix indexes.
+
+Suffixes are represented as tuples of digits, *rightmost-first*: the
+suffix ``261`` of node ``10261`` is the tuple ``(1, 6, 2)``.  The empty
+tuple is the suffix shared by every ID.  The paper writes ``j . omega``
+for digit ``j`` concatenated (on the left, in print) with suffix
+``omega``; in tuple form that is :func:`extend_suffix`.
+
+:class:`SuffixIndex` maps each suffix to the set of known nodes carrying
+it; it implements the paper's suffix sets ``V_{l_i...l_0}`` and backs the
+consistency checker and the C-set tree machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.ids.digits import NodeId, _DIGIT_CHARS
+
+Suffix = Tuple[int, ...]
+
+
+def csuf(x: NodeId, y: NodeId) -> Suffix:
+    """The longest common suffix of two IDs, as a rightmost-first tuple."""
+    return x.suffix(x.csuf_len(y))
+
+
+def csuf_len(x: NodeId, y: NodeId) -> int:
+    """``|csuf(x.ID, y.ID)|`` -- length of the longest common suffix."""
+    return x.csuf_len(y)
+
+
+def suffix_of(node: NodeId, k: int) -> Suffix:
+    """The rightmost ``k`` digits of ``node``, rightmost-first."""
+    return node.suffix(k)
+
+
+def has_suffix(node: NodeId, suffix: Suffix) -> bool:
+    """True iff ``node``'s ID ends with ``suffix``."""
+    return node.has_suffix(suffix)
+
+
+def extend_suffix(digit: int, suffix: Suffix) -> Suffix:
+    """The paper's ``j . omega``: prepend ``digit`` to the *left* of the
+    printed suffix, i.e. append it as the next-more-significant digit."""
+    return tuple(suffix) + (digit,)
+
+
+def suffix_str(suffix: Suffix) -> str:
+    """Printable form, most-significant digit first (as in the paper)."""
+    return "".join(_DIGIT_CHARS[dg] for dg in reversed(suffix))
+
+
+def parse_suffix(text: str, base: int) -> Suffix:
+    """Parse a printed suffix such as ``"261"`` into tuple form."""
+    out = []
+    for ch in reversed(text.lower()):
+        value = _DIGIT_CHARS.index(ch)
+        if value >= base:
+            raise ValueError(f"digit {ch!r} out of range for base {base}")
+        out.append(value)
+    return tuple(out)
+
+
+class SuffixIndex:
+    """Set of nodes indexed by every suffix they carry.
+
+    For a set ``V`` of nodes, ``index.nodes_with(omega)`` is the paper's
+    suffix set ``V_omega``.  Construction is ``O(|V| * d)``; membership
+    queries are ``O(1)``.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId] = ()):
+        self._by_suffix: Dict[Suffix, Set[NodeId]] = {}
+        self._nodes: Set[NodeId] = set()
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: NodeId) -> None:
+        """Index ``node`` under every suffix it carries (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for k in range(node.num_digits + 1):
+            self._by_suffix.setdefault(node.suffix(k), set()).add(node)
+
+    def discard(self, node: NodeId) -> None:
+        """Remove ``node`` from every suffix bucket (no-op if absent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        for k in range(node.num_digits + 1):
+            bucket = self._by_suffix.get(node.suffix(k))
+            if bucket is not None:
+                bucket.discard(node)
+                if not bucket:
+                    del self._by_suffix[node.suffix(k)]
+
+    def nodes_with(self, suffix: Suffix) -> Set[NodeId]:
+        """The suffix set ``V_omega`` (a fresh set; safe to mutate)."""
+        return set(self._by_suffix.get(tuple(suffix), ()))
+
+    def any_with(self, suffix: Suffix) -> bool:
+        """True iff ``V_omega`` is non-empty."""
+        return tuple(suffix) in self._by_suffix
+
+    def count_with(self, suffix: Suffix) -> int:
+        """``|V_omega|``: how many indexed nodes carry ``suffix``."""
+        return len(self._by_suffix.get(tuple(suffix), ()))
+
+    @property
+    def nodes(self) -> Set[NodeId]:
+        return set(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+
+def notification_suffix_len(joiner: NodeId, index: SuffixIndex) -> int:
+    """Length ``k`` such that ``V_{x[k-1]...x[0]}`` is non-empty but
+    ``V_{x[k]...x[0]}`` is empty (Definition 3.4).
+
+    With ``V`` non-empty, ``k == 0`` means no node in ``V`` shares even
+    the rightmost digit, in which case the notification set is all of
+    ``V``.  Requires that ``joiner`` itself is *not* in the index.
+    """
+    if joiner in index:
+        raise ValueError("joiner must not already be in the network")
+    if len(index) == 0:
+        raise ValueError("the network must be non-empty (assumption (i))")
+    k = 0
+    while k < joiner.num_digits and index.any_with(joiner.suffix(k + 1)):
+        k += 1
+    return k
+
+
+def notification_set(joiner: NodeId, index: SuffixIndex) -> Set[NodeId]:
+    """The paper's ``V^Notify_x`` (Definition 3.4)."""
+    k = notification_suffix_len(joiner, index)
+    return index.nodes_with(joiner.suffix(k))
+
+
+def sort_ids(nodes: Iterable[NodeId]) -> List[NodeId]:
+    """Deterministic ordering helper used by experiment drivers."""
+    return sorted(nodes, key=lambda node: node.digits)

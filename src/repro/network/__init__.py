@@ -1,0 +1,15 @@
+"""Message transport over the event simulator.
+
+Implements assumption (iii) of the paper (Section 3.1): messages
+between nodes are delivered reliably.  Delivery delay comes from a
+pluggable :class:`~repro.topology.attachment.LatencyModel`, so the same
+protocol code runs over constant-delay unit tests and the full
+transit-stub topology of the Figure 15(b) experiments.
+"""
+
+from repro.network.message import Message
+from repro.network.node import NetworkNode
+from repro.network.stats import MessageStats
+from repro.network.transport import Transport
+
+__all__ = ["Message", "MessageStats", "NetworkNode", "Transport"]

@@ -1,0 +1,44 @@
+"""Base message type.
+
+Concrete protocol messages live in :mod:`repro.protocol.messages`; the
+transport only relies on the interface defined here.  ``size_bytes``
+supports the Section 6.2 message-size accounting: messages that carry a
+neighbor-table payload report a size proportional to the entries they
+actually include.
+"""
+
+from __future__ import annotations
+
+from repro.ids.digits import NodeId
+
+# Size accounting constants (bytes).  An entry is an ID plus an IP
+# address plus a one-byte state; headers cover addressing and type tags.
+HEADER_BYTES = 40
+ENTRY_BYTES = 26
+NODE_REF_BYTES = 24
+
+
+class Message:
+    """A protocol message in flight.
+
+    ``sender`` is the node the message came from -- protocol handlers
+    frequently need it ("Action of y on receiving ... from x").
+    """
+
+    __slots__ = ("sender",)
+
+    #: Short name used by :class:`repro.network.stats.MessageStats`.
+    type_name = "Message"
+
+    #: True for the paper's "big" messages (those carrying a table copy).
+    carries_table = False
+
+    def __init__(self, sender: NodeId):
+        self.sender = sender
+
+    def size_bytes(self) -> int:
+        """Estimated wire size, for the Section 6.2 ablation."""
+        return HEADER_BYTES
+
+    def __repr__(self) -> str:
+        return f"{self.type_name}(from={self.sender})"

@@ -1,0 +1,50 @@
+"""Base class for network actors.
+
+A :class:`NetworkNode` owns an ID, can send messages through the
+transport, and dispatches received messages to handlers by message
+type.  Subclasses register handlers with :meth:`handles`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from repro.ids.digits import NodeId
+from repro.network.message import Message
+from repro.network.transport import Transport
+
+Handler = Callable[[Message], None]
+
+
+class NetworkNode:
+    """An actor addressed by its :class:`NodeId`."""
+
+    def __init__(self, node_id: NodeId, transport: Transport):
+        self.node_id = node_id
+        self.transport = transport
+        self._handlers: Dict[Type[Message], Handler] = {}
+        transport.register(self)
+
+    def handles(self, message_type: Type[Message], handler: Handler) -> None:
+        """Register ``handler`` for messages of ``message_type``."""
+        self._handlers[message_type] = handler
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        """Send ``message`` to ``dst`` through the transport."""
+        self.transport.send(dst, message)
+
+    def receive(self, message: Message) -> None:
+        """Dispatch ``message`` to the handler registered for its type."""
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            raise NotImplementedError(
+                f"{self.node_id} has no handler for {message.type_name}"
+            )
+        handler(message)
+
+    @property
+    def now(self) -> float:
+        return self.transport.simulator.now
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.node_id})"

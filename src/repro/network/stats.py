@@ -1,0 +1,78 @@
+"""Message statistics.
+
+Tracks, per message type: global counts, per-sender counts, and bytes.
+These back the paper's measurements:
+
+* Figure 15(b): number of ``JoinNotiMsg`` sent by each joining node.
+* Theorem 3: ``CpRstMsg + JoinWaitMsg`` per joining node is <= d+1.
+* Footnote 8: ``SpeNotiMsg`` is rarely sent.
+* Section 6.2: bytes saved by the message-size reductions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List
+
+from repro.ids.digits import NodeId
+from repro.network.message import Message
+
+
+class MessageStats:
+    """Counters updated by the transport on every send."""
+
+    def __init__(self) -> None:
+        self.count_by_type: Dict[str, int] = defaultdict(int)
+        self.bytes_by_type: Dict[str, int] = defaultdict(int)
+        self.count_by_sender_type: Dict[NodeId, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.dropped_by_type: Dict[str, int] = defaultdict(int)
+        self.total_dropped = 0
+
+    def on_drop(self, message: Message) -> None:
+        """A message addressed to a crashed node was dropped."""
+        self.dropped_by_type[message.type_name] += 1
+        self.total_dropped += 1
+
+    def on_send(self, message: Message) -> None:
+        """Account one sent message (called by the transport)."""
+        name = message.type_name
+        size = message.size_bytes()
+        self.count_by_type[name] += 1
+        self.bytes_by_type[name] += size
+        self.count_by_sender_type[message.sender][name] += 1
+        self.total_messages += 1
+        self.total_bytes += size
+
+    def count(self, type_name: str) -> int:
+        """Total messages of ``type_name`` sent so far."""
+        return self.count_by_type.get(type_name, 0)
+
+    def sent_by(self, sender: NodeId, type_name: str) -> int:
+        """Messages of ``type_name`` sent by ``sender``."""
+        per_sender = self.count_by_sender_type.get(sender)
+        if per_sender is None:
+            return 0
+        return per_sender.get(type_name, 0)
+
+    def sent_by_each(
+        self, senders: Iterable[NodeId], type_name: str
+    ) -> List[int]:
+        """Per-sender counts of one type, in the given sender order."""
+        return [self.sent_by(sender, type_name) for sender in senders]
+
+    def big_message_count(self, sender: NodeId) -> int:
+        """Total of the paper's 'big' message types sent by ``sender``
+        (CpRstMsg, JoinWaitMsg, JoinNotiMsg)."""
+        return (
+            self.sent_by(sender, "CpRstMsg")
+            + self.sent_by(sender, "JoinWaitMsg")
+            + self.sent_by(sender, "JoinNotiMsg")
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of the per-type counters."""
+        return dict(self.count_by_type)

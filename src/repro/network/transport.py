@@ -1,0 +1,89 @@
+"""Reliable message delivery over the simulator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.ids.digits import NodeId
+from repro.network.message import Message
+from repro.network.stats import MessageStats
+from repro.sim.scheduler import Simulator
+from repro.topology.attachment import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.node import NetworkNode
+
+
+class UnknownDestinationError(RuntimeError):
+    """A message was addressed to a node not registered with the
+    transport.  Under the paper's assumptions (reliable delivery, no
+    deletion) this indicates a protocol bug, so it fails loudly."""
+
+
+class Transport:
+    """Delivers messages between registered nodes with model latency.
+
+    Delivery is reliable and per-message delays are independent, so
+    messages may be reordered -- the protocol must tolerate that, and
+    the correctness proofs do not assume FIFO channels.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: LatencyModel,
+        stats: Optional[MessageStats] = None,
+    ):
+        self.simulator = simulator
+        self.latency_model = latency_model
+        self.stats = stats if stats is not None else MessageStats()
+        self._nodes: Dict[NodeId, "NetworkNode"] = {}
+
+    def register(self, node: "NetworkNode") -> None:
+        """Register ``node`` as reachable at its ID."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Remove a departed node; later sends to it raise loudly,
+        surfacing dangling-pointer bugs in membership protocols."""
+        if node_id not in self._nodes:
+            raise UnknownDestinationError(str(node_id))
+        del self._nodes[node_id]
+
+    def node(self, node_id: NodeId) -> "NetworkNode":
+        """The registered node object for ``node_id`` (raises if unknown)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownDestinationError(str(node_id)) from None
+
+    def knows(self, node_id: NodeId) -> bool:
+        """True iff ``node_id`` is currently registered."""
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self):
+        return list(self._nodes)
+
+    def send(self, dst: NodeId, message: Message) -> None:
+        """Send ``message`` to ``dst``; the sender is read off the
+        message.  Delivery is scheduled at ``now + latency(src, dst)``."""
+        if dst not in self._nodes:
+            raise UnknownDestinationError(str(dst))
+        self.stats.on_send(message)
+        delay = self.latency_model.latency(message.sender, dst)
+        target = self._nodes[dst]
+        self.simulator.schedule(delay, target.receive, message)
+
+    def send_lossy(self, dst: NodeId, message: Message) -> bool:
+        """Like :meth:`send`, but silently drop messages to unknown
+        (crashed) destinations.  Used by the failure-recovery protocol,
+        whose probes must tolerate dead nodes.  Returns whether the
+        message was actually dispatched."""
+        if dst not in self._nodes:
+            self.stats.on_drop(message)
+            return False
+        self.send(dst, message)
+        return True

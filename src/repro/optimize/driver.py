@@ -1,0 +1,45 @@
+"""Round-based optimization driver and report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OptimizationReport:
+    """Outcome of an optimization run."""
+
+    rounds: int = 0
+    total_switches: int = 0
+    converged: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"rounds={self.rounds} switches={self.total_switches} "
+            f"converged={self.converged}"
+        )
+
+
+def optimize_tables(network, max_rounds: int = 4) -> OptimizationReport:
+    """Run optimization rounds until no entry switches.
+
+    Requires a quiescent, consistent network (run joins/leaves first).
+    Consistency is preserved by construction -- replacements stay in
+    the entry's suffix class -- and re-checked by callers in tests.
+    """
+    report = OptimizationReport()
+    for _ in range(max_rounds):
+        live = list(network.nodes.values())
+        for node in live:
+            node.begin_optimization_round()
+        network.run()
+        switches = 0
+        for node in live:
+            switches += node.finalize_optimization_round()
+        network.run()  # drain RvNghNoti / RvNghDrop bookkeeping
+        report.rounds += 1
+        report.total_switches += switches
+        if switches == 0:
+            report.converged = True
+            break
+    return report

@@ -1,0 +1,52 @@
+"""Messages of the table-optimization protocol."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ids.digits import NodeId
+from repro.network.message import HEADER_BYTES, NODE_REF_BYTES, Message
+
+Suffix = Tuple[int, ...]
+
+
+class OptFindMsg(Message):
+    """'Send me the members you know of the suffix class ``suffix``'.
+
+    Sent to the current occupant of an entry; the occupant belongs to
+    the class and its higher table levels enumerate the other members
+    it knows.
+    """
+
+    __slots__ = ("suffix",)
+    type_name = "OptFindMsg"
+
+    def __init__(self, sender: NodeId, suffix: Suffix):
+        super().__init__(sender)
+        self.suffix = tuple(suffix)
+
+    def size_bytes(self) -> int:
+        """Wire size: header plus the suffix digits."""
+        return HEADER_BYTES + len(self.suffix)
+
+
+class OptFindRlyMsg(Message):
+    """Class members known to the receiver of the OptFindMsg."""
+
+    __slots__ = ("suffix", "candidates")
+    type_name = "OptFindRlyMsg"
+
+    def __init__(
+        self, sender: NodeId, suffix: Suffix, candidates: Tuple[NodeId, ...]
+    ):
+        super().__init__(sender)
+        self.suffix = tuple(suffix)
+        self.candidates = candidates
+
+    def size_bytes(self) -> int:
+        """Wire size: header, suffix, and one reference per candidate."""
+        return (
+            HEADER_BYTES
+            + len(self.suffix)
+            + NODE_REF_BYTES * len(self.candidates)
+        )

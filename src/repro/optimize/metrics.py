@@ -1,0 +1,63 @@
+"""Routing-locality metrics: route latency and stretch.
+
+*Stretch* is the paper's P2 metric: the ratio between the network
+distance a query actually travels (sum of per-hop latencies along the
+route) and the direct distance between its endpoints.  Meaningful with
+a deterministic latency model (the transit-stub topology); the
+uniform-jitter model has no geometry to stretch against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class StretchReport:
+    """Stretch statistics over sampled routed pairs."""
+
+    pairs: int
+    mean_stretch: float
+    max_stretch: float
+    mean_route_latency: float
+    mean_direct_latency: float
+
+
+def measure_stretch(
+    network,
+    sample_pairs: int = 200,
+    rng: Optional[random.Random] = None,
+) -> StretchReport:
+    """Route between sampled member pairs and compare path latency to
+    the direct latency between the endpoints."""
+    if rng is None:
+        rng = random.Random(0)
+    members = network.member_ids()
+    if len(members) < 2:
+        raise ValueError("need at least two members")
+    model = network.latency_model
+    stretches: List[float] = []
+    route_latencies: List[float] = []
+    direct_latencies: List[float] = []
+    for _ in range(sample_pairs):
+        source, target = rng.sample(members, 2)
+        result = network.route(source, target)
+        if not result.success:
+            raise RuntimeError(f"route {source} -> {target} failed")
+        hop_latency = sum(
+            model.latency(a, b)
+            for a, b in zip(result.path, result.path[1:])
+        )
+        direct = model.latency(source, target)
+        route_latencies.append(hop_latency)
+        direct_latencies.append(direct)
+        stretches.append(hop_latency / direct if direct > 0 else 1.0)
+    return StretchReport(
+        pairs=len(stretches),
+        mean_stretch=sum(stretches) / len(stretches),
+        max_stretch=max(stretches),
+        mean_route_latency=sum(route_latencies) / len(route_latencies),
+        mean_direct_latency=sum(direct_latencies) / len(direct_latencies),
+    )

@@ -1,0 +1,107 @@
+"""Per-node optimization logic, mixed into ProtocolNode.
+
+RTT measurement rides on the recovery package's PingMsg/PongMsg with a
+dedicated token (:data:`MEASURE`); the
+:meth:`repro.recovery.mixin.RecoveryMixin._on_measured_pong` hook
+routes those pongs here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.optimize.messages import OptFindMsg, OptFindRlyMsg
+from repro.recovery.messages import PingMsg, PongMsg
+
+Position = Tuple[int, int]
+
+#: Ping token for RTT measurement (recovery uses 0 and 1).
+MEASURE = 2
+
+
+class OptimizationMixin:
+    """Nearest-neighbor entry optimization, one node's share."""
+
+    def _init_optimization(self) -> None:
+        # position -> (best RTT seen, best candidate)
+        self._opt_best: Dict[Position, Tuple[float, NodeId]] = {}
+        self._opt_measured: Set[NodeId] = set()
+        self.optimization_switches = 0
+        self.handles(OptFindMsg, self._on_opt_find)
+        self.handles(OptFindRlyMsg, self._on_opt_find_rly)
+
+    def begin_optimization_round(self) -> None:
+        """Ask each entry's occupant for its suffix-class members."""
+        self._opt_best = {}
+        self._opt_measured = set()
+        for entry in self.table.entries():
+            if entry.node == self.node_id:
+                continue
+            suffix = self.node_id.suffix(entry.level) + (entry.digit,)
+            self.send(entry.node, OptFindMsg(self.node_id, suffix))
+
+    def _on_opt_find(self, msg: OptFindMsg) -> None:
+        suffix = msg.suffix
+        candidates = []
+        if self.node_id.has_suffix(suffix):
+            candidates.append(self.node_id)
+        for neighbor in self.table.distinct_neighbors():
+            if (
+                neighbor.has_suffix(suffix)
+                and neighbor != msg.sender
+                and neighbor not in candidates
+            ):
+                candidates.append(neighbor)
+        self.send(
+            msg.sender,
+            OptFindRlyMsg(self.node_id, suffix, tuple(candidates)),
+        )
+
+    def _on_opt_find_rly(self, msg: OptFindRlyMsg) -> None:
+        for candidate in msg.candidates:
+            if candidate == self.node_id or candidate in self._opt_measured:
+                continue
+            self._opt_measured.add(candidate)
+            self.send(
+                candidate, PingMsg(self.node_id, self.now, token=MEASURE)
+            )
+
+    def _on_measured_pong(self, msg: PongMsg) -> None:
+        rtt = self.now - msg.sent_at
+        candidate = msg.sender
+        for entry in self.table.entries():
+            if entry.node == self.node_id:
+                continue
+            suffix = self.node_id.suffix(entry.level) + (entry.digit,)
+            if not candidate.has_suffix(suffix):
+                continue
+            position = (entry.level, entry.digit)
+            best = self._opt_best.get(position)
+            if best is None or rtt < best[0]:
+                self._opt_best[position] = (rtt, candidate)
+
+    def finalize_optimization_round(self) -> int:
+        """Switch each entry to its best measured candidate.  Returns
+        the number of entries switched."""
+        from repro.protocol.messages import RvNghDropMsg, RvNghNotiMsg
+        from repro.routing.entry import NeighborState
+
+        switches = 0
+        for position, (_rtt, candidate) in self._opt_best.items():
+            level, digit = position
+            current = self.table.get(level, digit)
+            if current is None or current == candidate:
+                continue
+            self.table.replace_entry(
+                level, digit, candidate, NeighborState.S
+            )
+            self.send(
+                candidate,
+                RvNghNotiMsg(self.node_id, level, digit, NeighborState.S),
+            )
+            self.send(current, RvNghDropMsg(self.node_id, level, digit))
+            switches += 1
+        self.optimization_switches += switches
+        self._opt_best = {}
+        return switches

@@ -1,0 +1,53 @@
+"""The join protocol (Section 4 of the paper) -- the primary contribution.
+
+* :mod:`~repro.protocol.status` -- node statuses (copying, waiting,
+  notifying, in_system).
+* :mod:`~repro.protocol.messages` -- the twelve protocol message types
+  of Figure 4.
+* :mod:`~repro.protocol.node` -- the per-node state machine: a faithful,
+  asynchronous translation of the pseudo-code in Figures 3 and 5-14.
+* :mod:`~repro.protocol.join` -- :class:`JoinProtocolNetwork`, the
+  high-level driver that owns the simulator, transport and nodes.
+* :mod:`~repro.protocol.network_init` -- Section 6.1 bootstrap from a
+  single node.
+* :mod:`~repro.protocol.sizing` -- Section 6.2 message-size reduction.
+"""
+
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.messages import (
+    CpRlyMsg,
+    CpRstMsg,
+    InSysNotiMsg,
+    JoinNotiMsg,
+    JoinNotiRlyMsg,
+    JoinWaitMsg,
+    JoinWaitRlyMsg,
+    RvNghNotiMsg,
+    RvNghNotiRlyMsg,
+    SpeNotiMsg,
+    SpeNotiRlyMsg,
+)
+from repro.protocol.network_init import initialize_network, single_node_table
+from repro.protocol.node import ProtocolNode
+from repro.protocol.sizing import SizingPolicy
+from repro.protocol.status import NodeStatus
+
+__all__ = [
+    "CpRlyMsg",
+    "CpRstMsg",
+    "InSysNotiMsg",
+    "JoinNotiMsg",
+    "JoinNotiRlyMsg",
+    "JoinProtocolNetwork",
+    "JoinWaitMsg",
+    "JoinWaitRlyMsg",
+    "NodeStatus",
+    "ProtocolNode",
+    "RvNghNotiMsg",
+    "RvNghNotiRlyMsg",
+    "SizingPolicy",
+    "SpeNotiMsg",
+    "SpeNotiRlyMsg",
+    "initialize_network",
+    "single_node_table",
+]

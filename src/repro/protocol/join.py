@@ -1,0 +1,235 @@
+"""High-level driver: a network of protocol nodes plus its simulator.
+
+:class:`JoinProtocolNetwork` owns the event simulator, the transport,
+and every :class:`~repro.protocol.node.ProtocolNode`.  It is the main
+entry point of the library::
+
+    from repro import IdSpace, JoinProtocolNetwork
+
+    space = IdSpace(base=16, num_digits=8)
+    net = JoinProtocolNetwork.from_oracle(space, initial_ids, seed=1)
+    for joiner in joining_ids:
+        net.start_join(joiner)          # random gateway, t = 0
+    net.run()                           # to quiescence
+    assert net.check_consistency().consistent
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.ids.digits import NodeId
+from repro.ids.idspace import IdSpace
+from repro.network.stats import MessageStats
+from repro.network.transport import Transport
+from repro.protocol.node import ProtocolNode
+from repro.protocol.sizing import SizingPolicy
+from repro.protocol.status import NodeStatus
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.router import RouteResult, route
+from repro.routing.table import NeighborTable
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import NullTraceLog, TraceLog
+from repro.topology.attachment import ConstantLatencyModel, LatencyModel
+
+
+class JoinProtocolNetwork:
+    """A simulated hypercube-routing network running the join protocol."""
+
+    def __init__(
+        self,
+        idspace: IdSpace,
+        latency_model: Optional[LatencyModel] = None,
+        sizing: SizingPolicy = SizingPolicy.FULL,
+        trace: Optional[TraceLog] = None,
+        seed: int = 0,
+    ):
+        self.idspace = idspace
+        self.simulator = Simulator()
+        self.stats = MessageStats()
+        self.latency_model = (
+            latency_model if latency_model is not None else ConstantLatencyModel()
+        )
+        self.transport = Transport(
+            self.simulator, self.latency_model, self.stats
+        )
+        self.sizing = sizing
+        self.trace = trace if trace is not None else NullTraceLog()
+        self.nodes: Dict[NodeId, ProtocolNode] = {}
+        self.departed: Dict[NodeId, ProtocolNode] = {}
+        self.initial_ids: List[NodeId] = []
+        self.joiner_ids: List[NodeId] = []
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def from_oracle(
+        cls,
+        idspace: IdSpace,
+        initial_ids: Sequence[NodeId],
+        latency_model: Optional[LatencyModel] = None,
+        sizing: SizingPolicy = SizingPolicy.FULL,
+        trace: Optional[TraceLog] = None,
+        seed: int = 0,
+        randomize_tables: bool = True,
+    ) -> "JoinProtocolNetwork":
+        """Create a network whose initial members already have
+        consistent tables (built from global knowledge).
+
+        This is how experiments set up the paper's ``<V, N(V)>``
+        without paying for a protocol bootstrap; use
+        :func:`repro.protocol.network_init.initialize_network` for the
+        protocol-pure construction of Section 6.1.
+        """
+        net = cls(
+            idspace,
+            latency_model=latency_model,
+            sizing=sizing,
+            trace=trace,
+            seed=seed,
+        )
+        table_rng = random.Random(f"{seed}-oracle") if randomize_tables else None
+        tables = build_consistent_tables(initial_ids, table_rng)
+        for node_id in initial_ids:
+            net.add_s_node(node_id, tables[node_id])
+        return net
+
+    def add_s_node(self, node_id: NodeId, table: NeighborTable) -> ProtocolNode:
+        """Register a node that is already *in_system* with ``table``."""
+        node = ProtocolNode(
+            node_id,
+            self.transport,
+            status=NodeStatus.IN_SYSTEM,
+            table=table,
+            sizing=self.sizing,
+            trace=self.trace,
+        )
+        node.on_departed = self._on_node_departed
+        self.nodes[node_id] = node
+        self.initial_ids.append(node_id)
+        return node
+
+    # ------------------------------------------------------------------
+    # joining
+
+    def start_join(
+        self,
+        node_id: NodeId,
+        gateway: Optional[NodeId] = None,
+        at: float = 0.0,
+    ) -> ProtocolNode:
+        """Create a joining node and schedule its join at time ``at``.
+
+        ``gateway`` defaults to a uniformly random *initial* member
+        (assumption (ii): each joining node knows some node in ``V``).
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"{node_id} is already in the network")
+        if gateway is None:
+            candidates = [
+                member
+                for member in self.initial_ids
+                if member in self.nodes
+            ] or [
+                member
+                for member, node in self.nodes.items()
+                if node.status.is_s_node
+            ]
+            if not candidates:
+                raise ValueError("no existing node to join through")
+            gateway = self._rng.choice(candidates)
+        node = ProtocolNode(
+            node_id,
+            self.transport,
+            status=NodeStatus.COPYING,
+            sizing=self.sizing,
+            trace=self.trace,
+        )
+        node.on_departed = self._on_node_departed
+        self.nodes[node_id] = node
+        self.joiner_ids.append(node_id)
+        self.simulator.schedule_at(at, node.begin_join, gateway)
+        return node
+
+    # ------------------------------------------------------------------
+    # leaving (extension protocol; see repro.protocol.leave)
+
+    def start_leave(self, node_id: NodeId, at: float = 0.0) -> ProtocolNode:
+        """Schedule ``node_id``'s voluntary departure at time ``at``."""
+        node = self.nodes[node_id]
+        self.simulator.schedule_at(at, node.begin_leave)
+        return node
+
+    def _on_node_departed(self, node_id: NodeId) -> None:
+        node = self.nodes.pop(node_id)
+        self.departed[node_id] = node
+        self.transport.unregister(node_id)
+
+    def has_departed(self, node_id: NodeId) -> bool:
+        """True iff ``node_id`` completed a leave (or was failed)."""
+        return node_id in self.departed
+
+    # ------------------------------------------------------------------
+    # running and inspection
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run the simulation to quiescence; returns events fired."""
+        return self.simulator.run(max_events=max_events)
+
+    def node(self, node_id: NodeId) -> ProtocolNode:
+        """The live ProtocolNode for ``node_id``."""
+        return self.nodes[node_id]
+
+    def table(self, node_id: NodeId) -> NeighborTable:
+        """``node_id``'s current neighbor table."""
+        return self.nodes[node_id].table
+
+    def tables(self) -> Dict[NodeId, NeighborTable]:
+        """Current tables of all live members, keyed by ID."""
+        return {node_id: node.table for node_id, node in self.nodes.items()}
+
+    def statuses(self) -> Dict[NodeId, NodeStatus]:
+        """Current status of every live member."""
+        return {node_id: node.status for node_id, node in self.nodes.items()}
+
+    def all_in_system(self) -> bool:
+        """Theorem 2's claim: every node eventually becomes an S-node."""
+        return all(node.status.is_s_node for node in self.nodes.values())
+
+    def member_ids(self) -> List[NodeId]:
+        """IDs of all live members (departed nodes excluded)."""
+        return list(self.nodes)
+
+    def route(self, source: NodeId, target: NodeId) -> RouteResult:
+        """Route a message using the current tables (Section 2.2)."""
+        return route(lambda nid: self.nodes[nid].table, source, target)
+
+    def check_consistency(self):
+        """Run the Definition 3.8 checker over the current tables."""
+        from repro.consistency.checker import check_consistency
+
+        return check_consistency(self.tables())
+
+    # -- cost accounting ------------------------------------------------
+
+    def join_noti_counts(self) -> List[int]:
+        """Number of JoinNotiMsg sent by each joiner (Figure 15(b))."""
+        return self.stats.sent_by_each(self.joiner_ids, "JoinNotiMsg")
+
+    def big_message_counts(self) -> List[int]:
+        """CpRstMsg + JoinWaitMsg + JoinNotiMsg per joiner."""
+        return [
+            self.stats.big_message_count(joiner)
+            for joiner in self.joiner_ids
+        ]
+
+    def theorem3_counts(self) -> List[int]:
+        """CpRstMsg + JoinWaitMsg per joiner (bounded by d+1, Thm 3)."""
+        return [
+            self.stats.sent_by(joiner, "CpRstMsg")
+            + self.stats.sent_by(joiner, "JoinWaitMsg")
+            for joiner in self.joiner_ids
+        ]

@@ -1,0 +1,263 @@
+"""Protocol messages (Figure 4 of the paper).
+
+Messages that include a neighbor table carry a
+:data:`~repro.routing.table.TableSnapshot` -- an immutable tuple of the
+sender's filled entries (possibly level-restricted under the Section 6.2
+size reduction).  ``size_bytes`` charges per included entry so the
+message-size ablation can compare policies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ids.digits import NodeId
+from repro.network.message import (
+    ENTRY_BYTES,
+    HEADER_BYTES,
+    NODE_REF_BYTES,
+    Message,
+)
+from repro.routing.entry import NeighborState
+from repro.routing.table import TableSnapshot
+
+
+def snapshot_view(
+    snapshot: TableSnapshot,
+) -> Dict[Tuple[int, int], Tuple[NodeId, NeighborState]]:
+    """Index a snapshot by ``(level, digit)`` for O(1) entry lookups."""
+    return {
+        (entry.level, entry.digit): (entry.node, entry.state)
+        for entry in snapshot
+    }
+
+
+class _TableMessage(Message):
+    """Base for messages that carry a table snapshot."""
+
+    __slots__ = ("table",)
+
+    carries_table = True
+
+    def __init__(self, sender: NodeId, table: TableSnapshot):
+        super().__init__(sender)
+        self.table = table
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + ENTRY_BYTES * len(self.table)
+
+
+class CpRstMsg(Message):
+    """Request a copy of the receiver's neighbor table (copying status)."""
+
+    __slots__ = ()
+    type_name = "CpRstMsg"
+
+
+class CpRlyMsg(_TableMessage):
+    """Response to a :class:`CpRstMsg`, carrying the sender's table."""
+
+    __slots__ = ()
+    type_name = "CpRlyMsg"
+
+
+class JoinWaitMsg(Message):
+    """Sent by a joining node in status *waiting* to announce itself."""
+
+    __slots__ = ()
+    type_name = "JoinWaitMsg"
+
+
+class JoinWaitRlyMsg(_TableMessage):
+    """Reply to a :class:`JoinWaitMsg`.
+
+    ``positive`` is the paper's ``r``; ``referral`` is the paper's ``u``
+    (on a negative reply, the node already occupying the entry the
+    joiner aimed for; on a positive reply, the joiner itself).
+    """
+
+    __slots__ = ("positive", "referral")
+    type_name = "JoinWaitRlyMsg"
+
+    def __init__(
+        self,
+        sender: NodeId,
+        positive: bool,
+        referral: NodeId,
+        table: TableSnapshot,
+    ):
+        super().__init__(sender, table)
+        self.positive = positive
+        self.referral = referral
+
+    def size_bytes(self) -> int:
+        """Table payload plus the referral reference and result flag."""
+        return super().size_bytes() + NODE_REF_BYTES + 1
+
+
+class JoinNotiMsg(_TableMessage):
+    """Sent by a joining node in status *notifying*, with its table.
+
+    ``bit_vector_bytes`` is non-zero under the Section 6.2 policy, where
+    the message also carries a fill bitmap of the sender's table.
+    """
+
+    __slots__ = ("noti_level", "bit_vector_bytes", "bitmap")
+    type_name = "JoinNotiMsg"
+
+    def __init__(
+        self,
+        sender: NodeId,
+        table: TableSnapshot,
+        noti_level: int,
+        bit_vector_bytes: int = 0,
+        bitmap=None,
+    ):
+        super().__init__(sender, table)
+        self.noti_level = noti_level
+        self.bit_vector_bytes = bit_vector_bytes
+        self.bitmap = bitmap
+
+    def size_bytes(self) -> int:
+        """Table payload plus the Section 6.2 bit vector, if any."""
+        return super().size_bytes() + self.bit_vector_bytes
+
+
+class JoinNotiRlyMsg(_TableMessage):
+    """Reply to a :class:`JoinNotiMsg`.
+
+    ``positive`` is the paper's ``r`` (the receiver stored the joiner),
+    ``conflict`` is the paper's ``f`` (the receiver, an S-node, saw that
+    the joiner's entry for it holds some other node -- this triggers the
+    SpeNotiMsg repair path).
+    """
+
+    __slots__ = ("positive", "conflict")
+    type_name = "JoinNotiRlyMsg"
+
+    def __init__(
+        self,
+        sender: NodeId,
+        positive: bool,
+        table: TableSnapshot,
+        conflict: bool,
+    ):
+        super().__init__(sender, table)
+        self.positive = positive
+        self.conflict = conflict
+
+    def size_bytes(self) -> int:
+        """Table payload plus the two result flags."""
+        return super().size_bytes() + 2
+
+
+class InSysNotiMsg(Message):
+    """Announcement that the sender's status changed to *in_system*."""
+
+    __slots__ = ()
+    type_name = "InSysNotiMsg"
+
+
+class SpeNotiMsg(Message):
+    """Special notification: informs the receiver of node ``subject``.
+
+    ``origin`` is the joining node that initiated the repair; the
+    message is forwarded along primary-neighbor pointers until some node
+    stores (or already stored) ``subject``.
+    """
+
+    __slots__ = ("origin", "subject")
+    type_name = "SpeNotiMsg"
+
+    def __init__(self, sender: NodeId, origin: NodeId, subject: NodeId):
+        super().__init__(sender)
+        self.origin = origin
+        self.subject = subject
+
+    def size_bytes(self) -> int:
+        """Header plus the origin and subject references."""
+        return HEADER_BYTES + 2 * NODE_REF_BYTES
+
+
+class SpeNotiRlyMsg(Message):
+    """Terminates a :class:`SpeNotiMsg` chain; sent to ``origin``."""
+
+    __slots__ = ("origin", "subject")
+    type_name = "SpeNotiRlyMsg"
+
+    def __init__(self, sender: NodeId, origin: NodeId, subject: NodeId):
+        super().__init__(sender)
+        self.origin = origin
+        self.subject = subject
+
+    def size_bytes(self) -> int:
+        """Header plus the origin and subject references."""
+        return HEADER_BYTES + 2 * NODE_REF_BYTES
+
+
+class RvNghNotiMsg(Message):
+    """Sent by a node that stored the receiver as a primary neighbor.
+
+    ``level``/``digit`` locate the entry in the *sender's* table;
+    ``state`` is the state the sender recorded.
+    """
+
+    __slots__ = ("level", "digit", "state")
+    type_name = "RvNghNotiMsg"
+
+    def __init__(
+        self, sender: NodeId, level: int, digit: int, state: NeighborState
+    ):
+        super().__init__(sender)
+        self.level = level
+        self.digit = digit
+        self.state = state
+
+    def size_bytes(self) -> int:
+        """Header plus the entry position and state byte."""
+        return HEADER_BYTES + 3
+
+
+class RvNghNotiRlyMsg(Message):
+    """Correction reply: the receiver recorded the wrong state for the
+    sender; ``state`` is the sender's true S/T classification."""
+
+    __slots__ = ("level", "digit", "state")
+    type_name = "RvNghNotiRlyMsg"
+
+    def __init__(
+        self, sender: NodeId, level: int, digit: int, state: NeighborState
+    ):
+        super().__init__(sender)
+        self.level = level
+        self.digit = digit
+        self.state = state
+
+    def size_bytes(self) -> int:
+        """Header plus the entry position and state byte."""
+        return HEADER_BYTES + 3
+
+
+class RvNghDropMsg(Message):
+    """Sent by a node that *stopped* pointing at the receiver at
+    ``(level, digit)`` -- the neighbor-table optimization protocol
+    switches primaries, and reverse-neighbor records must follow.
+    (The join protocol itself never needs this: it only fills empty
+    entries.)"""
+
+    __slots__ = ("level", "digit")
+    type_name = "RvNghDropMsg"
+
+    def __init__(self, sender: NodeId, level: int, digit: int):
+        super().__init__(sender)
+        self.level = level
+        self.digit = digit
+
+    def size_bytes(self) -> int:
+        """Header plus the entry position."""
+        return HEADER_BYTES + 2
+
+
+#: The paper's "big" message types (Section 5.2): those whose exchange
+#: involves a table copy.
+BIG_MESSAGE_TYPES = ("CpRstMsg", "JoinWaitMsg", "JoinNotiMsg")

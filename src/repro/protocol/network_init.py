@@ -1,0 +1,47 @@
+"""Network initialization (Section 6.1).
+
+To initialize a network of ``n`` nodes: put one node ``x`` in ``V``
+with a table that points only at itself, then let the other ``n - 1``
+nodes join via the join protocol, each given ``x`` to begin with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.ids.digits import NodeId
+from repro.routing.entry import NeighborState
+from repro.routing.table import NeighborTable
+
+
+def single_node_table(node_id: NodeId) -> NeighborTable:
+    """The bootstrap table of Section 6.1: ``N_x(i, x[i]) = x`` with
+    state ``S`` at every level, every other entry null."""
+    table = NeighborTable(node_id)
+    for level in range(node_id.num_digits):
+        table.set_entry(
+            level, node_id.digit(level), node_id, NeighborState.S
+        )
+    return table
+
+
+def initialize_network(
+    network: "JoinProtocolNetwork",
+    node_ids: Sequence[NodeId],
+    stagger: float = 0.0,
+):
+    """Bootstrap a consistent network over ``node_ids`` using only the
+    join protocol.
+
+    The first ID becomes the seed node; the rest join it, each started
+    ``stagger`` time units after the previous one (``stagger=0`` means
+    all joins are concurrent, as in the paper's simulations).  The
+    caller still has to ``network.run()``.
+    """
+    if not node_ids:
+        raise ValueError("need at least one node")
+    seed = node_ids[0]
+    network.add_s_node(seed, single_node_table(seed))
+    for index, node_id in enumerate(node_ids[1:]):
+        network.start_join(node_id, gateway=seed, at=index * stagger)
+    return network

@@ -1,0 +1,457 @@
+"""The per-node join-protocol state machine.
+
+This is a faithful, asynchronous translation of the paper's pseudo-code
+(Figures 3 and 5-14).  The only structural difference is that the
+``copying``-status ``while`` loop of Figure 5, written there as
+synchronous table reads, is driven here by explicit CpRstMsg/CpRlyMsg
+exchanges -- which is exactly the message exchange the paper says it
+omits "for clarity of presentation".
+
+Similarly, the RvNghNotiMsg/RvNghNotiRlyMsg bookkeeping that the paper
+omits from its pseudo-code ("when any node x sets N_x(i,j) = y, x needs
+to send a RvNghNotiMsg(y, N_x(i,j).state) to y, and y should reply to x
+if the state is not consistent with y.status") is implemented in
+:meth:`ProtocolNode._fill_entry` / the two RvNgh handlers.
+
+State variable mapping (Figure 3):
+
+=================  =====================================
+paper              here
+=================  =====================================
+``x.status``       ``self.status``
+``N_x(i,j)``       ``self.table``
+``R_x(i,j)``       ``self.table`` reverse-neighbor sets
+``x.noti_level``   ``self.noti_level``
+``Q_r``            ``self.q_reply``
+``Q_n``            ``self.q_notified``
+``Q_j``            ``self.q_joinwait``
+``Q_sr``           ``self.q_spe_reply``
+``Q_sn``           ``self.q_spe_sent``
+=================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.ids.digits import NodeId
+from repro.network.node import NetworkNode
+from repro.network.transport import Transport
+from repro.optimize.mixin import OptimizationMixin
+from repro.protocol.leave import LeaveProtocolMixin
+from repro.recovery.mixin import RecoveryMixin
+from repro.protocol.messages import (
+    CpRlyMsg,
+    CpRstMsg,
+    InSysNotiMsg,
+    JoinNotiMsg,
+    JoinNotiRlyMsg,
+    JoinWaitMsg,
+    JoinWaitRlyMsg,
+    RvNghDropMsg,
+    RvNghNotiMsg,
+    RvNghNotiRlyMsg,
+    SpeNotiMsg,
+    SpeNotiRlyMsg,
+    snapshot_view,
+)
+from repro.protocol.sizing import (
+    SizingPolicy,
+    join_noti_payload,
+    join_noti_reply_payload,
+)
+from repro.protocol.status import NodeStatus
+from repro.routing.entry import NeighborState
+from repro.routing.table import NeighborTable, TableSnapshot
+from repro.sim.trace import NullTraceLog, TraceLog
+
+
+class ProtocolError(RuntimeError):
+    """An execution reached a state the protocol proofs rule out."""
+
+
+class ProtocolNode(
+    # OptimizationMixin precedes RecoveryMixin so its _on_measured_pong
+    # overrides the recovery mixin's no-op hook.
+    LeaveProtocolMixin, OptimizationMixin, RecoveryMixin, NetworkNode
+):
+    """One node running the hypercube join protocol.
+
+    Nodes of the initial network ``V`` are created with
+    ``status=IN_SYSTEM`` and a pre-populated (consistent) table; joining
+    nodes are created with ``status=COPYING`` and start the protocol
+    via :meth:`begin_join`.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        transport: Transport,
+        status: NodeStatus = NodeStatus.IN_SYSTEM,
+        table: Optional[NeighborTable] = None,
+        sizing: SizingPolicy = SizingPolicy.FULL,
+        trace: Optional[TraceLog] = None,
+    ):
+        super().__init__(node_id, transport)
+        self.status = status
+        self.sizing = sizing
+        self.trace = trace if trace is not None else NullTraceLog()
+        if table is not None:
+            if table.owner != node_id:
+                raise ValueError("table owner mismatch")
+            self.table = table
+        else:
+            self.table = NeighborTable(node_id)
+        # Backup neighbors (footnote 6): suffix-qualified nodes seen
+        # for already-filled entries, kept for fault-tolerant routing.
+        from repro.routing.backups import BackupStore
+
+        self.backups = BackupStore(node_id)
+        self.noti_level = 0
+        self.q_reply: Set[NodeId] = set()
+        self.q_notified: Set[NodeId] = set()
+        self.q_joinwait: Set[NodeId] = set()
+        self.q_spe_reply: Set[NodeId] = set()
+        self.q_spe_sent: Set[NodeId] = set()
+        # Joining-period bookkeeping (Definition 3.1): t^b and t^e.
+        self.join_began_at: Optional[float] = None
+        self.became_s_at: Optional[float] = 0.0 if status.is_s_node else None
+        # copying-status loop variables (Figure 5's i and p).
+        self._copy_level = 0
+        self._copy_prev: Optional[NodeId] = None
+        self._copy_target: Optional[NodeId] = None
+
+        self.handles(CpRstMsg, self._on_cp_rst)
+        self.handles(CpRlyMsg, self._on_cp_rly)
+        self.handles(JoinWaitMsg, self._on_join_wait)
+        self.handles(JoinWaitRlyMsg, self._on_join_wait_rly)
+        self.handles(JoinNotiMsg, self._on_join_noti)
+        self.handles(JoinNotiRlyMsg, self._on_join_noti_rly)
+        self.handles(InSysNotiMsg, self._on_in_sys_noti)
+        self.handles(SpeNotiMsg, self._on_spe_noti)
+        self.handles(SpeNotiRlyMsg, self._on_spe_noti_rly)
+        self.handles(RvNghNotiMsg, self._on_rv_ngh_noti)
+        self.handles(RvNghNotiRlyMsg, self._on_rv_ngh_noti_rly)
+        self.handles(RvNghDropMsg, self._on_rv_ngh_drop)
+        self._init_leave_protocol()
+        self._init_recovery()
+        self._init_optimization()
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    @property
+    def is_s_node(self) -> bool:
+        return self.status.is_s_node
+
+    def _set_status(self, status: NodeStatus) -> None:
+        self.trace.record(
+            self.now, "status", node=self.node_id, status=status
+        )
+        self.status = status
+
+    def _fill_entry(
+        self, level: int, digit: int, node: NodeId, state: NeighborState
+    ) -> None:
+        """Set ``N_x(level, digit) = node`` and notify the new neighbor
+        that we point at it (the paper's RvNghNotiMsg rule)."""
+        self.table.set_entry(level, digit, node, state)
+        self.trace.record(
+            self.now, "fill", node=self.node_id, level=level, digit=digit,
+            neighbor=node, state=state,
+        )
+        if node != self.node_id:
+            self.send(node, RvNghNotiMsg(self.node_id, level, digit, state))
+
+    def _csuf(self, other: NodeId) -> int:
+        return self.node_id.csuf_len(other)
+
+    # ------------------------------------------------------------------
+    # status copying (Figure 5)
+
+    def begin_join(self, gateway: NodeId) -> None:
+        """Start joining, given a node ``g0`` of the existing network."""
+        if self.status is not NodeStatus.COPYING:
+            raise ProtocolError(f"{self.node_id} already joined")
+        if gateway == self.node_id:
+            raise ProtocolError("a node cannot join via itself")
+        self.join_began_at = self.now
+        self._copy_level = 0
+        self._copy_prev = None
+        self._copy_target = gateway
+        self.send(gateway, CpRstMsg(self.node_id))
+
+    def _on_cp_rst(self, msg: CpRstMsg) -> None:
+        self.send(msg.sender, CpRlyMsg(self.node_id, self.table.snapshot()))
+
+    def _on_cp_rly(self, msg: CpRlyMsg) -> None:
+        if self.status is not NodeStatus.COPYING:
+            raise ProtocolError("CpRlyMsg outside copying status")
+        if msg.sender != self._copy_target:
+            raise ProtocolError("CpRlyMsg from unexpected node")
+        level = self._copy_level
+        own_digit = self.node_id.digit(level)
+        # Copy level-`level` neighbors of g into our own table.  The
+        # (level, x[level]) position is skipped: Figure 5 overwrites it
+        # with x itself right after the loop ("the primary
+        # (i, x[i])-neighbor of x is chosen to be x itself"), so copying
+        # it would only generate a RvNghNotiMsg for a pointer that never
+        # survives.  Its occupant -- the paper's next g -- is read from
+        # the snapshot below.
+        for entry in msg.table:
+            if entry.level != level or entry.digit == own_digit:
+                continue
+            if self.table.is_empty(level, entry.digit):
+                self._fill_entry(level, entry.digit, entry.node, entry.state)
+        p = msg.sender
+        cell = snapshot_view(msg.table).get((level, own_digit))
+        g, s = cell if cell is not None else (None, None)
+        self._copy_level = level + 1
+        self._copy_prev = p
+        if g is not None and s is NeighborState.S:
+            # Loop continues: copy the next level from g.
+            self._copy_target = g
+            self.send(g, CpRstMsg(self.node_id))
+            return
+        # Loop exits: install self-pointers, go to waiting, send the
+        # first JoinWaitMsg.
+        for i in range(self.node_id.num_digits):
+            self.table.set_entry(
+                i, self.node_id.digit(i), self.node_id, NeighborState.T
+            )
+        self._set_status(NodeStatus.WAITING)
+        target = p if g is None else g
+        self.send(target, JoinWaitMsg(self.node_id))
+        self.q_notified.add(target)
+        self.q_reply.add(target)
+
+    # ------------------------------------------------------------------
+    # JoinWaitMsg / JoinWaitRlyMsg (Figures 6 and 7)
+
+    def _on_join_wait(self, msg: JoinWaitMsg) -> None:
+        x = msg.sender
+        k = self._csuf(x)
+        if self.status is NodeStatus.IN_SYSTEM:
+            current = self.table.get(k, x.digit(k))
+            if current is not None and current != x:
+                self.send(
+                    x,
+                    JoinWaitRlyMsg(
+                        self.node_id, False, current, self.table.snapshot()
+                    ),
+                )
+            else:
+                if current is None:
+                    self._fill_entry(k, x.digit(k), x, NeighborState.T)
+                self.send(
+                    x,
+                    JoinWaitRlyMsg(
+                        self.node_id, True, x, self.table.snapshot()
+                    ),
+                )
+        else:
+            # Delay the reply until we become an S-node (Figure 13).
+            self.q_joinwait.add(x)
+
+    def _on_join_wait_rly(self, msg: JoinWaitRlyMsg) -> None:
+        y = msg.sender
+        self.q_reply.discard(y)
+        k = self._csuf(y)
+        if self.table.get(k, y.digit(k)) == y:
+            self.table.set_state(k, y.digit(k), NeighborState.S)
+        if msg.positive:
+            if self.status is not NodeStatus.WAITING:
+                raise ProtocolError(
+                    f"positive JoinWaitRlyMsg in status {self.status}"
+                )
+            self._set_status(NodeStatus.NOTIFYING)
+            self.noti_level = k
+            self.table.add_reverse(k, self.node_id.digit(k), y)
+        else:
+            u = msg.referral
+            self.send(u, JoinWaitMsg(self.node_id))
+            self.q_notified.add(u)
+            self.q_reply.add(u)
+        self._check_ngh_table(msg.table)
+        if (
+            self.status is NodeStatus.NOTIFYING
+            and not self.q_reply
+            and not self.q_spe_reply
+        ):
+            self._switch_to_s_node()
+
+    # ------------------------------------------------------------------
+    # Check_Ngh_Table (Figure 8)
+
+    def _check_ngh_table(self, snapshot: TableSnapshot) -> None:
+        for entry in snapshot:
+            u = entry.node
+            if u == self.node_id:
+                continue
+            k = self._csuf(u)
+            current = self.table.get(k, u.digit(k))
+            if current is None:
+                self._fill_entry(k, u.digit(k), u, entry.state)
+            elif current != u:
+                # Entry taken: keep u as a backup (footnote 6).
+                self.backups.offer(k, u.digit(k), u)
+            if (
+                self.status is NodeStatus.NOTIFYING
+                and k >= self.noti_level
+                and u not in self.q_notified
+            ):
+                self._send_join_noti(u, k)
+
+    def _send_join_noti(self, target: NodeId, csuf_len: int) -> None:
+        snapshot, bitmap, bit_vector_bytes = join_noti_payload(
+            self.sizing, self.table, self.noti_level, csuf_len
+        )
+        self.send(
+            target,
+            JoinNotiMsg(
+                self.node_id,
+                snapshot,
+                self.noti_level,
+                bit_vector_bytes,
+                bitmap,
+            ),
+        )
+        self.q_notified.add(target)
+        self.q_reply.add(target)
+
+    # ------------------------------------------------------------------
+    # JoinNotiMsg / JoinNotiRlyMsg (Figures 9 and 10)
+
+    def _on_join_noti(self, msg: JoinNotiMsg) -> None:
+        x = msg.sender
+        k = self._csuf(x)
+        if self.table.get(k, x.digit(k)) is None:
+            self._fill_entry(k, x.digit(k), x, NeighborState.T)
+        elif self.table.get(k, x.digit(k)) != x:
+            self.backups.offer(k, x.digit(k), x)
+        conflict = False
+        their_view = snapshot_view(msg.table)
+        their_entry = their_view.get((k, self.node_id.digit(k)))
+        if (
+            their_entry is None or their_entry[0] != self.node_id
+        ) and self.status is NodeStatus.IN_SYSTEM:
+            conflict = True
+        positive = self.table.get(k, x.digit(k)) == x
+        reply_table = join_noti_reply_payload(
+            self.sizing, self.table, msg.noti_level, msg.bitmap
+        )
+        self.send(
+            x, JoinNotiRlyMsg(self.node_id, positive, reply_table, conflict)
+        )
+        self._check_ngh_table(msg.table)
+
+    def _on_join_noti_rly(self, msg: JoinNotiRlyMsg) -> None:
+        if self.status is not NodeStatus.NOTIFYING:
+            raise ProtocolError(
+                f"JoinNotiRlyMsg in status {self.status}"
+            )
+        y = msg.sender
+        self.q_reply.discard(y)
+        k = self._csuf(y)
+        if msg.positive:
+            self.table.add_reverse(k, self.node_id.digit(k), y)
+        if (
+            msg.conflict
+            and k > self.noti_level
+            and y not in self.q_spe_sent
+        ):
+            occupant = self.table.get(k, y.digit(k))
+            if occupant is not None and occupant != y:
+                self.send(
+                    occupant, SpeNotiMsg(self.node_id, self.node_id, y)
+                )
+                self.q_spe_sent.add(y)
+                self.q_spe_reply.add(y)
+        self._check_ngh_table(msg.table)
+        if not self.q_reply and not self.q_spe_reply:
+            self._switch_to_s_node()
+
+    # ------------------------------------------------------------------
+    # SpeNotiMsg / SpeNotiRlyMsg (Figures 11 and 12)
+
+    def _on_spe_noti(self, msg: SpeNotiMsg) -> None:
+        y = msg.subject
+        k = self._csuf(y)
+        if self.table.get(k, y.digit(k)) is None:
+            self._fill_entry(k, y.digit(k), y, NeighborState.S)
+        current = self.table.get(k, y.digit(k))
+        if current != y:
+            self.send(current, SpeNotiMsg(self.node_id, msg.origin, y))
+        else:
+            self.send(
+                msg.origin, SpeNotiRlyMsg(self.node_id, msg.origin, y)
+            )
+
+    def _on_spe_noti_rly(self, msg: SpeNotiRlyMsg) -> None:
+        self.q_spe_reply.discard(msg.subject)
+        if (
+            self.status is NodeStatus.NOTIFYING
+            and not self.q_reply
+            and not self.q_spe_reply
+        ):
+            self._switch_to_s_node()
+
+    # ------------------------------------------------------------------
+    # Switch_To_S_Node and InSysNotiMsg (Figures 13 and 14)
+
+    def _switch_to_s_node(self) -> None:
+        if self.status is NodeStatus.IN_SYSTEM:
+            raise ProtocolError("double switch to S-node")
+        self._set_status(NodeStatus.IN_SYSTEM)
+        self.became_s_at = self.now
+        for i in range(self.node_id.num_digits):
+            self.table.set_state(i, self.node_id.digit(i), NeighborState.S)
+        for v in self.table.all_reverse_neighbors():
+            self.send(v, InSysNotiMsg(self.node_id))
+        for u in self.q_joinwait:
+            k = self._csuf(u)
+            current = self.table.get(k, u.digit(k))
+            if current is None or current == u:
+                if current is None:
+                    self._fill_entry(k, u.digit(k), u, NeighborState.T)
+                self.send(
+                    u,
+                    JoinWaitRlyMsg(
+                        self.node_id, True, u, self.table.snapshot()
+                    ),
+                )
+            else:
+                self.send(
+                    u,
+                    JoinWaitRlyMsg(
+                        self.node_id, False, current, self.table.snapshot()
+                    ),
+                )
+        self.q_joinwait.clear()
+
+    def _on_in_sys_noti(self, msg: InSysNotiMsg) -> None:
+        x = msg.sender
+        for entry in list(self.table.entries()):
+            if entry.node == x and entry.state is not NeighborState.S:
+                self.table.set_state(entry.level, entry.digit, NeighborState.S)
+
+    # ------------------------------------------------------------------
+    # RvNghNotiMsg / RvNghNotiRlyMsg (described in Section 4's preamble)
+
+    def _on_rv_ngh_noti(self, msg: RvNghNotiMsg) -> None:
+        self.table.add_reverse(msg.level, msg.digit, msg.sender)
+        actual = (
+            NeighborState.S if self.status.is_s_node else NeighborState.T
+        )
+        if msg.state is not actual:
+            self.send(
+                msg.sender,
+                RvNghNotiRlyMsg(self.node_id, msg.level, msg.digit, actual),
+            )
+
+    def _on_rv_ngh_noti_rly(self, msg: RvNghNotiRlyMsg) -> None:
+        if self.table.get(msg.level, msg.digit) == msg.sender:
+            self.table.set_state(msg.level, msg.digit, msg.state)
+
+    def _on_rv_ngh_drop(self, msg: RvNghDropMsg) -> None:
+        self.table.remove_reverse(msg.level, msg.digit, msg.sender)

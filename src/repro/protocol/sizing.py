@@ -1,0 +1,76 @@
+"""Message-size reduction policies (Section 6.2).
+
+Two policies:
+
+* ``FULL`` -- every table-carrying message includes the sender's whole
+  (filled) table, as in the base protocol of Section 4.
+* ``REDUCED`` -- the Section 6.2 enhancements:
+
+  1. A ``JoinNotiMsg`` from ``x`` to ``y`` includes only levels
+     ``x.noti_level .. |csuf(x, y)|`` of ``x``'s table, plus a bit
+     vector marking which of ``x``'s entries are filled.
+  2. The ``JoinNotiRlyMsg`` from ``y`` includes, below ``x.noti_level``,
+     only entries whose bit is '0' (i.e. entries ``x`` has not filled),
+     and all entries at levels ``>= x.noti_level``.
+
+Both policies exchange the same *protocol-relevant* information (see
+the argument in DESIGN.md); property tests check that final tables are
+consistent under either policy, and the ablation bench compares bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Optional, Tuple
+
+from repro.routing.table import NeighborTable, TableSnapshot
+
+#: Set of (level, digit) positions filled in the notifier's table.
+FilledBitmap = FrozenSet[Tuple[int, int]]
+
+
+class SizingPolicy(enum.Enum):
+    """Which table payloads messages carry: the Section 4 base protocol
+    (FULL) or the Section 6.2 reductions (REDUCED)."""
+
+    FULL = "full"
+    REDUCED = "reduced"
+
+
+def join_noti_payload(
+    policy: SizingPolicy,
+    table: NeighborTable,
+    noti_level: int,
+    csuf_with_receiver: int,
+) -> Tuple[TableSnapshot, Optional[FilledBitmap], int]:
+    """Payload of a JoinNotiMsg: (snapshot, bitmap, bit_vector_bytes)."""
+    if policy is SizingPolicy.FULL:
+        return table.snapshot(), None, 0
+    snapshot = table.snapshot_levels(noti_level, csuf_with_receiver)
+    bitmap = frozenset(
+        (entry.level, entry.digit) for entry in table.entries()
+    )
+    bit_vector_bytes = (table.num_levels * table.base + 7) // 8
+    return snapshot, bitmap, bit_vector_bytes
+
+
+def join_noti_reply_payload(
+    policy: SizingPolicy,
+    table: NeighborTable,
+    noti_level: int,
+    bitmap: Optional[FilledBitmap],
+) -> TableSnapshot:
+    """Payload of a JoinNotiRlyMsg under ``policy``.
+
+    ``noti_level`` and ``bitmap`` describe the *notifier* (the reply's
+    receiver); below its notification level only entries it has not yet
+    filled are included.
+    """
+    if policy is SizingPolicy.FULL or bitmap is None:
+        return table.snapshot()
+    return tuple(
+        entry
+        for entry in table.entries()
+        if entry.level >= noti_level
+        or (entry.level, entry.digit) not in bitmap
+    )

@@ -1,0 +1,31 @@
+"""Node statuses (Figure 3).
+
+A joining node moves ``copying -> waiting -> notifying -> in_system``.
+A node whose status is *in_system* is an **S-node**; any other status
+makes it a **T-node**.  Nodes of the initial network ``V`` start (and
+stay) *in_system*.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeStatus(enum.Enum):
+    """A node's protocol status (Figure 3, plus extension states)."""
+
+    COPYING = "copying"
+    WAITING = "waiting"
+    NOTIFYING = "notifying"
+    IN_SYSTEM = "in_system"
+    # Extension states (the paper's stated future work, Section 7): a
+    # node executing the leave protocol, and one that has departed.
+    LEAVING = "leaving"
+    LEFT = "left"
+
+    @property
+    def is_s_node(self) -> bool:
+        return self is NodeStatus.IN_SYSTEM
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value

@@ -1,0 +1,97 @@
+"""Messages of the failure-recovery protocol."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ids.digits import NodeId
+from repro.network.message import HEADER_BYTES, NODE_REF_BYTES, Message
+
+Suffix = Tuple[int, ...]
+
+
+class PingMsg(Message):
+    """Liveness probe; also used for RTT measurement (``sent_at``)."""
+
+    __slots__ = ("sent_at", "token")
+    type_name = "PingMsg"
+
+    def __init__(self, sender: NodeId, sent_at: float, token: int = 0):
+        super().__init__(sender)
+        self.sent_at = sent_at
+        self.token = token
+
+
+class PongMsg(Message):
+    """Reply to a ping; echoes the probe's timestamp and token."""
+
+    __slots__ = ("sent_at", "token")
+    type_name = "PongMsg"
+
+    def __init__(self, sender: NodeId, sent_at: float, token: int = 0):
+        super().__init__(sender)
+        self.sent_at = sent_at
+        self.token = token
+
+
+class AdvertiseMsg(Message):
+    """'I am alive.'  Pushed by every live node to its forward
+    neighbors during recovery.
+
+    Failures can leave a live node with no *incoming* pointers (every
+    node that knew it died); pull-style candidate search can never
+    find such a node, but it can still speak -- its own table names
+    live peers.  Receivers use the advertisement to repair matching
+    suspected entries directly and to enrich later candidate replies.
+    """
+
+    __slots__ = ()
+    type_name = "AdvertiseMsg"
+
+
+class RepairFindMsg(Message):
+    """'Do you know live nodes whose ID ends with ``suffix``?'
+
+    Sent by a node repairing a suspected entry to its live neighbors.
+    ``origin`` is the repairing node (replies go straight to it);
+    ``ttl`` allows escalating the search to neighbors-of-neighbors when
+    direct neighbors know no candidate (heavier failure fractions).
+    """
+
+    __slots__ = ("origin", "suffix", "ttl")
+    type_name = "RepairFindMsg"
+
+    def __init__(
+        self, sender: NodeId, origin: NodeId, suffix: Suffix, ttl: int = 0
+    ):
+        super().__init__(sender)
+        self.origin = origin
+        self.suffix = tuple(suffix)
+        self.ttl = ttl
+
+    def size_bytes(self) -> int:
+        """Header plus origin reference, suffix digits and TTL byte."""
+        return HEADER_BYTES + NODE_REF_BYTES + len(self.suffix) + 1
+
+
+class RepairFindRlyMsg(Message):
+    """Candidates with the requested suffix, from the receiver's table
+    (liveness unverified -- the requester pings them)."""
+
+    __slots__ = ("suffix", "candidates")
+    type_name = "RepairFindRlyMsg"
+
+    def __init__(
+        self, sender: NodeId, suffix: Suffix, candidates: Tuple[NodeId, ...]
+    ):
+        super().__init__(sender)
+        self.suffix = tuple(suffix)
+        self.candidates = candidates
+
+    def size_bytes(self) -> int:
+        """Header plus suffix digits and one reference per candidate."""
+        return (
+            HEADER_BYTES
+            + len(self.suffix)
+            + NODE_REF_BYTES * len(self.candidates)
+        )

@@ -1,0 +1,246 @@
+"""Per-node failure-detection and repair logic.
+
+Mixed into :class:`repro.protocol.node.ProtocolNode`.  All sends that
+may target crashed nodes go through the transport's lossy path; the
+detection timeout is the failure detector (no pong within the timeout
+=> suspected dead -- exact in this simulator, since live nodes always
+pong and delivery is reliable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.recovery.messages import (
+    AdvertiseMsg,
+    PingMsg,
+    PongMsg,
+    RepairFindMsg,
+    RepairFindRlyMsg,
+)
+
+Position = Tuple[int, int]
+
+#: Ping token values: liveness sweep vs repair-candidate verification.
+DETECT, VERIFY = 0, 1
+
+
+class RecoveryMixin:
+    """Failure detection and entry repair, one node's share."""
+
+    def _init_recovery(self) -> None:
+        self._ping_outstanding: Set[NodeId] = set()
+        self._detection_done = True
+        self._suspected: Dict[Position, NodeId] = {}
+        self._repair_pending: Set[Position] = set()
+        self._repair_seen: Set[Tuple[NodeId, Tuple[int, ...]]] = set()
+        self._known_live: Set[NodeId] = set()
+        self.repaired_entries = 0
+        self.cleared_entries = 0
+        self.handles(PingMsg, self._on_ping)
+        self.handles(PongMsg, self._on_pong)
+        self.handles(AdvertiseMsg, self._on_advertise)
+        self.handles(RepairFindMsg, self._on_repair_find)
+        self.handles(RepairFindRlyMsg, self._on_repair_find_rly)
+
+    def _required_suffix(self, position: Position) -> Tuple[int, ...]:
+        level, digit = position
+        return self.node_id.suffix(level) + (digit,)
+
+    # -- detection ------------------------------------------------------
+
+    def begin_failure_detection(self, timeout: float) -> None:
+        """Ping every distinct forward and reverse neighbor; whoever
+        has not answered when ``timeout`` expires is declared dead and
+        purged from reverse-neighbor records; its table entries become
+        *suspected* and await repair."""
+        self._detection_done = False
+        self._repair_seen = set()
+        targets = self.table.distinct_neighbors()
+        targets |= self.table.all_reverse_neighbors()
+        targets.discard(self.node_id)
+        self._ping_outstanding = set()
+        for target in targets:
+            probe = PingMsg(self.node_id, self.now, token=DETECT)
+            self._ping_outstanding.add(target)
+            self.transport.send_lossy(target, probe)
+        self.transport.simulator.schedule(
+            timeout, self._on_detection_timeout
+        )
+
+    def _on_detection_timeout(self) -> None:
+        for dead in self._ping_outstanding:
+            for position in self.table.positions_of(dead):
+                self._suspected[position] = dead
+            self.table.remove_reverse_everywhere(dead)
+            self.backups.discard(dead)
+        self._ping_outstanding = set()
+        self._detection_done = True
+
+    @property
+    def suspected_positions(self) -> Set[Position]:
+        return set(self._suspected)
+
+    # -- advertising ------------------------------------------------------
+
+    def begin_advertise(self) -> None:
+        """Push our existence to every (believed-live) forward
+        neighbor; see :class:`~repro.recovery.messages.AdvertiseMsg`."""
+        dead = set(self._suspected.values())
+        for neighbor in self.table.distinct_neighbors():
+            if neighbor == self.node_id or neighbor in dead:
+                continue
+            self.transport.send_lossy(
+                neighbor, AdvertiseMsg(self.node_id)
+            )
+
+    def _on_advertise(self, msg: AdvertiseMsg) -> None:
+        from repro.protocol.messages import RvNghNotiMsg
+        from repro.routing.entry import NeighborState
+
+        self._known_live.add(msg.sender)
+        # The advertiser just proved liveness: repair any suspected
+        # entry it fits directly.
+        for position in list(self._suspected):
+            if not msg.sender.has_suffix(self._required_suffix(position)):
+                continue
+            level, digit = position
+            self.table.replace_entry(
+                level, digit, msg.sender, NeighborState.S
+            )
+            self.send(
+                msg.sender,
+                RvNghNotiMsg(self.node_id, level, digit, NeighborState.S),
+            )
+            del self._suspected[position]
+            self._repair_pending.discard(position)
+            self.repaired_entries += 1
+
+    # -- repair ---------------------------------------------------------
+
+    def begin_repair(self, ttl: int = 0) -> None:
+        """For each suspected entry, ask live neighbors for candidates
+        with the entry's required suffix.  ``ttl > 0`` lets queried
+        nodes that know no candidate forward the question onward
+        (escalation for heavy failure fractions)."""
+        if not self._suspected:
+            return
+        self._repair_pending = set(self._suspected)
+        dead = set(self._suspected.values())
+        live_neighbors = {
+            neighbor
+            for neighbor in self.table.distinct_neighbors()
+            if neighbor not in dead and neighbor != self.node_id
+        }
+        for position in self._repair_pending:
+            # Own backups first (footnote 6): verify them by ping and
+            # install on the pong, skipping the network search.
+            for backup in self.backups.get(*position):
+                self.transport.send_lossy(
+                    backup, PingMsg(self.node_id, self.now, token=VERIFY)
+                )
+            suffix = self._required_suffix(position)
+            for neighbor in live_neighbors:
+                self.transport.send_lossy(
+                    neighbor,
+                    RepairFindMsg(self.node_id, self.node_id, suffix, ttl),
+                )
+
+    def _on_repair_find(self, msg: RepairFindMsg) -> None:
+        suffix = msg.suffix
+        candidates: List[NodeId] = []
+        if self.node_id.has_suffix(suffix):
+            candidates.append(self.node_id)
+        known = self.table.distinct_neighbors() | self._known_live
+        for neighbor in sorted(known, key=lambda n: n.digits):
+            if (
+                neighbor.has_suffix(suffix)
+                and neighbor != msg.origin
+                and neighbor not in candidates
+            ):
+                candidates.append(neighbor)
+        if candidates:
+            self.transport.send_lossy(
+                msg.origin,
+                RepairFindRlyMsg(self.node_id, suffix, tuple(candidates)),
+            )
+        # Forward even when candidates were found: they are unverified
+        # (possibly dead themselves), so the search must not stop at
+        # the first node that merely *names* class members.
+        if msg.ttl > 0:
+            key = (msg.origin, suffix)
+            if key in self._repair_seen:
+                return
+            self._repair_seen.add(key)
+            for neighbor in self.table.distinct_neighbors():
+                if neighbor in (self.node_id, msg.origin, msg.sender):
+                    continue
+                self.transport.send_lossy(
+                    neighbor,
+                    RepairFindMsg(
+                        self.node_id, msg.origin, suffix, msg.ttl - 1
+                    ),
+                )
+
+    def _on_repair_find_rly(self, msg: RepairFindRlyMsg) -> None:
+        # Verify each candidate by pinging it; installation happens on
+        # the pong (the candidate may itself be dead).
+        for candidate in msg.candidates:
+            if candidate == self.node_id:
+                continue
+            self.transport.send_lossy(
+                candidate, PingMsg(self.node_id, self.now, token=VERIFY)
+            )
+
+    def _install_repair(self, candidate: NodeId) -> None:
+        from repro.protocol.messages import RvNghNotiMsg
+        from repro.routing.entry import NeighborState
+
+        for position in list(self._repair_pending):
+            suffix = self._required_suffix(position)
+            if not candidate.has_suffix(suffix):
+                continue
+            level, digit = position
+            self.table.replace_entry(
+                level, digit, candidate, NeighborState.S
+            )
+            self.send(
+                candidate,
+                RvNghNotiMsg(self.node_id, level, digit, NeighborState.S),
+            )
+            self._repair_pending.discard(position)
+            self._suspected.pop(position, None)
+            self.repaired_entries += 1
+
+    def finalize_repairs(self) -> int:
+        """Clear entries whose class could not be repopulated (the
+        class is presumed extinct).  Returns how many were cleared."""
+        cleared = 0
+        for position in list(self._suspected):
+            self.table.clear_entry(position[0], position[1])
+            del self._suspected[position]
+            self._repair_pending.discard(position)
+            cleared += 1
+        self.cleared_entries += cleared
+        return cleared
+
+    # -- ping plumbing ----------------------------------------------------
+
+    def _on_ping(self, msg: PingMsg) -> None:
+        self.send(
+            msg.sender, PongMsg(self.node_id, msg.sent_at, msg.token)
+        )
+
+    def _on_pong(self, msg: PongMsg) -> None:
+        if msg.token == DETECT:
+            self._ping_outstanding.discard(msg.sender)
+        elif msg.token == VERIFY:
+            self._install_repair(msg.sender)
+        else:
+            self._on_measured_pong(msg)
+
+    def _on_measured_pong(self, msg: PongMsg) -> None:
+        """Hook for other subsystems (locality optimization) that use
+        tokened pings for RTT measurement."""
+        return None

@@ -1,0 +1,140 @@
+"""Backup neighbors and fault-tolerant routing (footnote 6).
+
+The paper keeps one *primary* neighbor per entry for the consistency
+analysis, but notes that "if multiple nodes exist with the desired
+suffix ... a subset of these nodes may be stored in the entry", with
+the extras used "for fault tolerant routing [13]" (Tapestry).
+
+:class:`BackupStore` holds those extras: when the join protocol sees a
+suffix-qualified node for an entry that is already filled (the
+``Check_Ngh_Table`` / ``JoinNotiMsg`` paths), the node is remembered
+as a backup instead of being dropped.  :func:`route_fault_tolerant`
+then routes around dead primaries by falling back to backups at each
+hop -- bridging the window between a crash and the recovery sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.routing.router import RouteResult, TableProvider
+from repro.routing.table import NeighborTable
+
+Position = Tuple[int, int]
+
+#: Default cap on extras per entry (Tapestry keeps two backups).
+MAX_BACKUPS = 2
+
+
+class BackupStore:
+    """Up to :data:`MAX_BACKUPS` alternate neighbors per entry."""
+
+    def __init__(self, owner: NodeId, capacity: int = MAX_BACKUPS):
+        self.owner = owner
+        self.capacity = capacity
+        self._backups: Dict[Position, List[NodeId]] = {}
+
+    def offer(self, level: int, digit: int, node: NodeId) -> bool:
+        """Remember ``node`` as a backup for ``(level, digit)`` if it
+        qualifies and there is room.  Returns True when stored."""
+        if node == self.owner:
+            return False
+        if node.csuf_len(self.owner) < level or node.digit(level) != digit:
+            return False
+        bucket = self._backups.setdefault((level, digit), [])
+        if node in bucket or len(bucket) >= self.capacity:
+            return False
+        bucket.append(node)
+        return True
+
+    def get(self, level: int, digit: int) -> List[NodeId]:
+        """The backups recorded for ``(level, digit)`` (copy)."""
+        return list(self._backups.get((level, digit), ()))
+
+    def discard(self, node: NodeId) -> None:
+        """Forget a departed node everywhere."""
+        for position in list(self._backups):
+            bucket = self._backups[position]
+            if node in bucket:
+                bucket.remove(node)
+                if not bucket:
+                    del self._backups[position]
+
+    def total(self) -> int:
+        """Total backups stored across all positions."""
+        return sum(len(bucket) for bucket in self._backups.values())
+
+    def positions(self) -> List[Position]:
+        """Positions that currently have at least one backup."""
+        return sorted(self._backups)
+
+
+#: Resolves a node ID to its backup store.
+BackupProvider = Callable[[NodeId], BackupStore]
+
+
+def harvest_backups(network, capacity: int = MAX_BACKUPS) -> None:
+    """Fill every node's backup store from global membership.
+
+    PRR-style tables store a *subset* of each suffix class per entry;
+    the join protocol only accumulates backups opportunistically (from
+    contested fills), so experiments that want fully-provisioned
+    backup sets -- e.g. the routing-availability bench -- call this to
+    top them up, exactly as a background maintenance task would.
+    """
+    from repro.ids.suffix import SuffixIndex
+
+    members = network.member_ids()
+    index = SuffixIndex(members)
+    for node_id in members:
+        node = network.node(node_id)
+        table = node.table
+        store = node.backups
+        store.capacity = max(store.capacity, capacity)
+        for entry in table.entries():
+            if entry.node == node_id:
+                continue
+            suffix = node_id.suffix(entry.level) + (entry.digit,)
+            for candidate in sorted(index.nodes_with(suffix)):
+                if candidate in (entry.node, node_id):
+                    continue
+                if len(store.get(entry.level, entry.digit)) >= capacity:
+                    break
+                store.offer(entry.level, entry.digit, candidate)
+
+
+def route_fault_tolerant(
+    tables: TableProvider,
+    backups: BackupProvider,
+    live: Set[NodeId],
+    source: NodeId,
+    target: NodeId,
+    max_hops: Optional[int] = None,
+) -> RouteResult:
+    """Suffix routing that falls back to backup neighbors when the
+    primary next hop is dead (``live`` is the surviving membership).
+
+    Every hop -- primary or backup -- still extends the matched
+    suffix, so termination is unchanged.
+    """
+    if max_hops is None:
+        max_hops = source.num_digits
+    path = [source]
+    current = source
+    while current != target:
+        if len(path) - 1 >= max_hops:
+            return RouteResult(False, path, failed_at=current)
+        level = current.csuf_len(target)
+        digit = target.digit(level)
+        candidates: List[NodeId] = []
+        primary = tables(current).get(level, digit)
+        if primary is not None:
+            candidates.append(primary)
+        candidates.extend(backups(current).get(level, digit))
+        hop = next((c for c in candidates if c in live), None)
+        if hop is None or hop.csuf_len(target) <= level:
+            return RouteResult(False, path, failed_at=current)
+        path.append(hop)
+        current = hop
+    return RouteResult(True, path)

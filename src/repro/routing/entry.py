@@ -1,0 +1,32 @@
+"""Neighbor table entries and neighbor states.
+
+Each filled entry records a neighbor and the state the owner believes
+that neighbor is in: ``S`` (an S-node, status *in_system*) or ``T``
+(still joining).  See Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Optional
+
+from repro.ids.digits import NodeId
+
+
+class NeighborState(enum.Enum):
+    """The owner's view of a neighbor's join status."""
+
+    T = "T"
+    S = "S"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value
+
+
+class TableEntry(NamedTuple):
+    """One filled ``(i, j)`` entry: position, neighbor, and state."""
+
+    level: int
+    digit: int
+    node: NodeId
+    state: NeighborState

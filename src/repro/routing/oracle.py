@@ -1,0 +1,79 @@
+"""Oracle construction of consistent neighbor tables.
+
+Given the full membership ``V``, build tables satisfying Definition 3.8
+directly: the ``(i, j)``-entry of ``x`` holds some node of
+``V_{j . x[i-1]...x[0]}`` when that suffix set is non-empty (``x``
+itself when ``j == x[i]``) and is null otherwise.  Reverse-neighbor
+sets are populated to match.
+
+Experiments use this to create the initial consistent network
+``<V, N(V)>`` that joining nodes enter; tests cross-validate it against
+the protocol-built network of Section 6.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ids.digits import NodeId
+from repro.routing.entry import NeighborState
+from repro.routing.table import NeighborTable
+
+Suffix = Tuple[int, ...]
+
+
+def build_consistent_tables(
+    nodes: Iterable[NodeId],
+    rng: Optional[random.Random] = None,
+) -> Dict[NodeId, NeighborTable]:
+    """Build consistent tables for ``nodes`` from global knowledge.
+
+    When ``rng`` is given, each entry picks a uniformly random member of
+    the eligible suffix set (mimicking tables formed by arbitrary join
+    orders); otherwise the numerically smallest member is used, which is
+    deterministic.
+    """
+    members: List[NodeId] = list(nodes)
+    if not members:
+        raise ValueError("V must be non-empty (assumption (i))")
+    base = members[0].base
+    num_digits = members[0].num_digits
+    for node in members:
+        if node.base != base or node.num_digits != num_digits:
+            raise ValueError("all nodes must share one ID space")
+    if len(set(members)) != len(members):
+        raise ValueError("node IDs must be unique")
+
+    by_suffix: Dict[Suffix, List[NodeId]] = {}
+    for node in members:
+        for k in range(num_digits + 1):
+            by_suffix.setdefault(node.suffix(k), []).append(node)
+    min_of: Dict[Suffix, NodeId] = (
+        {suffix: min(bucket) for suffix, bucket in by_suffix.items()}
+        if rng is None
+        else {}
+    )
+
+    tables: Dict[NodeId, NeighborTable] = {
+        node: NeighborTable(node) for node in members
+    }
+
+    for node in members:
+        table = tables[node]
+        for level in range(num_digits):
+            shared = node.suffix(level)
+            for digit in range(base):
+                if digit == node.digit(level):
+                    table.set_entry(level, digit, node, NeighborState.S)
+                    continue
+                bucket = by_suffix.get(shared + (digit,))
+                if not bucket:
+                    continue
+                if rng is None:
+                    neighbor = min_of[shared + (digit,)]
+                else:
+                    neighbor = bucket[rng.randrange(len(bucket))]
+                table.set_entry(level, digit, neighbor, NeighborState.S)
+                tables[neighbor].add_reverse(level, digit, node)
+    return tables

@@ -1,0 +1,34 @@
+"""Reachability in the sense of Definition 3.7.
+
+``y`` is reachable from ``x`` within ``k`` hops when there is a
+neighbor sequence ``u_0 .. u_k`` with ``u_0 = x``, ``u_k = y`` and
+``u_{i+1} = N_{u_i}(i, y[i])``.  Note the definition indexes the table
+level by the *hop count*, which coincides with the matched-suffix
+length along the canonical route from a node with no shared suffix; we
+implement the equivalent suffix-progress form used by the routing
+scheme, starting at level ``|csuf(x, y)|``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ids.digits import NodeId
+from repro.routing.router import TableProvider, route
+
+
+def is_reachable(
+    tables: TableProvider, source: NodeId, target: NodeId
+) -> bool:
+    """True iff following primary neighbors from ``source`` reaches
+    ``target`` within ``d`` hops."""
+    return route(tables, source, target).success
+
+
+def reachability_path(
+    tables: TableProvider, source: NodeId, target: NodeId
+) -> Optional[List[NodeId]]:
+    """The neighbor sequence from ``source`` to ``target`` (None when
+    unreachable)."""
+    result = route(tables, source, target)
+    return result.path if result.success else None

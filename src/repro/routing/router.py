@@ -1,0 +1,142 @@
+"""The suffix-matching routing scheme (Section 2.2).
+
+A message from ``x`` to ``y`` starts at level ``k = |csuf(x, y)|`` and
+follows, at each intermediate node ``u``, the primary
+``(i, y[i])``-neighbor where ``i = |csuf(u, y)|``.  Every hop extends
+the matched suffix by at least one digit, so a route takes at most
+``d`` hops on a consistent network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.ids.digits import NodeId
+from repro.routing.table import NeighborTable
+
+#: Resolves a node ID to that node's neighbor table.
+TableProvider = Callable[[NodeId], NeighborTable]
+
+
+@dataclass
+class RouteResult:
+    """Outcome of a routing attempt.
+
+    ``path`` always starts at the source; when ``success`` it ends at
+    the destination.  ``failed_at`` names the node whose table had a
+    null entry for the next required suffix (None on success).
+    """
+
+    success: bool
+    path: List[NodeId]
+    failed_at: Optional[NodeId] = None
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+def next_hop(
+    table: NeighborTable, current: NodeId, target: NodeId
+) -> Optional[NodeId]:
+    """The next node on the route from ``current`` toward ``target``.
+
+    Returns None when the required entry is empty (routing failure on
+    an inconsistent network) and ``current`` itself when it is already
+    the target.
+    """
+    if current == target:
+        return current
+    level = current.csuf_len(target)
+    return table.get(level, target.digit(level))
+
+
+def surrogate_route(
+    tables: TableProvider,
+    source: NodeId,
+    target: NodeId,
+) -> RouteResult:
+    """Route toward ``target`` (typically an *object* ID with no node
+    behind it) and deterministically resolve to its **root** node.
+
+    At each node, if the entry for the target's next digit is null,
+    the digit is substituted by the cyclically-next digit with a
+    non-null entry at that level (PRR/Pastry surrogate routing).  On a
+    consistent network the surviving digit *classes* at each level are
+    determined by membership alone, so every origin converges on the
+    same root -- this is what makes object location deterministic
+    (property P1 of the paper's introduction).
+    """
+    path = [source]
+    current = source
+    level = current.csuf_len(target)
+    for _ in range(target.num_digits + 1):
+        if current == target:
+            return RouteResult(True, path)
+        table = tables(current)
+        level = current.csuf_len(target)
+        hop = None
+        for offset in range(current.base):
+            digit = (target.digit(level) + offset) % current.base
+            candidate = table.get(level, digit)
+            if candidate is not None:
+                hop = candidate
+                break
+        if hop is None:
+            # Not even a self-pointer: malformed table.
+            return RouteResult(False, path, failed_at=current)
+        if hop == current:
+            # We are the best match at this level; resolve deeper
+            # levels locally until the root (possibly ourselves).
+            next_level = level + 1
+            while next_level < current.num_digits:
+                found = None
+                for offset in range(current.base):
+                    digit = (
+                        target.digit(next_level) + offset
+                    ) % current.base
+                    candidate = table.get(next_level, digit)
+                    if candidate is not None:
+                        found = candidate
+                        break
+                if found is None or found == current:
+                    next_level += 1
+                    continue
+                hop = found
+                break
+            if hop == current:
+                return RouteResult(True, path)
+        path.append(hop)
+        current = hop
+    return RouteResult(False, path, failed_at=current)
+
+
+def route(
+    tables: TableProvider,
+    source: NodeId,
+    target: NodeId,
+    max_hops: Optional[int] = None,
+) -> RouteResult:
+    """Route from ``source`` to ``target`` following primary neighbors.
+
+    ``max_hops`` defaults to ``d`` (sufficient on a consistent network;
+    the suffix-match length strictly increases each hop).
+    """
+    if max_hops is None:
+        max_hops = source.num_digits
+    path = [source]
+    current = source
+    while current != target:
+        if len(path) - 1 >= max_hops:
+            return RouteResult(False, path, failed_at=current)
+        hop = next_hop(tables(current), current, target)
+        if hop is None:
+            return RouteResult(False, path, failed_at=current)
+        if hop.csuf_len(target) <= current.csuf_len(target):
+            # A consistent network guarantees progress; surface the
+            # violation instead of looping forever.
+            return RouteResult(False, path + [hop], failed_at=current)
+        path.append(hop)
+        current = hop
+    return RouteResult(True, path)

@@ -1,0 +1,243 @@
+"""The neighbor table (Section 2.1).
+
+A table has ``d`` levels of ``b`` entries.  The ``(i, j)``-entry of
+node ``x`` may hold a node whose ID shares the rightmost ``i`` digits
+with ``x.ID`` and whose ``i``-th digit is ``j`` (we keep one *primary*
+neighbor per entry, as in Section 3's simplification).  The table also
+tracks reverse neighbors: ``x`` is a reverse ``(i, j)``-neighbor of
+``y`` iff ``y`` is the primary ``(i, j)``-neighbor of ``x``.
+
+Entries are stored sparsely; the join protocol only ever fills empty
+entries, and :meth:`NeighborTable.set_entry` enforces that (overwriting
+with a *different* node raises, catching protocol bugs early).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.ids.digits import NodeId
+from repro.routing.entry import NeighborState, TableEntry
+
+Position = Tuple[int, int]
+
+#: A snapshot of the filled entries of a table, as carried inside
+#: protocol messages (CpRlyMsg, JoinWaitRlyMsg, JoinNotiMsg, ...).
+TableSnapshot = Tuple[TableEntry, ...]
+
+
+class EntryConflictError(RuntimeError):
+    """An attempt to overwrite a filled entry with a different node."""
+
+
+class NeighborTable:
+    """Sparse ``d x b`` neighbor table with reverse-neighbor tracking."""
+
+    __slots__ = ("owner", "base", "num_levels", "_entries", "_reverse")
+
+    def __init__(self, owner: NodeId):
+        self.owner = owner
+        self.base = owner.base
+        self.num_levels = owner.num_digits
+        self._entries: Dict[Position, Tuple[NodeId, NeighborState]] = {}
+        self._reverse: Dict[Position, Set[NodeId]] = {}
+
+    # -- basic access -------------------------------------------------
+
+    def get(self, level: int, digit: int) -> Optional[NodeId]:
+        """The paper's ``N_x(i, j)`` (None when the entry is empty)."""
+        cell = self._entries.get((level, digit))
+        return cell[0] if cell is not None else None
+
+    def state(self, level: int, digit: int) -> Optional[NeighborState]:
+        """``N_x(i, j).state``, or None when the entry is empty."""
+        cell = self._entries.get((level, digit))
+        return cell[1] if cell is not None else None
+
+    def is_empty(self, level: int, digit: int) -> bool:
+        """True iff the ``(level, digit)``-entry is unfilled."""
+        return (level, digit) not in self._entries
+
+    def _check_position(self, level: int, digit: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise ValueError(f"level {level} out of range")
+        if not 0 <= digit < self.base:
+            raise ValueError(f"digit {digit} out of range")
+
+    def _check_suffix(self, level: int, digit: int, node: NodeId) -> None:
+        if node.csuf_len(self.owner) < level or node.digit(level) != digit:
+            raise ValueError(
+                f"{node} does not satisfy the ({level},{digit})-entry "
+                f"suffix constraint of {self.owner}"
+            )
+
+    def set_entry(
+        self,
+        level: int,
+        digit: int,
+        node: NodeId,
+        state: NeighborState,
+    ) -> None:
+        """Fill ``(level, digit)`` with ``node``.
+
+        Idempotent for the same node (the state is updated); raises
+        :class:`EntryConflictError` when a different node is already
+        present, since the protocol never replaces primary neighbors
+        during joins.
+        """
+        self._check_position(level, digit)
+        self._check_suffix(level, digit, node)
+        current = self._entries.get((level, digit))
+        if current is not None and current[0] != node:
+            raise EntryConflictError(
+                f"({level},{digit}) of {self.owner} holds {current[0]}, "
+                f"refusing to overwrite with {node}"
+            )
+        self._entries[(level, digit)] = (node, state)
+
+    def set_state(self, level: int, digit: int, state: NeighborState) -> None:
+        """Update the recorded state of a filled entry."""
+        cell = self._entries.get((level, digit))
+        if cell is None:
+            raise KeyError(f"entry ({level},{digit}) is empty")
+        self._entries[(level, digit)] = (cell[0], state)
+
+    def replace_entry(
+        self,
+        level: int,
+        digit: int,
+        node: NodeId,
+        state: NeighborState,
+    ) -> Optional[NodeId]:
+        """Overwrite ``(level, digit)`` with ``node``, returning the
+        previous occupant.
+
+        Used by the leave/failure-recovery protocols, which substitute
+        a departed primary neighbor with another member of the same
+        suffix class -- the only situation where the join protocol's
+        fill-only discipline is relaxed.
+        """
+        self._check_position(level, digit)
+        self._check_suffix(level, digit, node)
+        previous = self.get(level, digit)
+        self._entries[(level, digit)] = (node, state)
+        return previous
+
+    def clear_entry(self, level: int, digit: int) -> Optional[NodeId]:
+        """Empty ``(level, digit)``, returning the previous occupant.
+
+        Used when the last member of an entry's suffix class departs.
+        """
+        self._check_position(level, digit)
+        cell = self._entries.pop((level, digit), None)
+        return cell[0] if cell is not None else None
+
+    def positions_of(self, node: NodeId) -> List[Tuple[int, int]]:
+        """All ``(level, digit)`` positions currently holding ``node``."""
+        return [
+            position
+            for position, (occupant, _) in self._entries.items()
+            if occupant == node
+        ]
+
+    # -- reverse neighbors ---------------------------------------------
+
+    def add_reverse(self, level: int, digit: int, node: NodeId) -> None:
+        """Record that ``node`` has us as its ``(level, digit)`` primary
+        neighbor (the paper's ``R_x(i, j)``)."""
+        self._check_position(level, digit)
+        self._reverse.setdefault((level, digit), set()).add(node)
+
+    def remove_reverse(self, level: int, digit: int, node: NodeId) -> None:
+        """Forget that ``node`` points at us at ``(level, digit)``."""
+        bucket = self._reverse.get((level, digit))
+        if bucket is not None:
+            bucket.discard(node)
+            if not bucket:
+                del self._reverse[(level, digit)]
+
+    def remove_reverse_everywhere(self, node: NodeId) -> None:
+        """Forget ``node`` from every reverse-neighbor set (it left)."""
+        for position in list(self._reverse):
+            self.remove_reverse(position[0], position[1], node)
+
+    def reverse_positions(self) -> List[Tuple[int, int]]:
+        """Positions with at least one reverse neighbor recorded."""
+        return sorted(self._reverse)
+
+    def reverse_neighbors(self, level: int, digit: int) -> Set[NodeId]:
+        """Nodes recorded as pointing at us at ``(level, digit)`` (copy)."""
+        return set(self._reverse.get((level, digit), ()))
+
+    def all_reverse_neighbors(self) -> Set[NodeId]:
+        """Every recorded reverse neighbor, excluding the owner."""
+        out: Set[NodeId] = set()
+        for bucket in self._reverse.values():
+            out |= bucket
+        out.discard(self.owner)
+        return out
+
+    # -- iteration / snapshots ------------------------------------------
+
+    def entries(self) -> Iterator[TableEntry]:
+        """All filled entries (order deterministic: by position)."""
+        for (level, digit) in sorted(self._entries):
+            node, state = self._entries[(level, digit)]
+            yield TableEntry(level, digit, node, state)
+
+    def entries_at_level(self, level: int) -> List[TableEntry]:
+        """Filled entries at ``level``, in digit order."""
+        out = []
+        for digit in range(self.base):
+            cell = self._entries.get((level, digit))
+            if cell is not None:
+                out.append(TableEntry(level, digit, cell[0], cell[1]))
+        return out
+
+    def filled_count(self) -> int:
+        """Number of filled entries."""
+        return len(self._entries)
+
+    def distinct_neighbors(self) -> Set[NodeId]:
+        """The distinct nodes stored anywhere in the table."""
+        return {node for node, _ in self._entries.values()}
+
+    def snapshot(self) -> TableSnapshot:
+        """Immutable copy of the filled entries, for message payloads."""
+        return tuple(self.entries())
+
+    def snapshot_levels(self, low: int, high: int) -> TableSnapshot:
+        """Entries with ``low <= level <= high`` (Section 6.2 reduction:
+        a JoinNotiMsg only needs levels noti_level..csuf)."""
+        return tuple(
+            entry for entry in self.entries() if low <= entry.level <= high
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def format_table(table: NeighborTable, only_levels: Optional[int] = None) -> str:
+    """Render a table in the style of the paper's Figure 1.
+
+    Levels are printed highest first; each cell shows the neighbor's ID
+    (with the entry's desired suffix to the right of the grid implied by
+    the row/column position).  Empty cells are dashes.
+    """
+    owner = table.owner
+    levels = table.num_levels if only_levels is None else only_levels
+    width = owner.num_digits
+    header_cells = " ".join(
+        f"level {i}".center(width + 4) for i in range(levels - 1, -1, -1)
+    )
+    lines = [f"Neighbor table of node {owner}  (b={table.base}, d={table.num_levels})"]
+    lines.append("     " + header_cells)
+    for digit in range(table.base):
+        row = []
+        for level in range(levels - 1, -1, -1):
+            node = table.get(level, digit)
+            cell = str(node) if node is not None else "-" * width
+            marker = "*" if node == owner else " "
+            row.append(f"{cell}{marker}".center(width + 4))
+        lines.append(f"  {digit:>2} " + " ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Discrete event simulation engine.
+
+The paper evaluates the join protocol "in detail in an event-driven
+simulator" (Section 5.2).  This package provides that substrate:
+
+* :class:`~repro.sim.events.EventQueue` -- a stable priority queue of
+  timestamped events.
+* :class:`~repro.sim.scheduler.Simulator` -- the virtual clock and run
+  loop.
+* :mod:`~repro.sim.rng` -- seeded random-stream management so every
+  experiment is reproducible.
+* :mod:`~repro.sim.trace` -- lightweight tracing/statistics hooks.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngFactory
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RngFactory",
+    "Simulator",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,97 @@
+"""Timestamped events and the event queue.
+
+Events are ordered by ``(time, sequence)`` where the sequence number is
+assigned at scheduling time; ties in virtual time therefore fire in
+FIFO order, which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    ``fire()`` invokes the action unless the event has been cancelled.
+    Cancellation is lazy: the entry stays in the heap and is skipped when
+    popped.
+    """
+
+    __slots__ = ("time", "seq", "action", "payload", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[..., None],
+        payload: Any = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.payload = payload
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the action unless the event was cancelled."""
+        if self.cancelled:
+            return
+        if self.payload is None:
+            self.action()
+        else:
+            self.action(self.payload)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}{state})"
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self,
+        time: float,
+        action: Callable[..., None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at virtual time ``time``; returns the event."""
+        event = Event(time, next(self._counter), action, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

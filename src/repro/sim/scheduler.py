@@ -1,0 +1,111 @@
+"""The simulator: virtual clock plus run loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling mistakes (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A discrete event simulator with a floating-point virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.0, some_callback)
+        sim.run()
+
+    ``run`` drains the queue (optionally up to a time or event limit);
+    time advances only when events fire, so an empty queue means the
+    simulated system has quiesced.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self._queue.push(self._now + delay, action, payload)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, now is {self._now}"
+            )
+        return self._queue.push(time, action, payload)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Fire events until the queue drains (or a limit is reached).
+
+        Returns the number of events fired by this call.  ``until`` is an
+        inclusive virtual-time bound; ``max_events`` bounds the number of
+        events fired (useful as a watchdog in tests).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.fire()
+                fired += 1
+                self._events_fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._queue:
+            # Advance the clock to the bound so repeated bounded runs
+            # observe monotonic time.
+            self._now = until
+        return fired
+
+    def quiesced(self) -> bool:
+        """True when no live events remain."""
+        return not self._queue

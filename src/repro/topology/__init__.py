@@ -1,0 +1,47 @@
+"""Network topology substrate.
+
+The paper's simulations use the GT-ITM package to generate router
+topologies (8320 routers) and attach end-hosts to routers at random
+(Section 5.2).  GT-ITM's ``ts`` model is the *transit-stub* model, which
+this package implements from scratch:
+
+* :mod:`~repro.topology.graph` -- a small weighted-graph library with
+  Dijkstra and connectivity checks.
+* :mod:`~repro.topology.transit_stub` -- the transit-stub generator.
+  The default parameterization (5 transit domains x 8 routers, 9 stubs
+  per transit router, 23 routers per stub) yields exactly 8320 routers,
+  matching the paper.
+* :mod:`~repro.topology.latency` -- exact hierarchical shortest-path
+  latencies between routers (stubs are single-homed, so intra-stub APSP
+  + transit-core APSP compose exactly).
+* :mod:`~repro.topology.attachment` -- end-host attachment and the
+  latency models consumed by the transport layer.
+"""
+
+from repro.topology.attachment import (
+    ConstantLatencyModel,
+    HostAttachment,
+    LatencyModel,
+    TopologyLatencyModel,
+    UniformLatencyModel,
+)
+from repro.topology.graph import Graph
+from repro.topology.latency import HierarchicalLatency
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    TransitStubTopology,
+    generate_transit_stub,
+)
+
+__all__ = [
+    "ConstantLatencyModel",
+    "Graph",
+    "HierarchicalLatency",
+    "HostAttachment",
+    "LatencyModel",
+    "TopologyLatencyModel",
+    "TransitStubParams",
+    "TransitStubTopology",
+    "UniformLatencyModel",
+    "generate_transit_stub",
+]

@@ -1,0 +1,122 @@
+"""End-host attachment and latency models.
+
+The transport layer (:mod:`repro.network.transport`) only needs a
+``latency(src, dst)`` function over opaque host keys.  Three models are
+provided:
+
+* :class:`TopologyLatencyModel` -- hosts attached to random stub routers
+  of a transit-stub topology (the paper's setup: "nodes (end-hosts) are
+  attached to the routers randomly").
+* :class:`UniformLatencyModel` -- i.i.d. uniform latencies, cheap and
+  adequate for unit tests that only need asynchrony.
+* :class:`ConstantLatencyModel` -- deterministic fixed delay, useful for
+  tests that need exact event orderings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.topology.latency import HierarchicalLatency
+from repro.topology.transit_stub import TransitStubTopology
+
+HostKey = Hashable
+
+
+class LatencyModel:
+    """Interface: one-way message latency between two hosts."""
+
+    def latency(self, src: HostKey, dst: HostKey) -> float:
+        """One-way delay from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+
+class ConstantLatencyModel(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0):
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = delay
+
+    def latency(self, src: HostKey, dst: HostKey) -> float:
+        """The fixed delay, for any pair."""
+        return self.delay
+
+
+class UniformLatencyModel(LatencyModel):
+    """Independent uniform latency per message (memoryless jitter).
+
+    Models an asynchronous network without topology structure; each
+    call draws a fresh value, so even the same pair varies per message.
+    """
+
+    def __init__(self, rng: random.Random, low: float = 1.0, high: float = 100.0):
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self._rng = rng
+        self.low = low
+        self.high = high
+
+    def latency(self, src: HostKey, dst: HostKey) -> float:
+        """A fresh uniform draw (per message, not per pair)."""
+        return self._rng.uniform(self.low, self.high)
+
+
+class HostAttachment:
+    """Maps end-hosts to the stub routers they attach to."""
+
+    def __init__(
+        self,
+        topology: TransitStubTopology,
+        hosts: Iterable[HostKey],
+        rng: random.Random,
+        access_latency: Tuple[float, float] = (0.5, 2.0),
+    ):
+        stub_routers = topology.stub_routers
+        low, high = access_latency
+        self._router_of: Dict[HostKey, int] = {}
+        self._access: Dict[HostKey, float] = {}
+        for host in hosts:
+            self._router_of[host] = rng.choice(stub_routers)
+            self._access[host] = rng.uniform(low, high)
+
+    def router_of(self, host: HostKey) -> int:
+        """The stub router ``host`` attaches to."""
+        return self._router_of[host]
+
+    def access_latency(self, host: HostKey) -> float:
+        """``host``'s access-link latency."""
+        return self._access[host]
+
+    def add_host(
+        self, host: HostKey, router: int, access_latency: float
+    ) -> None:
+        """Attach one more host explicitly (tests and incremental setups)."""
+        self._router_of[host] = router
+        self._access[host] = access_latency
+
+    @property
+    def hosts(self) -> List[HostKey]:
+        return list(self._router_of)
+
+
+class TopologyLatencyModel(LatencyModel):
+    """Latency = access(src) + router path + access(dst) on a topology."""
+
+    def __init__(
+        self,
+        topology: TransitStubTopology,
+        attachment: HostAttachment,
+    ):
+        self._attachment = attachment
+        self._paths = HierarchicalLatency(topology)
+
+    def latency(self, src: HostKey, dst: HostKey) -> float:
+        """Access link + router shortest path + access link."""
+        if src == dst:
+            return 0.0
+        att = self._attachment
+        router_path = self._paths.latency(att.router_of(src), att.router_of(dst))
+        return att.access_latency(src) + router_path + att.access_latency(dst)

@@ -1,0 +1,116 @@
+"""A small weighted undirected graph with shortest-path routines.
+
+Kept deliberately minimal: the transit-stub generator only needs edge
+insertion, connectivity repair, and single-source Dijkstra over graphs
+of at most a few dozen nodes per component.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+
+class Graph:
+    """Weighted undirected graph over hashable node labels."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[int, Dict[int, float]] = {}
+
+    def add_node(self, node: int) -> None:
+        """Ensure ``node`` exists (no-op if present)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add/update an undirected edge, keeping the minimum weight."""
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        if weight <= 0:
+            raise ValueError("edge weights must be positive")
+        self.add_node(u)
+        self.add_node(v)
+        existing = self._adj[u].get(v)
+        if existing is None or weight < existing:
+            self._adj[u][v] = weight
+            self._adj[v][u] = weight
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff an edge ``{u, v}`` exists."""
+        return v in self._adj.get(u, ())
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of the edge ``{u, v}`` (KeyError if absent)."""
+        return self._adj[u][v]
+
+    def neighbors(self, u: int) -> Iterable[int]:
+        """Adjacent nodes of ``u``."""
+        return self._adj.get(u, {}).keys()
+
+    @property
+    def nodes(self) -> List[int]:
+        return list(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate edges once each as ``(u, v, weight)`` with u < v."""
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u < v:
+                    yield (u, v, w)
+
+    def dijkstra(self, source: int) -> Dict[int, float]:
+        """Single-source shortest path distances."""
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        done: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            for v, w in self._adj[u].items():
+                nd = d + w
+                if v not in dist or nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def is_connected(self) -> bool:
+        """True iff every node is reachable from every other."""
+        if not self._adj:
+            return True
+        start = next(iter(self._adj))
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == len(self._adj)
+
+    def components(self) -> List[Set[int]]:
+        """Connected components as sets of nodes."""
+        remaining = set(self._adj)
+        out: List[Set[int]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            out.append(seen)
+            remaining -= seen
+        return out

@@ -1,0 +1,198 @@
+"""Transit-stub topology generation (GT-ITM ``ts`` model, from scratch).
+
+Structure: a core of *transit domains*, each a connected random graph of
+transit routers; domains are pairwise linked by inter-domain edges.
+Each transit router hosts several *stub domains* -- small connected
+random graphs of stub routers -- attached through a single gateway edge
+(single-homed stubs, which makes hierarchical shortest-path composition
+exact; see :mod:`repro.topology.latency`).
+
+Edge latencies follow the usual transit-stub calibration: intra-stub
+links are fast, stub-to-transit gateways slower, intra-transit-domain
+slower still, and inter-domain links slowest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Graph
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Parameters of the generator.
+
+    The defaults yield ``5*8 + 5*8*9*23 = 8320`` routers, the router
+    count used in the paper's Figure 15(b) simulations.
+    """
+
+    num_transit_domains: int = 5
+    transit_domain_size: int = 8
+    stubs_per_transit_router: int = 9
+    stub_size: int = 23
+    intra_domain_edge_prob: float = 0.5
+    intra_stub_edge_prob: float = 0.4
+    # Latency ranges in milliseconds [low, high).
+    stub_edge_latency: Tuple[float, float] = (1.0, 5.0)
+    gateway_latency: Tuple[float, float] = (5.0, 15.0)
+    transit_edge_latency: Tuple[float, float] = (10.0, 20.0)
+    inter_domain_latency: Tuple[float, float] = (30.0, 50.0)
+
+    @property
+    def num_transit_routers(self) -> int:
+        return self.num_transit_domains * self.transit_domain_size
+
+    @property
+    def num_stub_domains(self) -> int:
+        return self.num_transit_routers * self.stubs_per_transit_router
+
+    @property
+    def num_routers(self) -> int:
+        return self.num_transit_routers + self.num_stub_domains * self.stub_size
+
+
+@dataclass
+class StubDomain:
+    """One stub domain: its routers, internal graph, and gateway."""
+
+    index: int
+    routers: List[int]
+    graph: Graph
+    gateway_stub_router: int
+    gateway_transit_router: int
+    gateway_latency: float
+
+
+@dataclass
+class TransitStubTopology:
+    """The generated topology.
+
+    ``core`` contains every transit router and all intra/inter-domain
+    edges.  ``stub_of`` maps a stub router to its :class:`StubDomain`.
+    """
+
+    params: TransitStubParams
+    core: Graph
+    transit_routers: List[int]
+    stubs: List[StubDomain]
+    stub_of: Dict[int, StubDomain] = field(default_factory=dict)
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.transit_routers) + sum(
+            len(s.routers) for s in self.stubs
+        )
+
+    @property
+    def stub_routers(self) -> List[int]:
+        out: List[int] = []
+        for stub in self.stubs:
+            out.extend(stub.routers)
+        return out
+
+    def is_transit(self, router: int) -> bool:
+        """True iff ``router`` is a transit (core) router."""
+        return router < len(self.transit_routers)
+
+
+def _connected_random_graph(
+    nodes: List[int],
+    edge_prob: float,
+    latency_range: Tuple[float, float],
+    rng: random.Random,
+) -> Graph:
+    """A connected Erdos-Renyi-style graph: a random spanning tree plus
+    independent extra edges with probability ``edge_prob``."""
+    graph = Graph()
+    for node in nodes:
+        graph.add_node(node)
+    low, high = latency_range
+    # Random spanning tree guarantees connectivity.
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    for i in range(1, len(shuffled)):
+        parent = shuffled[rng.randrange(i)]
+        graph.add_edge(shuffled[i], parent, rng.uniform(low, high))
+    # Extra edges for realism (multiple internal routes).
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if not graph.has_edge(u, v) and rng.random() < edge_prob:
+                graph.add_edge(u, v, rng.uniform(low, high))
+    return graph
+
+
+def generate_transit_stub(
+    params: TransitStubParams, rng: random.Random
+) -> TransitStubTopology:
+    """Generate a transit-stub topology.
+
+    Router IDs are dense integers: transit routers first (grouped by
+    domain), then stub routers (grouped by stub domain).
+    """
+    if params.transit_domain_size < 1 or params.stub_size < 1:
+        raise ValueError("domains must be non-empty")
+
+    next_id = 0
+    core = Graph()
+    transit_routers: List[int] = []
+    domains: List[List[int]] = []
+    for _ in range(params.num_transit_domains):
+        domain = list(range(next_id, next_id + params.transit_domain_size))
+        next_id += params.transit_domain_size
+        transit_routers.extend(domain)
+        domains.append(domain)
+        internal = _connected_random_graph(
+            domain,
+            params.intra_domain_edge_prob,
+            params.transit_edge_latency,
+            rng,
+        )
+        for u, v, w in internal.edges():
+            core.add_edge(u, v, w)
+        if len(domain) == 1:
+            core.add_node(domain[0])
+
+    # Pairwise inter-domain links keep the core diameter small, as in
+    # GT-ITM's default of a connected top-level domain graph.
+    low, high = params.inter_domain_latency
+    for i in range(len(domains)):
+        for j in range(i + 1, len(domains)):
+            u = rng.choice(domains[i])
+            v = rng.choice(domains[j])
+            core.add_edge(u, v, rng.uniform(low, high))
+
+    stubs: List[StubDomain] = []
+    stub_of: Dict[int, StubDomain] = {}
+    glow, ghigh = params.gateway_latency
+    for transit_router in transit_routers:
+        for _ in range(params.stubs_per_transit_router):
+            routers = list(range(next_id, next_id + params.stub_size))
+            next_id += params.stub_size
+            graph = _connected_random_graph(
+                routers,
+                params.intra_stub_edge_prob,
+                params.stub_edge_latency,
+                rng,
+            )
+            stub = StubDomain(
+                index=len(stubs),
+                routers=routers,
+                graph=graph,
+                gateway_stub_router=rng.choice(routers),
+                gateway_transit_router=transit_router,
+                gateway_latency=rng.uniform(glow, ghigh),
+            )
+            stubs.append(stub)
+            for router in routers:
+                stub_of[router] = stub
+
+    return TransitStubTopology(
+        params=params,
+        core=core,
+        transit_routers=transit_routers,
+        stubs=stubs,
+        stub_of=stub_of,
+    )

@@ -1,0 +1,75 @@
+"""Unit tests for combinatorial helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.combinatorics import (
+    comb_exact,
+    comb_ratio,
+    log_comb,
+    log_comb_ratio,
+)
+
+
+class TestLogComb:
+    def test_matches_exact_small(self):
+        for n in range(1, 20):
+            for k in range(n + 1):
+                assert log_comb(n, k) == pytest.approx(
+                    math.log(comb_exact(n, k)), abs=1e-9
+                )
+
+    def test_out_of_range_is_neg_inf(self):
+        assert log_comb(5, 6) == float("-inf")
+        assert log_comb(5, -1) == float("-inf")
+
+
+class TestLogCombRatio:
+    def test_matches_exact_small(self):
+        for a in range(1, 15):
+            for n in range(a, 18):
+                for k in range(0, a + 1):
+                    expected = math.log(comb_exact(a, k) / comb_exact(n, k))
+                    assert log_comb_ratio(a, n, k) == pytest.approx(
+                        expected, abs=1e-9
+                    )
+
+    def test_zero_when_a_equals_n(self):
+        assert log_comb_ratio(100, 100, 7) == 0.0
+
+    def test_neg_inf_when_k_exceeds_a(self):
+        assert log_comb_ratio(3, 10, 5) == float("-inf")
+
+    def test_large_k_numpy_path_matches_python_path(self):
+        # k >= 64 goes through numpy; compare against exact integers.
+        a, n, k = 500, 900, 100
+        expected = math.log(comb_exact(a, k)) - math.log(comb_exact(n, k))
+        assert log_comb_ratio(a, n, k) == pytest.approx(expected, rel=1e-10)
+
+    def test_astronomical_upper_indices(self):
+        """The b=16, d=40 regime: upper indices near 16**40."""
+        n_total = 16**40 - 1
+        a = 16**40 - 16**39
+        value = log_comb_ratio(a, n_total, 100_000)
+        # P(no node shares >= 1 digit) = (15/16)^100000 approximately.
+        assert value == pytest.approx(100_000 * math.log(15 / 16), rel=1e-9)
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            log_comb_ratio(10, 5, 2)  # a > n
+        with pytest.raises(ValueError):
+            log_comb_ratio(5, 10, 11)  # k > n
+        with pytest.raises(ValueError):
+            log_comb_ratio(-1, 10, 2)
+
+
+class TestCombRatio:
+    def test_in_unit_interval(self):
+        assert 0.0 <= comb_ratio(50, 100, 10) <= 1.0
+
+    def test_zero_when_impossible(self):
+        assert comb_ratio(3, 10, 5) == 0.0
+
+    def test_one_when_equal(self):
+        assert comb_ratio(10, 10, 5) == 1.0

@@ -1,0 +1,166 @@
+"""Theorems 4 and 5: the expected-cost model.
+
+Includes the headline validation: our closed form reproduces the
+paper's printed Theorem 5 bounds (8.001 twice for n=3096 and 6.986
+twice for n=7192) to three decimals, and the literal Theorem 4 sum
+agrees with the Vandermonde closed form exactly on small parameters.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.expected_cost import (
+    expected_join_noti,
+    expected_join_noti_upper_bound,
+    level_distribution,
+    level_distribution_naive,
+    theorem3_bound,
+)
+from repro.ids.idspace import IdSpace
+
+
+class TestLevelDistribution:
+    def test_sums_to_one(self):
+        for n, b, d in [(10, 4, 5), (100, 16, 8), (3096, 16, 8), (50, 2, 10)]:
+            dist = level_distribution(n, b, d)
+            assert sum(dist) == pytest.approx(1.0, abs=1e-9)
+            assert all(p >= -1e-12 for p in dist)
+
+    def test_closed_form_equals_naive_sum(self):
+        for n, b, d in [(5, 2, 4), (20, 4, 4), (50, 4, 5), (30, 8, 3)]:
+            closed = level_distribution(n, b, d)
+            naive = level_distribution_naive(n, b, d)
+            for p_closed, p_naive in zip(closed, naive):
+                assert p_closed == pytest.approx(p_naive, abs=1e-12)
+
+    def test_monte_carlo_agreement(self):
+        """The distribution is the law of the max-shared-suffix length
+        of n random distinct IDs vs a fixed joiner."""
+        b, d, n = 4, 4, 10
+        space = IdSpace(b, d)
+        rng = random.Random(0)
+        joiner = space.from_string("0123")
+        trials = 3000
+        histogram = [0] * d
+        for _ in range(trials):
+            others = space.random_unique_ids(n, rng, exclude=[joiner])
+            best = max(joiner.csuf_len(o) for o in others)
+            histogram[best] += 1
+        dist = level_distribution(n, b, d)
+        for level in range(d):
+            assert histogram[level] / trials == pytest.approx(
+                dist[level], abs=0.03
+            )
+
+    def test_mass_concentrates_near_log_b_n(self):
+        dist = level_distribution(4096, 16, 8)
+        # log_16(4096) = 3: levels 2-4 should hold nearly all the mass.
+        assert sum(dist[2:5]) > 0.9
+
+    def test_huge_d_regime(self):
+        """b=16, d=40 must not overflow or lose mass."""
+        dist = level_distribution(100_000, 16, 40)
+        assert sum(dist) == pytest.approx(1.0, abs=1e-6)
+        # Levels far above log_16(100000) ~ 4.2 carry ~no mass
+        # (P(some node shares 10 digits) ~ n/16^10 ~ 1e-7).
+        assert sum(dist[10:]) < 1e-6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            level_distribution(0, 4, 4)
+        with pytest.raises(ValueError):
+            level_distribution(16, 2, 4)  # n > b^d - 1
+        with pytest.raises(ValueError):
+            level_distribution(5, 1, 4)
+
+
+class TestTheorem4:
+    def test_expected_join_noti_positive(self):
+        assert expected_join_noti(3096, 16, 8) > 0
+
+    def test_sawtooth_in_n(self):
+        """E(J) is non-monotone in n: notification sets grow toward
+        each power of b, then collapse past it."""
+        values = [
+            expected_join_noti(n, 16, 8)
+            for n in (1000, 4000, 16000, 60000)
+        ]
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        assert any(d > 0 for d in diffs)
+        assert any(d < 0 for d in diffs)
+        assert all(2.0 < v < 10.0 for v in values)
+
+    def test_monte_carlo_single_join(self):
+        """Simulated JoinNotiMsg count for single joins matches E(J)."""
+        from repro.protocol.join import JoinProtocolNetwork
+        from repro.topology.attachment import UniformLatencyModel
+
+        b, d, n = 4, 5, 40
+        space = IdSpace(b, d)
+        totals = []
+        for seed in range(30):
+            rng = random.Random(seed)
+            ids = space.random_unique_ids(n + 1, rng)
+            net = JoinProtocolNetwork.from_oracle(
+                space,
+                ids[:n],
+                latency_model=UniformLatencyModel(random.Random(seed)),
+                seed=seed,
+            )
+            net.start_join(ids[n], at=0.0)
+            net.run()
+            assert net.check_consistency().consistent
+            totals.append(net.stats.sent_by(ids[n], "JoinNotiMsg"))
+        measured = sum(totals) / len(totals)
+        predicted = expected_join_noti(n, b, d)
+        # 30 trials: allow generous but meaningful tolerance.
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+
+class TestTheorem5:
+    def test_paper_printed_bounds(self):
+        """The paper reports 8.001, 8.001, 6.986, 6.986 for its four
+        Figure 15(b) configurations."""
+        assert expected_join_noti_upper_bound(3096, 1000, 16, 8) == pytest.approx(
+            8.001, abs=5e-4
+        )
+        assert expected_join_noti_upper_bound(3096, 1000, 16, 40) == pytest.approx(
+            8.001, abs=5e-4
+        )
+        assert expected_join_noti_upper_bound(7192, 1000, 16, 8) == pytest.approx(
+            6.986, abs=5e-4
+        )
+        assert expected_join_noti_upper_bound(7192, 1000, 16, 40) == pytest.approx(
+            6.986, abs=5e-4
+        )
+
+    def test_bound_dominates_theorem4(self):
+        for n in (1000, 3096, 7192):
+            assert expected_join_noti_upper_bound(
+                n, 1, 16, 8
+            ) > expected_join_noti(n, 16, 8)
+
+    def test_bound_increases_with_m(self):
+        assert expected_join_noti_upper_bound(
+            3096, 2000, 16, 8
+        ) > expected_join_noti_upper_bound(3096, 500, 16, 8)
+
+    def test_bound_nearly_independent_of_d_beyond_log_n(self):
+        """Figure 15(a): the d=8 and d=40 curves coincide."""
+        for n in (10_000, 50_000, 100_000):
+            assert expected_join_noti_upper_bound(
+                n, 500, 16, 8
+            ) == pytest.approx(
+                expected_join_noti_upper_bound(n, 500, 16, 40), abs=1e-4
+            )
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            expected_join_noti_upper_bound(100, 0, 16, 8)
+
+
+class TestTheorem3Bound:
+    def test_value(self):
+        assert theorem3_bound(8) == 9

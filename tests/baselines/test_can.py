@@ -1,0 +1,101 @@
+"""Tests for the CAN torus baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.can import CanNetwork, _grid_sides
+from repro.ids.idspace import IdSpace
+
+
+def overlay(count=40, dims=2, seed=0):
+    space = IdSpace(16, 6)
+    members = space.random_unique_ids(count, random.Random(seed))
+    return space, members, CanNetwork(
+        members, dims=dims, rng=random.Random(seed + 1)
+    )
+
+
+class TestGrid:
+    def test_grid_sides_cover_members(self):
+        for n in (1, 2, 7, 16, 50, 100):
+            for dims in (1, 2, 3):
+                sides = _grid_sides(n, dims)
+                assert math.prod(sides) >= n
+                assert len(sides) == dims
+
+    def test_every_cell_owned(self):
+        space, members, net = overlay()
+        assert set(net.owner_of_cell.values()) <= set(members)
+        # Balanced construction: every member owns at least one cell.
+        assert set(net.owner_of_cell.values()) == set(members)
+
+    def test_neighbors_symmetricish(self):
+        """Torus adjacency of zones: if A lists B, B lists A."""
+        space, members, net = overlay(seed=2)
+        for member in members:
+            for neighbor in net.neighbors[member]:
+                assert member in net.neighbors[neighbor]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            CanNetwork([])
+        space = IdSpace(16, 6)
+        with pytest.raises(ValueError):
+            CanNetwork(space.random_unique_ids(3, random.Random(0)), dims=0)
+
+
+class TestLookup:
+    def test_reaches_owner(self):
+        space, members, net = overlay(count=50, seed=3)
+        rng = random.Random(3)
+        for _ in range(50):
+            origin = rng.choice(members)
+            key = space.from_int(rng.randrange(space.size))
+            result = net.lookup(origin, key)
+            assert result.success
+            assert result.path[-1] == net.owner_of_point(
+                net.point_of_key(key)
+            )
+
+    def test_key_mapping_deterministic(self):
+        space, members, net = overlay(seed=4)
+        key = space.from_int(12345)
+        assert net.point_of_key(key) == net.point_of_key(key)
+        point = net.point_of_key(key)
+        assert all(0.0 <= coordinate < 1.0 for coordinate in point)
+
+    def test_single_member(self):
+        space = IdSpace(16, 6)
+        node = space.from_int(7)
+        net = CanNetwork([node], dims=2)
+        result = net.lookup(node, space.from_int(999))
+        assert result.success and result.path == [node]
+
+    def test_footnote2_hop_scaling(self):
+        """Footnote 2: CAN resolves in O(d n^{1/d}) hops -- for d=2
+        hops grow like sqrt(n), much faster than Chord's log n."""
+        space = IdSpace(16, 6)
+        rng = random.Random(9)
+        means = {}
+        for n in (25, 100, 400):
+            members = space.random_unique_ids(n, rng)
+            net = CanNetwork(members, dims=2, rng=random.Random(n))
+            pairs = [
+                (rng.choice(members), space.from_int(rng.randrange(space.size)))
+                for _ in range(80)
+            ]
+            means[n] = net.mean_lookup_hops(pairs)
+        # Quadrupling n should roughly double hops (sqrt scaling);
+        # allow generous slack but rule out logarithmic flatness.
+        assert means[100] > means[25] * 1.3
+        assert means[400] > means[100] * 1.3
+
+    def test_three_dimensions(self):
+        space, members, net = overlay(count=60, dims=3, seed=5)
+        rng = random.Random(5)
+        for _ in range(20):
+            origin = rng.choice(members)
+            key = space.from_int(rng.randrange(space.size))
+            assert net.lookup(origin, key).success

@@ -1,0 +1,119 @@
+"""Tests for the Chord ring baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.chord import ChordNetwork, _in_half_open
+from repro.ids.idspace import IdSpace
+
+
+def ring(count=30, seed=0, base=16, digits=4):
+    space = IdSpace(base, digits)
+    members = space.random_unique_ids(count, random.Random(seed))
+    return space, members, ChordNetwork(members)
+
+
+class TestIntervals:
+    def test_plain_interval(self):
+        assert _in_half_open(5, 3, 7, 16)
+        assert _in_half_open(7, 3, 7, 16)
+        assert not _in_half_open(3, 3, 7, 16)
+        assert not _in_half_open(9, 3, 7, 16)
+
+    def test_wrapping_interval(self):
+        assert _in_half_open(15, 12, 4, 16)
+        assert _in_half_open(2, 12, 4, 16)
+        assert not _in_half_open(8, 12, 4, 16)
+
+    def test_full_circle(self):
+        assert _in_half_open(9, 5, 5, 16)
+
+
+class TestConstruction:
+    def test_successors_form_sorted_ring(self):
+        space, members, net = ring(seed=1)
+        ordered = sorted(members, key=lambda n: n.to_int())
+        for i, node_id in enumerate(ordered):
+            expected = ordered[(i + 1) % len(ordered)]
+            assert net.nodes[node_id].successor == expected
+
+    def test_fingers_point_at_correct_successors(self):
+        space, members, net = ring(seed=2)
+        node_id = members[0]
+        own = node_id.to_int()
+        for finger in net.nodes[node_id].fingers:
+            assert finger in net.nodes
+
+    def test_successor_of_key(self):
+        space, members, net = ring(seed=3)
+        rng = random.Random(3)
+        ordered = sorted(members, key=lambda n: n.to_int())
+        for _ in range(30):
+            key = space.from_int(rng.randrange(space.size))
+            owner = net.successor_of(key)
+            # Brute-force ground truth.
+            expected = min(
+                ordered,
+                key=lambda n: (n.to_int() - key.to_int()) % space.size,
+            )
+            assert owner == expected
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ChordNetwork([])
+
+    def test_single_node_ring(self):
+        space = IdSpace(16, 4)
+        node = space.from_int(5)
+        net = ChordNetwork([node])
+        assert net.nodes[node].successor == node
+        result = net.lookup(node, space.from_int(1000))
+        assert result.success
+        assert result.path == [node]
+
+
+class TestLookup:
+    def test_lookup_finds_responsible_node(self):
+        space, members, net = ring(count=50, seed=4)
+        rng = random.Random(4)
+        for _ in range(50):
+            origin = rng.choice(members)
+            key = space.from_int(rng.randrange(space.size))
+            result = net.lookup(origin, key)
+            assert result.success
+            assert result.path[-1] == net.successor_of(key)
+
+    def test_lookup_hops_logarithmic(self):
+        space, members, net = ring(count=60, seed=5, digits=5)
+        rng = random.Random(5)
+        hops = []
+        for _ in range(100):
+            origin = rng.choice(members)
+            key = space.from_int(rng.randrange(space.size))
+            result = net.lookup(origin, key)
+            hops.append(result.hops)
+        # Chord's bound: O(log n); generous constant for small rings.
+        import math
+
+        assert max(hops) <= 3 * math.log2(len(members)) + 3
+
+    def test_lookup_origin_is_owner(self):
+        space, members, net = ring(seed=6)
+        origin = members[0]
+        # A key the origin itself owns: its predecessor's range end.
+        key = origin
+        result = net.lookup(origin, key)
+        assert result.success
+        assert result.path[-1] == origin
+
+    def test_lookup_stats(self):
+        space, members, net = ring(count=40, seed=7)
+        rng = random.Random(7)
+        pairs = [
+            (rng.choice(members), space.from_int(rng.randrange(space.size)))
+            for _ in range(30)
+        ]
+        mean_hops, mean_stretch = net.lookup_stats(pairs)
+        assert mean_hops > 0
+        assert mean_stretch is None

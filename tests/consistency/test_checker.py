@@ -1,0 +1,108 @@
+"""Unit tests for the Definition 3.8 consistency checker."""
+
+import random
+
+from repro.consistency.checker import check_consistency
+from repro.ids.idspace import IdSpace
+from repro.routing.entry import NeighborState
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.table import NeighborTable
+
+SPACE = IdSpace(4, 4)
+
+
+def consistent_tables(count=20, seed=0):
+    ids = SPACE.random_unique_ids(count, random.Random(seed))
+    return ids, build_consistent_tables(ids, random.Random(seed))
+
+
+class TestChecker:
+    def test_oracle_network_is_consistent(self):
+        ids, tables = consistent_tables()
+        report = check_consistency(tables)
+        assert report.consistent
+        assert report.violations == []
+        assert report.nodes_checked == len(ids)
+        assert report.entries_checked == len(ids) * 4 * 4
+
+    def test_detects_false_negative(self):
+        ids, tables = consistent_tables(seed=1)
+        # Blank out a non-self entry of the first node.
+        table = tables[ids[0]]
+        victim = next(
+            e for e in table.entries() if e.node != ids[0]
+        )
+        fresh = NeighborTable(ids[0])
+        for e in table.entries():
+            if (e.level, e.digit) != (victim.level, victim.digit):
+                fresh.set_entry(e.level, e.digit, e.node, e.state)
+        tables[ids[0]] = fresh
+        report = check_consistency(tables)
+        assert not report.consistent
+        assert report.by_kind().get("false_negative", 0) >= 1
+
+    def test_detects_false_positive(self):
+        # A node points at an ID that is not in the network.
+        a = SPACE.from_string("0000")
+        ghost = SPACE.from_string("3211")
+        tables = build_consistent_tables([a])
+        tables[a].set_entry(0, 1, ghost, NeighborState.S)
+        report = check_consistency(tables)
+        assert not report.consistent
+        assert report.by_kind().get("false_positive", 0) == 1
+
+    def test_detects_bad_occupant_not_member(self):
+        ids, tables = consistent_tables(seed=3)
+        outsider = next(
+            candidate
+            for candidate in (
+                SPACE.from_int(v) for v in range(SPACE.size)
+            )
+            if candidate not in set(ids)
+        )
+        # Insert the outsider where its suffix fits.
+        owner = ids[0]
+        k = owner.csuf_len(outsider)
+        fresh = NeighborTable(owner)
+        for e in tables[owner].entries():
+            if (e.level, e.digit) != (k, outsider.digit(k)):
+                fresh.set_entry(e.level, e.digit, e.node, e.state)
+        fresh.set_entry(k, outsider.digit(k), outsider, NeighborState.S)
+        tables[owner] = fresh
+        report = check_consistency(tables)
+        assert not report.consistent
+        kinds = report.by_kind()
+        # Either flagged as non-member occupant, or (if no member had
+        # that suffix) as a false positive.
+        assert kinds.get("bad_occupant", 0) + kinds.get("false_positive", 0) >= 1
+
+    def test_detects_stale_t_state(self):
+        ids, tables = consistent_tables(seed=4)
+        table = tables[ids[0]]
+        entry = next(e for e in table.entries() if e.node != ids[0])
+        table.set_state(entry.level, entry.digit, NeighborState.T)
+        report = check_consistency(tables)
+        assert not report.consistent
+        assert report.by_kind() == {"stale_state": 1}
+
+    def test_t_states_allowed_midjoin(self):
+        ids, tables = consistent_tables(seed=5)
+        table = tables[ids[0]]
+        entry = next(e for e in table.entries() if e.node != ids[0])
+        table.set_state(entry.level, entry.digit, NeighborState.T)
+        report = check_consistency(tables, require_s_states=False)
+        assert report.consistent
+
+    def test_max_violations_truncates(self):
+        a = SPACE.from_string("0000")
+        tables = {a: NeighborTable(a)}  # everything missing
+        report = check_consistency(tables, max_violations=2)
+        assert not report.consistent
+        assert len(report.violations) == 2
+
+    def test_violation_str_is_informative(self):
+        a = SPACE.from_string("0000")
+        tables = {a: NeighborTable(a)}
+        report = check_consistency(tables, max_violations=1)
+        text = str(report.violations[0])
+        assert "false_negative" in text

@@ -1,0 +1,70 @@
+"""Unit tests for the reachability verifier (Lemma 3.1)."""
+
+import random
+
+from repro.consistency.checker import check_consistency
+from repro.consistency.verifier import verify_reachability
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.table import NeighborTable
+
+SPACE = IdSpace(4, 4)
+
+
+def consistent_tables(count=15, seed=0):
+    ids = SPACE.random_unique_ids(count, random.Random(seed))
+    return ids, build_consistent_tables(ids, random.Random(seed))
+
+
+class TestVerifier:
+    def test_exhaustive_on_consistent_network(self):
+        ids, tables = consistent_tables()
+        report = verify_reachability(tables)
+        assert report.all_reachable
+        assert report.pairs_checked == len(ids) * (len(ids) - 1)
+        assert report.max_hops <= SPACE.num_digits
+        assert report.failures == []
+
+    def test_sampled_mode(self):
+        ids, tables = consistent_tables(seed=1)
+        report = verify_reachability(
+            tables, sample_pairs=50, rng=random.Random(0)
+        )
+        assert report.all_reachable
+        assert report.pairs_checked == 50
+
+    def test_mean_hops_positive(self):
+        ids, tables = consistent_tables(seed=2)
+        report = verify_reachability(tables)
+        assert 0 < report.mean_hops <= SPACE.num_digits
+
+    def test_lemma31_failure_detected(self):
+        """Breaking condition (a) breaks reachability (Lemma 3.1)."""
+        ids, tables = consistent_tables(seed=3)
+        # Give one node a completely empty table except self-pointers:
+        # other nodes become unreachable FROM it.
+        from repro.routing.entry import NeighborState
+
+        crippled = NeighborTable(ids[0])
+        for level in range(SPACE.num_digits):
+            crippled.set_entry(
+                level, ids[0].digit(level), ids[0], NeighborState.S
+            )
+        tables[ids[0]] = crippled
+        assert not check_consistency(tables).consistent
+        report = verify_reachability(tables, max_failures=5)
+        assert not report.all_reachable
+        assert len(report.failures) >= 1
+
+    def test_single_node_trivially_reachable(self):
+        node = SPACE.from_string("0123")
+        tables = build_consistent_tables([node])
+        report = verify_reachability(tables)
+        assert report.all_reachable
+        assert report.pairs_checked == 0
+
+    def test_sampled_on_tiny_network(self):
+        node = SPACE.from_string("0123")
+        tables = build_consistent_tables([node])
+        report = verify_reachability(tables, sample_pairs=10)
+        assert report.all_reachable

@@ -1,0 +1,113 @@
+"""Unit tests for join classification (Definitions 3.2-3.6)."""
+
+from repro.csettree.classify import (
+    JoiningPeriod,
+    joins_are_concurrent,
+    joins_are_dependent,
+    joins_are_independent,
+    joins_are_sequential,
+    partition_into_dependent_groups,
+)
+from repro.csettree.notification import notification_set
+from repro.ids.idspace import IdSpace
+
+import pytest
+
+SPACE = IdSpace(8, 5)
+V = [SPACE.from_string(s) for s in ["72430", "10353", "62332", "13141", "31701"]]
+
+
+def _id(text):
+    return SPACE.from_string(text)
+
+
+def periods(*spans):
+    return [
+        JoiningPeriod(_id(f"0000{i}"), begin, end)
+        for i, (begin, end) in enumerate(spans)
+    ]
+
+
+class TestTemporalClassification:
+    def test_sequential(self):
+        assert joins_are_sequential(periods((0, 1), (2, 3), (4, 5)))
+
+    def test_not_sequential_when_overlapping(self):
+        assert not joins_are_sequential(periods((0, 2), (1, 3)))
+
+    def test_touching_periods_overlap(self):
+        # [0,1] and [1,2] share the instant 1 -> not sequential.
+        assert not joins_are_sequential(periods((0, 1), (1, 2)))
+
+    def test_concurrent(self):
+        assert joins_are_concurrent(periods((0, 2), (1, 3), (2.5, 4)))
+
+    def test_not_concurrent_with_gap(self):
+        # Coverage gap between 2 and 3 even though each overlaps another.
+        assert not joins_are_concurrent(
+            periods((0, 1), (0.5, 2), (3, 4), (3.5, 5))
+        )
+
+    def test_not_concurrent_with_isolated_period(self):
+        assert not joins_are_concurrent(periods((0, 10), (2, 3), (20, 21)))
+
+    def test_single_join_neither(self):
+        assert not joins_are_sequential(periods((0, 1)))
+        assert not joins_are_concurrent(periods((0, 1)))
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            JoiningPeriod(_id("00000"), 5.0, 1.0)
+
+    def test_overlaps_symmetric(self):
+        a, b = periods((0, 2), (1, 3))
+        assert a.overlaps(b) and b.overlaps(a)
+
+
+class TestDependency:
+    """Uses the paper's Section 3.3 example: 10261 and 00261 share
+    noti-set V_1; 67320 notifies V_0; 11445 notifies V."""
+
+    def notify(self, *names):
+        return {
+            _id(name): notification_set(_id(name), V) for name in names
+        }
+
+    def test_dependent_via_intersection(self):
+        sets = self.notify("10261", "00261")
+        assert joins_are_dependent(sets)
+        assert not joins_are_independent(sets)
+
+    def test_independent(self):
+        sets = self.notify("10261", "67320")
+        assert joins_are_independent(sets)
+        assert not joins_are_dependent(sets)
+
+    def test_dependent_via_bridge(self):
+        # 11445 notifies all of V, which contains both V_1 and V_0:
+        # it bridges 10261 and 67320.
+        sets = self.notify("10261", "67320", "11445")
+        assert joins_are_dependent(sets)
+
+    def test_pair_with_superset_is_dependent(self):
+        sets = self.notify("10261", "11445")
+        assert joins_are_dependent(sets)
+
+    def test_partition_into_groups(self):
+        sets = self.notify("10261", "00261", "67320")
+        groups = partition_into_dependent_groups(sets)
+        as_sets = sorted(
+            [sorted(str(n) for n in g) for g in groups]
+        )
+        assert as_sets == [["00261", "10261"], ["67320"]]
+
+    def test_partition_with_bridge_is_single_group(self):
+        sets = self.notify("10261", "67320", "11445")
+        groups = partition_into_dependent_groups(sets)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_single_joiner_not_classified(self):
+        sets = self.notify("10261")
+        assert not joins_are_dependent(sets)
+        assert not joins_are_independent(sets)

@@ -1,0 +1,88 @@
+"""Unit tests for Section 3.3 conditions (1)-(3) checkers."""
+
+from repro.csettree.conditions import (
+    check_condition1,
+    check_condition2,
+    check_condition3,
+)
+from repro.csettree.realized import build_realized_tree
+from repro.csettree.template import build_template
+from repro.ids.idspace import IdSpace
+from repro.routing.entry import NeighborState
+from repro.routing.table import NeighborTable
+
+SPACE = IdSpace(8, 5)
+V = [SPACE.from_string(s) for s in ["72430", "10353", "62332", "13141", "31701"]]
+W = [SPACE.from_string(s) for s in ["10261", "47051", "00261"]]
+
+
+def self_only_tables():
+    tables = {node: NeighborTable(node) for node in V + W}
+    for node in V + W:
+        for level in range(SPACE.num_digits):
+            tables[node].set_entry(
+                level, node.digit(level), node, NeighborState.S
+            )
+    return tables
+
+
+def good_tables():
+    """A realization satisfying all three conditions."""
+    tables = self_only_tables()
+    n10261 = SPACE.from_string("10261")
+    n47051 = SPACE.from_string("47051")
+    n00261 = SPACE.from_string("00261")
+    for root in (SPACE.from_string("13141"), SPACE.from_string("31701")):
+        tables[root].set_entry(1, 6, n10261, NeighborState.S)
+        tables[root].set_entry(1, 5, n47051, NeighborState.S)
+    # 10261 and 00261 know each other (sibling leaf C-sets).
+    tables[n10261].set_entry(4, 0, n00261, NeighborState.S)
+    tables[n00261].set_entry(4, 1, n10261, NeighborState.S)
+    # Joiners in the 261-subtree store a node for sibling C_51 and
+    # vice versa (condition (3) across the top branches).
+    tables[n10261].set_entry(1, 5, n47051, NeighborState.S)
+    tables[n00261].set_entry(1, 5, n47051, NeighborState.S)
+    tables[n47051].set_entry(1, 6, n10261, NeighborState.S)
+    return tables
+
+
+class TestConditions:
+    def setup_method(self):
+        self.template = build_template(V, W)
+
+    def test_all_conditions_hold_on_good_tables(self):
+        tables = good_tables()
+        realized = build_realized_tree(self.template, V, tables)
+        assert check_condition1(self.template, realized) == []
+        assert check_condition2(self.template, V, tables) == []
+        assert check_condition3(self.template, tables) == []
+
+    def test_condition1_reports_empty_csets(self):
+        tables = self_only_tables()
+        realized = build_realized_tree(self.template, V, tables)
+        problems = check_condition1(self.template, realized)
+        assert problems
+        assert any("empty" in p for p in problems)
+
+    def test_condition2_reports_missing_root_entries(self):
+        tables = good_tables()
+        # Remove 31701's (1,5)-entry by rebuilding its table.
+        victim = SPACE.from_string("31701")
+        fresh = NeighborTable(victim)
+        for e in tables[victim].entries():
+            if (e.level, e.digit) != (1, 5):
+                fresh.set_entry(e.level, e.digit, e.node, e.state)
+        tables[victim] = fresh
+        problems = check_condition2(self.template, V, tables)
+        assert any("31701" in p for p in problems)
+
+    def test_condition3_reports_missing_sibling_entries(self):
+        tables = good_tables()
+        victim = SPACE.from_string("47051")
+        fresh = NeighborTable(victim)
+        for e in tables[victim].entries():
+            if (e.level, e.digit) != (1, 6):
+                fresh.set_entry(e.level, e.digit, e.node, e.state)
+        tables[victim] = fresh
+        problems = check_condition3(self.template, tables)
+        assert any("47051" in p for p in problems)

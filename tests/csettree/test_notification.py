@@ -1,0 +1,42 @@
+"""Unit tests for notification-set helpers and joiner grouping."""
+
+from repro.csettree.notification import (
+    group_by_notification_suffix,
+    notification_set,
+    notification_suffix,
+)
+from repro.ids.idspace import IdSpace
+from repro.ids.suffix import SuffixIndex, parse_suffix
+
+SPACE = IdSpace(8, 5)
+V = [SPACE.from_string(s) for s in ["72430", "10353", "62332", "13141", "31701"]]
+
+
+def _id(text):
+    return SPACE.from_string(text)
+
+
+class TestNotification:
+    def test_suffix_for_paper_example(self):
+        assert notification_suffix(_id("10261"), V) == parse_suffix("1", 8)
+
+    def test_set_matches_suffix(self):
+        omega = notification_suffix(_id("10261"), V)
+        members = notification_set(_id("10261"), V)
+        assert members == {n for n in V if n.has_suffix(omega)}
+
+    def test_accepts_prebuilt_index(self):
+        index = SuffixIndex(V)
+        assert notification_set(_id("10261"), index) == notification_set(
+            _id("10261"), V
+        )
+
+    def test_grouping_matches_paper_section_33(self):
+        """W = {10261, 00261, 67320, 11445}: 10261 and 00261 share the
+        tree rooted at V_1, 67320 roots at V_0, 11445 at V."""
+        joiners = [_id(s) for s in ["10261", "00261", "67320", "11445"]]
+        groups = group_by_notification_suffix(joiners, V)
+        assert groups[parse_suffix("1", 8)] == [_id("10261"), _id("00261")]
+        assert groups[parse_suffix("0", 8)] == [_id("67320")]
+        assert groups[()] == [_id("11445")]
+        assert len(groups) == 3

@@ -1,0 +1,59 @@
+"""End-to-end: the paper's Figure 2 scenario through the real protocol.
+
+Runs W = {10261, 47051, 00261} joining V = {72430, 10353, 62332,
+13141, 31701} concurrently, then checks that the realized C-set tree
+satisfies conditions (1)-(3) of Section 3.3 (Propositions 5.1-5.3) --
+under many different message interleavings (seeds).
+"""
+
+import pytest
+
+from repro.experiments.fig2 import figure2_example
+from repro.ids.idspace import IdSpace
+from repro.ids.suffix import parse_suffix
+
+SPACE = IdSpace(8, 5)
+
+
+def sfx(text):
+    return parse_suffix(text, 8)
+
+
+class TestFigure2EndToEnd:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_conditions_hold_for_any_interleaving(self, seed):
+        result = figure2_example(seed=seed)
+        assert result.consistent
+        assert result.condition1 == []
+        assert result.condition2 == []
+        assert result.condition3 == []
+
+    def test_leaf_csets_contain_their_nodes(self):
+        result = figure2_example(seed=0)
+        # Condition (1) implies each leaf C-set holds the node whose ID
+        # is the leaf's suffix.
+        assert SPACE.from_string("10261") in result.realized.cset(
+            sfx("10261")
+        )
+        assert SPACE.from_string("00261") in result.realized.cset(
+            sfx("00261")
+        )
+        assert SPACE.from_string("47051") in result.realized.cset(
+            sfx("47051")
+        )
+
+    def test_union_of_csets_is_w(self):
+        result = figure2_example(seed=1)
+        assert result.realized.union_of_csets() == set(result.template.members)
+
+    def test_root_set_is_v1(self):
+        result = figure2_example(seed=2)
+        assert result.realized.root_set == {
+            SPACE.from_string("13141"),
+            SPACE.from_string("31701"),
+        }
+
+    def test_template_matches_figure_2b(self):
+        result = figure2_example(seed=3)
+        assert result.template.root_suffix == sfx("1")
+        assert len(result.template.suffixes) == 9

@@ -1,0 +1,98 @@
+"""Unit tests for the realized C-set tree (Definition 5.1)."""
+
+from repro.csettree.realized import build_realized_tree
+from repro.csettree.template import build_template
+from repro.ids.idspace import IdSpace
+from repro.ids.suffix import parse_suffix
+from repro.routing.entry import NeighborState
+from repro.routing.table import NeighborTable
+
+SPACE = IdSpace(8, 5)
+V = [SPACE.from_string(s) for s in ["72430", "10353", "62332", "13141", "31701"]]
+W = [SPACE.from_string(s) for s in ["10261", "47051", "00261"]]
+
+
+def sfx(text):
+    return parse_suffix(text, 8)
+
+
+def hand_built_realization():
+    """Reproduce exactly the realization of the paper's Figure 2(c):
+
+    V_1 = {13141, 31701}; both store 10261 in (1,6) and 47051 in (1,5);
+    hence C_61 = {10261}, C_51 = {47051}; 10261's self-pointers fill
+    the 261/0261 chain; 00261 is stored by 10261 at (4,0).
+    """
+    members = V + W
+    # Fresh tables for full control of who stores whom.
+    tables = {node: NeighborTable(node) for node in members}
+    for node in members:
+        for level in range(SPACE.num_digits):
+            tables[node].set_entry(
+                level, node.digit(level), node, NeighborState.S
+            )
+    n10261 = SPACE.from_string("10261")
+    n47051 = SPACE.from_string("47051")
+    n00261 = SPACE.from_string("00261")
+    for root in (SPACE.from_string("13141"), SPACE.from_string("31701")):
+        tables[root].set_entry(1, 6, n10261, NeighborState.S)
+        tables[root].set_entry(1, 5, n47051, NeighborState.S)
+    tables[n10261].set_entry(4, 0, n00261, NeighborState.S)
+    return tables
+
+
+class TestRealizedTree:
+    def test_figure2c_realization(self):
+        template = build_template(V, W)
+        tables = hand_built_realization()
+        realized = build_realized_tree(template, V, tables)
+        assert realized.root_set == {
+            SPACE.from_string("13141"),
+            SPACE.from_string("31701"),
+        }
+        assert realized.cset(sfx("61")) == {SPACE.from_string("10261")}
+        assert realized.cset(sfx("51")) == {SPACE.from_string("47051")}
+        # Self-pointers propagate 10261 down its chain (the paper:
+        # "once x is filled into a C-set, it is automatically filled
+        # into those descendants ... whose suffix is also a suffix of
+        # x.ID").
+        assert realized.cset(sfx("261")) == {SPACE.from_string("10261")}
+        assert realized.cset(sfx("0261")) == {SPACE.from_string("10261")}
+        assert realized.cset(sfx("10261")) == {SPACE.from_string("10261")}
+        assert realized.cset(sfx("00261")) == {SPACE.from_string("00261")}
+        assert realized.cset(sfx("47051")) == {SPACE.from_string("47051")}
+
+    def test_union_of_csets_is_w(self):
+        template = build_template(V, W)
+        realized = build_realized_tree(template, V, hand_built_realization())
+        assert realized.union_of_csets() == set(W)
+
+    def test_empty_when_roots_store_nothing(self):
+        template = build_template(V, W)
+        members = V + W
+        tables = {node: NeighborTable(node) for node in members}
+        for node in members:
+            for level in range(SPACE.num_digits):
+                tables[node].set_entry(
+                    level, node.digit(level), node, NeighborState.S
+                )
+        realized = build_realized_tree(template, V, tables)
+        assert realized.cset(sfx("61")) == set()
+        assert realized.cset(sfx("261")) == set()
+        assert realized.non_empty_suffixes() == set()
+
+    def test_render_mentions_sets(self):
+        template = build_template(V, W)
+        realized = build_realized_tree(template, V, hand_built_realization())
+        text = realized.render()
+        assert "C_61" in text
+        assert "10261" in text
+
+    def test_only_w_members_counted(self):
+        """A root-set node storing a V member in a C-set position does
+        not put that member into the C-set (C-sets contain joiners)."""
+        template = build_template(V, W)
+        tables = hand_built_realization()
+        realized = build_realized_tree(template, V, tables)
+        for suffix in template.suffixes:
+            assert realized.cset(suffix) <= set(W)

@@ -1,0 +1,101 @@
+"""Unit tests for the C-set tree template (Definition 3.9)."""
+
+import pytest
+
+from repro.csettree.template import CSetTreeTemplate, build_template
+from repro.ids.idspace import IdSpace
+from repro.ids.suffix import parse_suffix
+
+SPACE = IdSpace(8, 5)
+V = [SPACE.from_string(s) for s in ["72430", "10353", "62332", "13141", "31701"]]
+W = [SPACE.from_string(s) for s in ["10261", "47051", "00261"]]
+
+
+def sfx(text):
+    return parse_suffix(text, 8)
+
+
+class TestBuildTemplate:
+    def test_paper_example_root(self):
+        template = build_template(V, W)
+        assert template.root_suffix == sfx("1")
+
+    def test_paper_example_structure(self):
+        """Figure 2(b): the exact template of the paper."""
+        template = build_template(V, W)
+        assert template.children(sfx("1")) == [sfx("51"), sfx("61")]
+        assert template.children(sfx("61")) == [sfx("261")]
+        assert template.children(sfx("261")) == [sfx("0261")]
+        assert sorted(template.children(sfx("0261"))) == sorted(
+            [sfx("00261"), sfx("10261")]
+        )
+        assert template.children(sfx("51")) == [sfx("051")]
+        assert template.children(sfx("051")) == [sfx("7051")]
+        assert template.children(sfx("7051")) == [sfx("47051")]
+        assert template.children(sfx("47051")) == []
+
+    def test_suffix_count(self):
+        template = build_template(V, W)
+        # 51,051,7051,47051 + 61,261,0261,00261,10261 = 9 C-sets.
+        assert len(template.suffixes) == 9
+
+    def test_leaves_are_member_ids(self):
+        template = build_template(V, W)
+        leaves = template.leaves()
+        assert sfx("47051") in leaves
+        assert sfx("00261") in leaves
+        assert sfx("10261") in leaves
+
+    def test_path_to_root(self):
+        template = build_template(V, W)
+        path = template.path_to_root(SPACE.from_string("10261"))
+        assert path == [
+            sfx("10261"),
+            sfx("0261"),
+            sfx("261"),
+            sfx("61"),
+        ]
+
+    def test_path_to_root_rejects_nonmember(self):
+        template = build_template(V, W)
+        with pytest.raises(ValueError):
+            template.path_to_root(SPACE.from_string("72430"))
+
+    def test_siblings(self):
+        template = build_template(V, W)
+        assert template.siblings(sfx("61")) == [sfx("51")]
+        assert template.siblings(sfx("00261")) == [sfx("10261")]
+        assert template.siblings(sfx("261")) == []
+
+    def test_parent(self):
+        template = build_template(V, W)
+        assert template.parent(sfx("261")) == sfx("61")
+        with pytest.raises(ValueError):
+            template.parent(sfx("1"))
+
+    def test_expected_members(self):
+        template = build_template(V, W)
+        assert template.expected_members(sfx("261")) == {
+            SPACE.from_string("10261"),
+            SPACE.from_string("00261"),
+        }
+
+    def test_render_contains_sets(self):
+        template = build_template(V, W)
+        rendering = template.render()
+        assert "C_61" in rendering
+        assert "C_47051" in rendering
+
+    def test_rejects_mixed_notification_suffixes(self):
+        # 67320 notifies V_0, 10261 notifies V_1: different trees.
+        mixed = [SPACE.from_string("10261"), SPACE.from_string("67320")]
+        with pytest.raises(ValueError):
+            build_template(V, mixed)
+
+    def test_rejects_empty_w(self):
+        with pytest.raises(ValueError):
+            build_template(V, [])
+
+    def test_direct_construction_validates_suffix(self):
+        with pytest.raises(ValueError):
+            CSetTreeTemplate(sfx("1"), [SPACE.from_string("67320")])

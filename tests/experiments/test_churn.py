@@ -1,0 +1,65 @@
+"""Tests for the churn lifecycle experiment module."""
+
+import pytest
+
+from repro.experiments.churn import ChurnConfig, run_churn
+from repro.experiments.workloads import SMALL_TOPOLOGY
+
+
+class TestChurnExperiment:
+    def test_full_lifecycle(self):
+        result = run_churn(
+            ChurnConfig(
+                n=60,
+                m=15,
+                leaves=10,
+                failures=8,
+                seed=1,
+                topology_params=SMALL_TOPOLOGY,
+            )
+        )
+        assert result.all_consistent
+        names = [phase.name for phase in result.phases]
+        assert names == [
+            "bootstrap",
+            "15 concurrent joins",
+            "10 leaves",
+            "8 crashes + recovery",
+            "optimization",
+        ]
+        assert result.recovery is not None
+        assert result.recovery.consistent
+        assert result.stretch_after < result.stretch_before
+
+    def test_membership_accounting(self):
+        config = ChurnConfig(
+            n=50, m=10, leaves=8, failures=5, seed=2,
+            topology_params=SMALL_TOPOLOGY,
+        )
+        result = run_churn(config)
+        members = [phase.members for phase in result.phases]
+        assert members[0] == 50
+        assert members[1] == 60
+        assert members[2] == 52
+        assert members[3] == 47
+
+    def test_without_topology_skips_optimization(self):
+        result = run_churn(
+            ChurnConfig(
+                n=40, m=8, leaves=5, failures=4, seed=3,
+                base=4, num_digits=4, use_topology=False,
+            )
+        )
+        assert result.all_consistent
+        assert result.phases[-1].name == "4 crashes + recovery"
+        assert result.stretch_after == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_seeds(self, seed):
+        result = run_churn(
+            ChurnConfig(
+                n=40, m=10, leaves=6, failures=5, seed=seed,
+                base=4, num_digits=4, use_topology=False,
+            )
+        )
+        assert result.all_consistent, [str(p) for p in result.phases]

@@ -1,0 +1,47 @@
+"""Figure 1 reproduction tests."""
+
+from repro.consistency.checker import check_consistency
+from repro.experiments.fig1 import (
+    FIGURE1_ENTRIES,
+    figure1_example,
+    figure1_network_ids,
+)
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+
+SPACE = IdSpace(4, 5)
+OWNER = SPACE.from_string("21233")
+
+
+class TestFigure1:
+    def test_figure_entries_are_valid_choices(self):
+        """Every neighbor printed in Figure 1 satisfies the suffix
+        constraint of its entry."""
+        for (level, digit), name in FIGURE1_ENTRIES.items():
+            node = SPACE.from_string(name)
+            assert node.csuf_len(OWNER) >= level, (level, digit, name)
+            assert node.digit(level) == digit, (level, digit, name)
+
+    def test_fill_pattern_matches_figure(self):
+        """Our oracle table for the figure's membership is filled at
+        exactly the figure's positions."""
+        table, _ = figure1_example()
+        ours = {
+            (e.level, e.digit) for e in table.entries()
+        }
+        assert ours == set(FIGURE1_ENTRIES)
+
+    def test_self_entries_match_paper_convention(self):
+        table, _ = figure1_example()
+        for level in range(5):
+            assert table.get(level, OWNER.digit(level)) == OWNER
+
+    def test_example_network_is_consistent(self):
+        members = figure1_network_ids(SPACE)
+        assert check_consistency(build_consistent_tables(members)).consistent
+
+    def test_rendering_shows_all_neighbors(self):
+        _, rendering = figure1_example()
+        # At least the owner and a few fixed entries appear.
+        for name in ("21233", "01100", "31033"):
+            assert name in rendering

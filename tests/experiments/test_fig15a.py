@@ -1,0 +1,61 @@
+"""Figure 15(a) reproduction tests."""
+
+import pytest
+
+from repro.experiments.fig15a import (
+    FIG15A_CONFIGS,
+    FIG15A_N_VALUES,
+    Fig15aConfig,
+    figure15a_series,
+    render_figure15a,
+)
+
+
+class TestFigure15a:
+    def test_axis_matches_paper(self):
+        assert FIG15A_N_VALUES[0] == 10_000
+        assert FIG15A_N_VALUES[-1] == 100_000
+        assert len(FIG15A_CONFIGS) == 4
+
+    def test_series_shape(self):
+        series = figure15a_series(FIG15A_CONFIGS[0])
+        assert len(series) == len(FIG15A_N_VALUES)
+        assert all(3.0 <= bound <= 9.0 for _, bound in series)
+
+    def test_m1000_above_m500(self):
+        """More concurrent joiners -> higher bound, pointwise."""
+        low = dict(figure15a_series(Fig15aConfig(500, 16, 8)))
+        high = dict(figure15a_series(Fig15aConfig(1000, 16, 8)))
+        for n in FIG15A_N_VALUES:
+            assert high[n] > low[n]
+
+    def test_d8_and_d40_curves_coincide(self):
+        """In the paper's plot the d=8 and d=40 curves overlap."""
+        d8 = dict(figure15a_series(Fig15aConfig(500, 16, 8)))
+        d40 = dict(figure15a_series(Fig15aConfig(500, 16, 40)))
+        for n in FIG15A_N_VALUES:
+            assert d8[n] == pytest.approx(d40[n], abs=1e-4)
+
+    def test_sawtooth_behaviour_on_fine_grid(self):
+        """The bound is non-monotone in n (dips after each power of
+        b): verify there is both a rise and a fall over a fine grid."""
+        series = figure15a_series(
+            Fig15aConfig(500, 16, 8),
+            n_values=range(20_000, 90_000, 5_000),
+        )
+        values = [bound for _, bound in series]
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        assert any(d > 0 for d in diffs)
+        assert any(d < 0 for d in diffs)
+
+    def test_y_range_matches_paper_plot(self):
+        """The paper's y-axis runs from 3 to 9 and all four curves fit
+        inside it."""
+        for config in FIG15A_CONFIGS:
+            for _, bound in figure15a_series(config):
+                assert 3.0 < bound < 9.0
+
+    def test_render_table(self):
+        text = render_figure15a()
+        assert "m=500, b=16, d=40" in text
+        assert "10000" in text

@@ -1,0 +1,64 @@
+"""Unit tests for the experiment harness (CDF, summaries)."""
+
+import pytest
+
+from repro.experiments.harness import Cdf, render_cdf_table, summarize
+
+
+class TestCdf:
+    def test_at(self):
+        cdf = Cdf([1, 2, 2, 3])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(1) == 0.25
+        assert cdf.at(2) == 0.75
+        assert cdf.at(3) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_series_steps(self):
+        cdf = Cdf([1, 1, 3])
+        assert cdf.series() == [(1, 2 / 3), (3, 1.0)]
+
+    def test_quantile(self):
+        cdf = Cdf(list(range(1, 11)))
+        assert cdf.quantile(0.5) == 5
+        assert cdf.quantile(1.0) == 10
+        assert cdf.quantile(0.0) == 1
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Cdf([1]).quantile(1.5)
+
+    def test_mean_and_max(self):
+        cdf = Cdf([0, 2, 4])
+        assert cdf.mean == 2.0
+        assert cdf.max == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_render_table(self):
+        text = render_cdf_table(Cdf([0, 1, 5, 20]))
+        assert "cumulative" in text
+        assert "1.0000" in text
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.stddev == pytest.approx((2 / 3) ** 0.5)
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.stddev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plotting import MARKERS, ascii_chart, cdf_chart
+
+
+class TestAsciiChart:
+    def test_renders_axes_and_legend(self):
+        chart = ascii_chart(
+            {"up": [(0, 0.0), (1, 1.0)], "down": [(0, 1.0), (1, 0.0)]},
+            width=20,
+            height=8,
+        )
+        assert "* up" in chart
+        assert "+ down" in chart
+        assert "+--------------------" in chart
+
+    def test_extremes_placed_at_grid_corners(self):
+        chart = ascii_chart({"s": [(0, 0.0), (10, 5.0)]}, width=10, height=5)
+        lines = chart.splitlines()
+        plot_lines = [l for l in lines if "|" in l]
+        # Max value on the top plot row, min on the bottom.
+        assert "*" in plot_lines[0]
+        assert "*" in plot_lines[-1]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0, 2.0), (5, 2.0)]})
+        assert "flat" in chart
+
+    def test_y_bounds_override(self):
+        chart = ascii_chart(
+            {"s": [(0, 0.5)]}, y_min=0.0, y_max=1.0, height=5
+        )
+        assert "1.00" in chart
+        assert "0.00" in chart
+
+    def test_many_series_cycle_markers(self):
+        labels = {f"s{i}": [(0, i)] for i in range(10)}
+        chart = ascii_chart(labels)
+        assert MARKERS[0] in chart
+
+
+class TestCdfChart:
+    def test_monotone_step_shape(self):
+        chart = cdf_chart({"a": [0, 0, 1, 5]}, width=30, height=6)
+        assert "cumulative fraction" in chart
+        assert "#JoinNotiMsg" in chart
+
+    def test_x_max_clamps(self):
+        chart = cdf_chart({"a": [0, 100]}, x_max=10, width=20)
+        assert "10" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_chart({"a": []})

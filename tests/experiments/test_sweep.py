@@ -1,0 +1,63 @@
+"""Tests for the sweep driver and joining-period statistics."""
+
+import pytest
+
+from repro.experiments.fig15b import Fig15bConfig
+from repro.experiments.sweep import (
+    SweepStats,
+    joining_period_stats,
+    sweep_fig15b,
+)
+from repro.experiments.workloads import SMALL_TOPOLOGY
+
+from tests.conftest import build_network, make_ids, run_joins
+
+
+class TestSweepStats:
+    def test_aggregates(self):
+        stats = SweepStats("x", [1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.stddev == pytest.approx((2 / 3) ** 0.5)
+
+    def test_str(self):
+        assert "seeds" in str(SweepStats("x", [1.0]))
+
+
+class TestFig15bSweep:
+    def test_three_seed_sweep(self):
+        config = Fig15bConfig(
+            n=80,
+            m=25,
+            base=16,
+            num_digits=8,
+            use_topology=True,
+            topology_params=SMALL_TOPOLOGY,
+        )
+        sweep = sweep_fig15b(config, seeds=[0, 1, 2])
+        assert len(sweep.results) == 3
+        assert sweep.all_consistent
+        assert sweep.bound_never_exceeded
+        stats = sweep.mean_join_noti
+        assert stats.minimum <= stats.mean <= stats.maximum
+        # Different seeds produce different workloads.
+        assert len(set(stats.per_seed)) > 1
+
+
+class TestJoiningPeriods:
+    def test_stats_after_concurrent_joins(self):
+        space, ids = make_ids(4, 4, 30, seed=0)
+        net = build_network(space, ids[:20], seed=0)
+        run_joins(net, ids[20:])
+        stats = joining_period_stats(net)
+        assert stats.count == 10
+        assert stats.minimum > 0
+        assert stats.maximum >= stats.mean >= stats.minimum
+
+    def test_incomplete_join_rejected(self):
+        space, ids = make_ids(4, 4, 21, seed=1)
+        net = build_network(space, ids[:20], seed=1)
+        net.start_join(ids[20], at=1000.0)  # scheduled, never run
+        with pytest.raises(ValueError):
+            joining_period_stats(net)

@@ -1,0 +1,65 @@
+"""Unit tests for workload construction."""
+
+import random
+
+from repro.experiments.workloads import (
+    SMALL_TOPOLOGY,
+    make_latency_model,
+    make_workload,
+    sample_ids,
+)
+from repro.ids.idspace import IdSpace
+from repro.topology.attachment import (
+    TopologyLatencyModel,
+    UniformLatencyModel,
+)
+
+from tests.conftest import assert_network_correct
+
+
+class TestSampleIds:
+    def test_counts_and_disjointness(self):
+        space = IdSpace(16, 8)
+        initial, joiners = sample_ids(space, 50, 20, random.Random(0))
+        assert len(initial) == 50
+        assert len(joiners) == 20
+        assert not set(initial) & set(joiners)
+
+    def test_reproducible(self):
+        space = IdSpace(16, 8)
+        a = sample_ids(space, 10, 5, random.Random(3))
+        b = sample_ids(space, 10, 5, random.Random(3))
+        assert a == b
+
+
+class TestMakeLatencyModel:
+    def test_uniform_when_no_topology(self):
+        model = make_latency_model([], random.Random(0), use_topology=False)
+        assert isinstance(model, UniformLatencyModel)
+
+    def test_topology_model(self):
+        space = IdSpace(4, 4)
+        hosts = space.random_unique_ids(5, random.Random(1))
+        model = make_latency_model(
+            hosts, random.Random(0), use_topology=True,
+            topology_params=SMALL_TOPOLOGY,
+        )
+        assert isinstance(model, TopologyLatencyModel)
+        assert model.latency(hosts[0], hosts[1]) > 0
+
+
+class TestMakeWorkload:
+    def test_end_to_end(self):
+        workload = make_workload(
+            base=4, num_digits=4, n=25, m=10, seed=0
+        )
+        assert len(workload.initial_ids) == 25
+        assert len(workload.joiner_ids) == 10
+        workload.start_all_joins()
+        workload.run()
+        assert_network_correct(workload.network)
+
+    def test_seeds_change_ids(self):
+        w0 = make_workload(base=16, num_digits=8, n=10, m=5, seed=0)
+        w1 = make_workload(base=16, num_digits=8, n=10, m=5, seed=1)
+        assert w0.initial_ids != w1.initial_ids

@@ -1,0 +1,145 @@
+"""Unit tests for NodeId (digit representation, suffix operations)."""
+
+import pytest
+
+from repro.ids.digits import (
+    MAX_BASE,
+    NodeId,
+    digits_from_int,
+    digits_from_string,
+)
+from repro.ids.idspace import IdSpace
+
+
+class TestConstruction:
+    def test_digits_stored_rightmost_first(self):
+        space = IdSpace(4, 5)
+        node = space.from_string("21233")
+        # x[0] is the rightmost digit.
+        assert node.digit(0) == 3
+        assert node.digit(1) == 3
+        assert node.digit(2) == 2
+        assert node.digit(3) == 1
+        assert node.digit(4) == 2
+
+    def test_str_roundtrip(self):
+        space = IdSpace(16, 8)
+        node = space.from_string("0a1b2c3d")
+        assert str(node) == "0a1b2c3d"
+        assert space.from_string(str(node)) == node
+
+    def test_rejects_digit_out_of_base(self):
+        with pytest.raises(ValueError):
+            NodeId((0, 5), base=4)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            NodeId((0,), base=1)
+        with pytest.raises(ValueError):
+            NodeId((0,), base=MAX_BASE + 1)
+
+    def test_rejects_empty_digits(self):
+        with pytest.raises(ValueError):
+            NodeId((), base=4)
+
+    def test_getitem_and_iter(self):
+        node = NodeId((3, 1, 2), base=4)
+        assert node[0] == 3
+        assert list(node) == [3, 1, 2]
+        assert len(node) == 3
+
+
+class TestIntConversion:
+    def test_to_int_rightmost_least_significant(self):
+        space = IdSpace(10, 3)
+        assert space.from_string("123").to_int() == 123
+
+    def test_from_int_roundtrip(self):
+        space = IdSpace(16, 4)
+        for value in (0, 1, 255, 16**4 - 1):
+            assert space.from_int(value).to_int() == value
+
+    def test_digits_from_int_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            digits_from_int(16, base=2, num_digits=4)
+
+    def test_digits_from_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            digits_from_int(-1, base=2, num_digits=4)
+
+    def test_digits_from_string_rejects_out_of_base(self):
+        with pytest.raises(ValueError):
+            digits_from_string("19", base=8)
+
+    def test_digits_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            digits_from_string("1%", base=8)
+
+
+class TestSuffix:
+    def test_suffix_returns_rightmost_digits(self):
+        space = IdSpace(8, 5)
+        node = space.from_string("10261")
+        # suffix "261" is (1, 6, 2) rightmost-first
+        assert node.suffix(3) == (1, 6, 2)
+        assert node.suffix(0) == ()
+        assert node.suffix(5) == node.digits
+
+    def test_suffix_out_of_range(self):
+        node = NodeId((1, 2), base=4)
+        with pytest.raises(ValueError):
+            node.suffix(3)
+        with pytest.raises(ValueError):
+            node.suffix(-1)
+
+    def test_has_suffix(self):
+        space = IdSpace(8, 5)
+        node = space.from_string("10261")
+        assert node.has_suffix((1,))
+        assert node.has_suffix((1, 6, 2))
+        assert not node.has_suffix((2,))
+        assert node.has_suffix(())
+
+    def test_has_suffix_longer_than_id(self):
+        node = NodeId((1, 2), base=4)
+        assert not node.has_suffix((1, 2, 3))
+
+    def test_csuf_len_paper_example(self):
+        # 10261 and 00261 share suffix 0261 (4 digits).
+        space = IdSpace(8, 5)
+        a = space.from_string("10261")
+        b = space.from_string("00261")
+        assert a.csuf_len(b) == 4
+        assert b.csuf_len(a) == 4
+
+    def test_csuf_len_no_match(self):
+        space = IdSpace(8, 5)
+        assert space.from_string("10261").csuf_len(
+            space.from_string("47052")
+        ) == 0
+
+    def test_csuf_len_self_is_d(self):
+        space = IdSpace(8, 5)
+        node = space.from_string("10261")
+        assert node.csuf_len(node) == 5
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = NodeId((1, 2, 3), base=4)
+        b = NodeId((1, 2, 3), base=4)
+        c = NodeId((1, 2, 3), base=8)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_ordering_by_value(self):
+        space = IdSpace(10, 2)
+        assert space.from_string("12") < space.from_string("21")
+        assert space.from_string("21") >= space.from_string("12")
+
+    def test_not_equal_other_types(self):
+        assert NodeId((1,), base=4) != "1"
+
+    def test_repr_contains_string_form(self):
+        assert "21233" in repr(IdSpace(4, 5).from_string("21233"))

@@ -1,0 +1,93 @@
+"""Unit tests for IdSpace."""
+
+import random
+
+import pytest
+
+from repro.ids.idspace import IdSpace
+
+
+class TestBasics:
+    def test_size(self):
+        assert IdSpace(4, 5).size == 4**5
+        assert IdSpace(16, 8).size == 16**8
+
+    def test_rejects_zero_digits(self):
+        with pytest.raises(ValueError):
+            IdSpace(4, 0)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            IdSpace(1, 4)
+
+    def test_equality(self):
+        assert IdSpace(4, 5) == IdSpace(4, 5)
+        assert IdSpace(4, 5) != IdSpace(4, 6)
+        assert hash(IdSpace(4, 5)) == hash(IdSpace(4, 5))
+
+
+class TestParsing:
+    def test_from_string_wrong_length(self):
+        with pytest.raises(ValueError):
+            IdSpace(4, 5).from_string("123")
+
+    def test_from_digits(self):
+        space = IdSpace(4, 3)
+        node = space.from_digits((3, 2, 1))
+        assert str(node) == "123"
+
+    def test_from_digits_wrong_length(self):
+        with pytest.raises(ValueError):
+            IdSpace(4, 3).from_digits((1, 2))
+
+    def test_from_int_bounds(self):
+        space = IdSpace(2, 3)
+        assert str(space.from_int(7)) == "111"
+        with pytest.raises(ValueError):
+            space.from_int(8)
+
+
+class TestHashing:
+    def test_hash_name_deterministic(self):
+        space = IdSpace(16, 8)
+        assert space.hash_name("node-1") == space.hash_name("node-1")
+
+    def test_hash_name_distinct_inputs(self):
+        space = IdSpace(16, 8)
+        ids = {str(space.hash_name(f"node-{i}")) for i in range(100)}
+        assert len(ids) > 95  # collisions vanishingly unlikely
+
+    def test_hash_name_md5_supported(self):
+        space = IdSpace(16, 8)
+        node = space.hash_name("x", algorithm="md5")
+        assert node.num_digits == 8
+
+
+class TestSampling:
+    def test_random_ids_unique(self):
+        space = IdSpace(4, 4)
+        ids = space.random_unique_ids(100, random.Random(1))
+        assert len(set(ids)) == 100
+
+    def test_random_ids_respect_exclusions(self):
+        space = IdSpace(2, 4)
+        rng = random.Random(1)
+        first = space.random_unique_ids(8, rng)
+        rest = space.random_unique_ids(8, rng, exclude=first)
+        assert not set(first) & set(rest)
+
+    def test_random_ids_exhausts_space_exactly(self):
+        space = IdSpace(2, 3)
+        ids = space.random_unique_ids(8, random.Random(0))
+        assert len(set(ids)) == 8
+
+    def test_random_ids_too_many(self):
+        space = IdSpace(2, 3)
+        with pytest.raises(ValueError):
+            space.random_unique_ids(9, random.Random(0))
+
+    def test_reproducible_for_seed(self):
+        space = IdSpace(16, 6)
+        a = space.random_unique_ids(20, random.Random(7))
+        b = space.random_unique_ids(20, random.Random(7))
+        assert a == b

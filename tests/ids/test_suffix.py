@@ -1,0 +1,137 @@
+"""Unit tests for the suffix algebra and SuffixIndex."""
+
+import pytest
+
+from repro.ids.idspace import IdSpace
+from repro.ids.suffix import (
+    SuffixIndex,
+    csuf,
+    csuf_len,
+    extend_suffix,
+    has_suffix,
+    notification_set,
+    notification_suffix_len,
+    parse_suffix,
+    sort_ids,
+    suffix_of,
+    suffix_str,
+)
+
+SPACE = IdSpace(8, 5)
+
+
+def _id(text):
+    return SPACE.from_string(text)
+
+
+class TestSuffixOps:
+    def test_csuf_returns_common_suffix(self):
+        assert csuf(_id("10261"), _id("00261")) == parse_suffix("0261", 8)
+
+    def test_csuf_len_matches_csuf(self):
+        a, b = _id("10261"), _id("47051")
+        assert len(csuf(a, b)) == csuf_len(a, b)
+
+    def test_extend_suffix_is_left_concatenation(self):
+        # j . omega: 2 . "61" == "261"
+        omega = parse_suffix("61", 8)
+        assert extend_suffix(2, omega) == parse_suffix("261", 8)
+
+    def test_suffix_str_roundtrip(self):
+        assert suffix_str(parse_suffix("261", 8)) == "261"
+        assert suffix_str(()) == ""
+
+    def test_parse_suffix_validates_base(self):
+        with pytest.raises(ValueError):
+            parse_suffix("9", 8)
+
+    def test_suffix_of_and_has_suffix(self):
+        node = _id("10261")
+        assert suffix_of(node, 2) == parse_suffix("61", 8)
+        assert has_suffix(node, parse_suffix("61", 8))
+
+    def test_sort_ids_deterministic(self):
+        ids = [_id("10261"), _id("00261"), _id("47051")]
+        assert sort_ids(ids) == sort_ids(list(reversed(ids)))
+
+
+class TestSuffixIndex:
+    def test_membership_by_suffix(self):
+        index = SuffixIndex([_id("10261"), _id("00261"), _id("47051")])
+        assert index.nodes_with(parse_suffix("261", 8)) == {
+            _id("10261"),
+            _id("00261"),
+        }
+        assert index.count_with(parse_suffix("1", 8)) == 3
+
+    def test_empty_suffix_matches_all(self):
+        members = [_id("10261"), _id("47051")]
+        index = SuffixIndex(members)
+        assert index.nodes_with(()) == set(members)
+
+    def test_any_with(self):
+        index = SuffixIndex([_id("10261")])
+        assert index.any_with(parse_suffix("0261", 8))
+        assert not index.any_with(parse_suffix("3261", 8))
+
+    def test_add_is_idempotent(self):
+        index = SuffixIndex()
+        index.add(_id("10261"))
+        index.add(_id("10261"))
+        assert len(index) == 1
+
+    def test_discard_removes_all_suffix_buckets(self):
+        index = SuffixIndex([_id("10261")])
+        index.discard(_id("10261"))
+        assert len(index) == 0
+        assert not index.any_with(parse_suffix("1", 8))
+
+    def test_discard_missing_is_noop(self):
+        index = SuffixIndex([_id("10261")])
+        index.discard(_id("47051"))
+        assert len(index) == 1
+
+    def test_contains_and_iter(self):
+        index = SuffixIndex([_id("10261")])
+        assert _id("10261") in index
+        assert list(index) == [_id("10261")]
+
+    def test_nodes_with_returns_copy(self):
+        index = SuffixIndex([_id("10261")])
+        bucket = index.nodes_with(parse_suffix("1", 8))
+        bucket.clear()
+        assert index.count_with(parse_suffix("1", 8)) == 1
+
+
+class TestNotificationSets:
+    """Definition 3.4, on the paper's own example (Section 3.3)."""
+
+    V = [_id(s) for s in ["72430", "10353", "62332", "13141", "31701"]]
+
+    def test_paper_example_noti_set_is_v1(self):
+        index = SuffixIndex(self.V)
+        # For joiners 10261 and 00261 the notification set is V_1.
+        expected = {_id("13141"), _id("31701")}
+        assert notification_set(_id("10261"), index) == expected
+        assert notification_set(_id("00261"), index) == expected
+        assert notification_set(_id("47051"), index) == expected
+
+    def test_noti_suffix_len(self):
+        index = SuffixIndex(self.V)
+        assert notification_suffix_len(_id("10261"), index) == 1
+
+    def test_noti_set_is_whole_v_when_no_digit_matches(self):
+        # No node of V ends in 4, 5, 6 or 7; a joiner ending in such a
+        # digit notifies all of V (Definition 3.4's V_x[0] empty case).
+        index = SuffixIndex(self.V)
+        assert notification_set(_id("11444"), index) == set(self.V)
+        assert notification_suffix_len(_id("11444"), index) == 0
+
+    def test_rejects_joiner_already_in_network(self):
+        index = SuffixIndex(self.V)
+        with pytest.raises(ValueError):
+            notification_set(_id("72430"), index)
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            notification_set(_id("72430"), SuffixIndex())

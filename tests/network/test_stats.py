@@ -1,0 +1,65 @@
+"""Unit tests for message statistics."""
+
+from repro.ids.idspace import IdSpace
+from repro.network.message import HEADER_BYTES, Message
+from repro.network.stats import MessageStats
+
+SPACE = IdSpace(4, 4)
+A = SPACE.from_string("0000")
+B = SPACE.from_string("1111")
+
+
+class Fake(Message):
+    type_name = "Fake"
+
+
+class CpRstLike(Message):
+    type_name = "CpRstMsg"
+
+
+class JoinWaitLike(Message):
+    type_name = "JoinWaitMsg"
+
+
+class JoinNotiLike(Message):
+    type_name = "JoinNotiMsg"
+
+
+class TestMessageStats:
+    def test_counts_by_type_and_sender(self):
+        stats = MessageStats()
+        stats.on_send(Fake(A))
+        stats.on_send(Fake(A))
+        stats.on_send(Fake(B))
+        assert stats.count("Fake") == 3
+        assert stats.sent_by(A, "Fake") == 2
+        assert stats.sent_by(B, "Fake") == 1
+        assert stats.sent_by(B, "Other") == 0
+        assert stats.sent_by(SPACE.from_string("2222"), "Fake") == 0
+
+    def test_bytes_accounting(self):
+        stats = MessageStats()
+        stats.on_send(Fake(A))
+        assert stats.total_bytes == HEADER_BYTES
+        assert stats.bytes_by_type["Fake"] == HEADER_BYTES
+
+    def test_big_message_count(self):
+        stats = MessageStats()
+        stats.on_send(CpRstLike(A))
+        stats.on_send(JoinWaitLike(A))
+        stats.on_send(JoinNotiLike(A))
+        stats.on_send(Fake(A))
+        assert stats.big_message_count(A) == 3
+
+    def test_sent_by_each_preserves_order(self):
+        stats = MessageStats()
+        stats.on_send(Fake(B))
+        assert stats.sent_by_each([A, B], "Fake") == [0, 1]
+
+    def test_snapshot_is_plain_dict(self):
+        stats = MessageStats()
+        stats.on_send(Fake(A))
+        snap = stats.snapshot()
+        assert snap == {"Fake": 1}
+        snap["Fake"] = 99
+        assert stats.count("Fake") == 1

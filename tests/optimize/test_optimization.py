@@ -1,0 +1,99 @@
+"""Neighbor-table optimization (extension; paper's problem 3)."""
+
+import random
+
+import pytest
+
+from repro.experiments.workloads import SMALL_TOPOLOGY, make_workload
+from repro.optimize import measure_stretch, optimize_tables
+
+from tests.conftest import build_network, make_ids
+
+
+def topology_network(n=150, seed=0):
+    workload = make_workload(
+        base=16,
+        num_digits=8,
+        n=n,
+        m=1,
+        seed=seed,
+        use_topology=True,
+        topology_params=SMALL_TOPOLOGY,
+    )
+    workload.start_all_joins()
+    workload.run()
+    return workload.network
+
+
+class TestOptimization:
+    def test_preserves_consistency(self):
+        net = topology_network(seed=1)
+        assert net.check_consistency().consistent
+        optimize_tables(net)
+        assert net.check_consistency().consistent
+
+    def test_reduces_stretch(self):
+        net = topology_network(seed=2)
+        before = measure_stretch(net, sample_pairs=150)
+        optimize_tables(net)
+        after = measure_stretch(net, sample_pairs=150)
+        assert after.mean_stretch < before.mean_stretch
+        assert after.mean_route_latency < before.mean_route_latency
+
+    def test_converges(self):
+        net = topology_network(seed=3)
+        report = optimize_tables(net, max_rounds=6)
+        assert report.converged
+        # A converged network does not switch again.
+        again = optimize_tables(net, max_rounds=2)
+        assert again.total_switches == 0
+        assert again.rounds == 1
+
+    def test_reverse_records_follow_switches(self):
+        net = topology_network(seed=4)
+        optimize_tables(net)
+        tables = net.tables()
+        for node_id, table in tables.items():
+            for entry in table.entries():
+                if entry.node == node_id:
+                    continue
+                assert node_id in tables[entry.node].reverse_neighbors(
+                    entry.level, entry.digit
+                )
+
+    def test_switch_counting(self):
+        net = topology_network(seed=5)
+        report = optimize_tables(net)
+        per_node = sum(
+            node.optimization_switches for node in net.nodes.values()
+        )
+        assert per_node == report.total_switches
+        assert report.total_switches > 0
+
+    def test_leave_still_works_after_optimization(self):
+        """Reverse-neighbor bookkeeping survives primary switches, so
+        the leave protocol still repairs everyone who points at the
+        leaver."""
+        net = topology_network(n=60, seed=6)
+        optimize_tables(net)
+        members = net.member_ids()
+        rng = random.Random(1)
+        from repro.protocol.leave import leave_sequentially
+
+        leave_sequentially(net, rng.sample(members, 10))
+        assert net.check_consistency().consistent
+
+
+class TestStretchMetric:
+    def test_stretch_at_least_one_on_topology(self):
+        net = topology_network(n=80, seed=7)
+        report = measure_stretch(net, sample_pairs=100)
+        assert report.mean_stretch >= 1.0
+        assert report.max_stretch >= report.mean_stretch
+        assert report.pairs == 100
+
+    def test_requires_two_members(self):
+        space, ids = make_ids(4, 4, 1, seed=8)
+        net = build_network(space, ids, seed=8)
+        with pytest.raises(ValueError):
+            measure_stretch(net)

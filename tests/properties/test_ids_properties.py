@@ -1,0 +1,116 @@
+"""Property-based tests for the ID space and suffix algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ids.digits import NodeId
+from repro.ids.idspace import IdSpace
+from repro.ids.suffix import SuffixIndex, csuf
+
+BASES = st.sampled_from([2, 3, 4, 8, 16])
+
+
+@st.composite
+def id_pairs(draw):
+    base = draw(BASES)
+    num_digits = draw(st.integers(2, 8))
+    space = IdSpace(base, num_digits)
+    x = space.from_int(draw(st.integers(0, space.size - 1)))
+    y = space.from_int(draw(st.integers(0, space.size - 1)))
+    return space, x, y
+
+
+@st.composite
+def id_sets(draw):
+    base = draw(st.sampled_from([2, 3, 4]))
+    num_digits = draw(st.integers(2, 5))
+    space = IdSpace(base, num_digits)
+    values = draw(
+        st.sets(st.integers(0, space.size - 1), min_size=1, max_size=20)
+    )
+    return space, [space.from_int(v) for v in values]
+
+
+class TestCsufProperties:
+    @given(id_pairs())
+    @settings(max_examples=150)
+    def test_csuf_symmetric(self, data):
+        _, x, y = data
+        assert x.csuf_len(y) == y.csuf_len(x)
+
+    @given(id_pairs())
+    @settings(max_examples=150)
+    def test_csuf_is_common_suffix_and_maximal(self, data):
+        _, x, y = data
+        k = x.csuf_len(y)
+        common = csuf(x, y)
+        assert x.has_suffix(common)
+        assert y.has_suffix(common)
+        if k < x.num_digits:
+            # One digit longer is no longer common.
+            assert x.suffix(k + 1) != y.suffix(k + 1)
+
+    @given(id_pairs())
+    @settings(max_examples=100)
+    def test_csuf_full_iff_equal(self, data):
+        _, x, y = data
+        assert (x.csuf_len(y) == x.num_digits) == (x == y)
+
+    @given(id_pairs())
+    @settings(max_examples=100)
+    def test_equal_csuf_under_triangle(self, data):
+        """csuf(x, z) >= min(csuf(x, y), csuf(y, z)): suffix matching
+        is an ultrametric."""
+        space, x, y = data
+        import random
+
+        z = space.from_int(random.Random(x.to_int() ^ y.to_int()).randrange(space.size))
+        assert x.csuf_len(z) >= min(x.csuf_len(y), y.csuf_len(z))
+
+
+class TestRoundTrips:
+    @given(id_pairs())
+    @settings(max_examples=100)
+    def test_string_roundtrip(self, data):
+        space, x, _ = data
+        assert space.from_string(str(x)) == x
+
+    @given(id_pairs())
+    @settings(max_examples=100)
+    def test_int_roundtrip(self, data):
+        space, x, _ = data
+        assert space.from_int(x.to_int()) == x
+
+    @given(id_pairs())
+    @settings(max_examples=100)
+    def test_digits_roundtrip(self, data):
+        space, x, _ = data
+        assert space.from_digits(x.digits) == x
+
+
+class TestSuffixIndexProperties:
+    @given(id_sets(), st.integers(0, 5))
+    @settings(max_examples=100)
+    def test_matches_brute_force(self, data, raw_len):
+        space, members = data
+        index = SuffixIndex(members)
+        probe = members[0]
+        k = min(raw_len, space.num_digits)
+        suffix = probe.suffix(k)
+        expected = {m for m in members if m.has_suffix(suffix)}
+        assert index.nodes_with(suffix) == expected
+        assert index.any_with(suffix) == bool(expected)
+        assert index.count_with(suffix) == len(expected)
+
+    @given(id_sets())
+    @settings(max_examples=50)
+    def test_add_then_discard_restores(self, data):
+        space, members = data
+        index = SuffixIndex(members[:-1])
+        before = {
+            m: index.nodes_with(m.suffix(1)) for m in members[:-1]
+        }
+        index.add(members[-1])
+        index.discard(members[-1])
+        for m in members[:-1]:
+            assert index.nodes_with(m.suffix(1)) == before[m]

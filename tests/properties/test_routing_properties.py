@@ -1,0 +1,65 @@
+"""Property-based tests for oracle tables and routing."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.checker import check_consistency
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.router import route
+
+
+@st.composite
+def networks(draw):
+    base = draw(st.sampled_from([2, 3, 4]))
+    num_digits = draw(st.integers(2, 5))
+    space = IdSpace(base, num_digits)
+    count = draw(st.integers(1, min(25, space.size)))
+    seed = draw(st.integers(0, 10_000))
+    ids = space.random_unique_ids(count, random.Random(seed))
+    tables = build_consistent_tables(ids, random.Random(seed + 1))
+    return space, ids, tables
+
+
+class TestOracleProperties:
+    @given(networks())
+    @settings(max_examples=40, deadline=None)
+    def test_oracle_always_consistent(self, data):
+        _, _, tables = data
+        assert check_consistency(tables).consistent
+
+    @given(networks())
+    @settings(max_examples=40, deadline=None)
+    def test_routing_reaches_everything(self, data):
+        space, ids, tables = data
+        provider = lambda n: tables[n]  # noqa: E731
+        rng = random.Random(0)
+        pairs = (
+            [(a, b) for a in ids for b in ids]
+            if len(ids) <= 8
+            else [tuple(rng.sample(ids, 2)) for _ in range(40)]
+        )
+        for source, target in pairs:
+            result = route(provider, source, target)
+            assert result.success
+            assert result.hops <= space.num_digits
+
+    @given(networks())
+    @settings(max_examples=30, deadline=None)
+    def test_route_suffix_progress_monotone(self, data):
+        space, ids, tables = data
+        provider = lambda n: tables[n]  # noqa: E731
+        rng = random.Random(1)
+        for _ in range(10):
+            if len(ids) < 2:
+                return
+            source, target = rng.sample(ids, 2)
+            result = route(provider, source, target)
+            matches = [n.csuf_len(target) for n in result.path]
+            assert matches == sorted(matches)
+            assert all(
+                later > earlier
+                for earlier, later in zip(matches, matches[1:])
+            )

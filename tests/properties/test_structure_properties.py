@@ -1,0 +1,100 @@
+"""Structural property tests across construction methods.
+
+Definition 3.8 determines the *fill pattern* of every table from the
+membership alone (an entry is filled iff its suffix class is
+inhabited); only the choice of occupant is free.  So any two correct
+constructions -- oracle, protocol bootstrap, protocol joins -- must
+agree exactly on which positions are filled.  Surrogate routing's
+origin-independence must likewise hold on any consistent network.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ids.idspace import IdSpace
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.network_init import initialize_network
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.router import surrogate_route
+from repro.topology.attachment import UniformLatencyModel
+
+
+@st.composite
+def memberships(draw):
+    base = draw(st.sampled_from([2, 3, 4]))
+    num_digits = draw(st.integers(2, 5))
+    space = IdSpace(base, num_digits)
+    count = draw(st.integers(2, min(18, space.size)))
+    seed = draw(st.integers(0, 10_000))
+    ids = space.random_unique_ids(count, random.Random(seed))
+    return space, ids, seed
+
+
+def fill_pattern(table):
+    return frozenset((e.level, e.digit) for e in table.entries())
+
+
+class TestFillPatternDeterminism:
+    @given(memberships())
+    @settings(max_examples=15, deadline=None)
+    def test_bootstrap_matches_oracle_pattern(self, data):
+        space, ids, seed = data
+        oracle = build_consistent_tables(ids, random.Random(seed))
+        net = JoinProtocolNetwork(
+            space,
+            latency_model=UniformLatencyModel(random.Random(seed + 1)),
+            seed=seed,
+        )
+        initialize_network(net, ids, stagger=0.0)
+        net.run(max_events=3_000_000)
+        assert net.all_in_system()
+        for node_id in ids:
+            assert fill_pattern(net.table(node_id)) == fill_pattern(
+                oracle[node_id]
+            ), node_id
+
+    @given(memberships())
+    @settings(max_examples=15, deadline=None)
+    def test_join_protocol_matches_oracle_pattern(self, data):
+        space, ids, seed = data
+        if len(ids) < 4:
+            return
+        split = len(ids) // 2
+        net = JoinProtocolNetwork.from_oracle(
+            space,
+            ids[:split],
+            latency_model=UniformLatencyModel(random.Random(seed + 2)),
+            seed=seed,
+        )
+        for joiner in ids[split:]:
+            net.start_join(joiner, at=0.0)
+        net.run(max_events=3_000_000)
+        assert net.all_in_system()
+        oracle = build_consistent_tables(ids)
+        for node_id in ids:
+            assert fill_pattern(net.table(node_id)) == fill_pattern(
+                oracle[node_id]
+            ), node_id
+
+
+class TestSurrogateOriginIndependence:
+    @given(memberships(), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_origins_agree(self, data, key_seed):
+        space, ids, seed = data
+        tables = build_consistent_tables(ids, random.Random(seed))
+        provider = lambda nid: tables[nid]  # noqa: E731
+        key_rng = random.Random(key_seed)
+        for _ in range(5):
+            target = space.from_int(key_rng.randrange(space.size))
+            roots = set()
+            for origin in ids:
+                result = surrogate_route(provider, origin, target)
+                assert result.success
+                roots.add(result.path[-1])
+            assert len(roots) == 1
+            root = roots.pop()
+            best = max(member.csuf_len(target) for member in ids)
+            assert root.csuf_len(target) == best

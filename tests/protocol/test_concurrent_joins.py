@@ -1,0 +1,144 @@
+"""Concurrent joins: the headline Theorems 1 and 2.
+
+The paper proves the join protocol leaves the network consistent after
+an *arbitrary* number of concurrent joins, including dependent ones
+(intersecting notification sets).  These tests cover engineered
+dependent scenarios, mixed workloads, and staggered starts.
+"""
+
+import random
+
+import pytest
+
+from repro.csettree.classify import (
+    joins_are_dependent,
+    joins_are_independent,
+)
+from repro.csettree.notification import notification_set
+from repro.protocol.join import JoinProtocolNetwork
+from repro.topology.attachment import UniformLatencyModel
+
+from tests.conftest import (
+    assert_network_correct,
+    build_network,
+    make_ids,
+    run_joins,
+)
+
+
+class TestConcurrentJoins:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorems_1_and_2_random_workloads(self, seed):
+        space, ids = make_ids(4, 4, 40, seed=seed)
+        net = build_network(space, ids[:25], seed=seed)
+        run_joins(net, ids[25:])
+        assert_network_correct(net)
+
+    def test_dependent_joins_same_notification_set(self):
+        """The paper's hard case: joiners that each think they might be
+        the only node with their suffix (Section 3.3's 10261/00261)."""
+        space = make_ids(8, 5, 0)[0]
+        existing = [
+            space.from_string(s)
+            for s in ["72430", "10353", "62332", "13141", "31701"]
+        ]
+        joiners = [
+            space.from_string(s) for s in ["10261", "00261", "20261", "30261"]
+        ]
+        notify = {j: notification_set(j, existing) for j in joiners}
+        assert joins_are_dependent(notify)
+        net = build_network(space, existing, seed=11)
+        run_joins(net, joiners)
+        assert_network_correct(net)
+        # All four joiners must know each other.
+        for a in joiners:
+            for b in joiners:
+                assert net.route(a, b).success
+
+    def test_independent_joins(self):
+        space = make_ids(8, 5, 0)[0]
+        existing = [
+            space.from_string(s)
+            for s in ["72430", "10353", "62332", "13141", "31701"]
+        ]
+        joiners = [space.from_string("10261"), space.from_string("67320")]
+        notify = {j: notification_set(j, existing) for j in joiners}
+        assert joins_are_independent(notify)
+        net = build_network(space, existing, seed=12)
+        run_joins(net, joiners)
+        assert_network_correct(net)
+
+    def test_many_joiners_small_network(self):
+        """More joiners than existing nodes."""
+        space, ids = make_ids(4, 4, 36, seed=13)
+        net = build_network(space, ids[:6], seed=13)
+        run_joins(net, ids[6:])
+        assert_network_correct(net)
+
+    def test_staggered_starts(self):
+        """Overlapping but not simultaneous joining periods."""
+        space, ids = make_ids(4, 4, 30, seed=14)
+        net = build_network(space, ids[:20], seed=14)
+        starts = [i * 3.0 for i in range(10)]
+        run_joins(net, ids[20:], start_times=starts)
+        assert_network_correct(net)
+
+    def test_binary_base_heavy_collisions(self):
+        """b=2 forces deep shared suffixes and heavy dependence."""
+        space, ids = make_ids(2, 8, 60, seed=15)
+        net = build_network(space, ids[:20], seed=15)
+        run_joins(net, ids[20:])
+        assert_network_correct(net)
+
+    def test_all_entries_have_s_state_at_end(self):
+        space, ids = make_ids(4, 4, 30, seed=16)
+        net = build_network(space, ids[:22], seed=16)
+        run_joins(net, ids[22:])
+        # check_consistency(require_s_states=True) inside:
+        assert_network_correct(net)
+        for node_id, table in net.tables().items():
+            from repro.routing.entry import NeighborState
+
+            for entry in table.entries():
+                assert entry.state is NeighborState.S
+
+    def test_reverse_neighbor_bookkeeping(self):
+        """Every forward pointer is mirrored by a reverse record."""
+        space, ids = make_ids(4, 4, 26, seed=17)
+        net = build_network(space, ids[:20], seed=17)
+        run_joins(net, ids[20:])
+        tables = net.tables()
+        for node_id, table in tables.items():
+            for entry in table.entries():
+                if entry.node == node_id:
+                    continue
+                assert node_id in tables[entry.node].reverse_neighbors(
+                    entry.level, entry.digit
+                ), (
+                    f"{node_id} points at {entry.node} "
+                    f"({entry.level},{entry.digit}) without reverse record"
+                )
+
+    def test_two_joiners_one_existing_node(self):
+        """Degenerate V: a single seed node, two dependent joiners."""
+        space = make_ids(4, 4, 0)[0]
+        from repro.protocol.network_init import single_node_table
+        from repro.topology.attachment import ConstantLatencyModel
+
+        seed_node = space.from_string("0000")
+        net = JoinProtocolNetwork(
+            space, latency_model=ConstantLatencyModel(1.0), seed=18
+        )
+        net.add_s_node(seed_node, single_node_table(seed_node))
+        joiners = [space.from_string("1111"), space.from_string("2111")]
+        run_joins(net, joiners)
+        assert_network_correct(net)
+
+    def test_join_noti_counts_recorded_per_joiner(self):
+        space, ids = make_ids(4, 4, 30, seed=19)
+        net = build_network(space, ids[:20], seed=19)
+        run_joins(net, ids[20:])
+        counts = net.join_noti_counts()
+        assert len(counts) == 10
+        assert all(c >= 0 for c in counts)
+        assert sum(counts) == net.stats.count("JoinNotiMsg")

@@ -1,0 +1,286 @@
+"""Handler-level unit tests: each Figure 6-14 action in isolation.
+
+These construct small controlled configurations, invoke a single
+message handler, and inspect the exact state change and messages sent
+-- complementing the end-to-end suites with pinpoint coverage of each
+branch in the pseudo-code.
+"""
+
+import pytest
+
+from repro.ids.idspace import IdSpace
+from repro.protocol.messages import (
+    InSysNotiMsg,
+    JoinNotiMsg,
+    JoinNotiRlyMsg,
+    JoinWaitMsg,
+    JoinWaitRlyMsg,
+    RvNghNotiMsg,
+    RvNghNotiRlyMsg,
+    SpeNotiMsg,
+    SpeNotiRlyMsg,
+)
+from repro.protocol.node import ProtocolNode
+from repro.protocol.status import NodeStatus
+from repro.network.transport import Transport
+from repro.network.stats import MessageStats
+from repro.routing.entry import NeighborState
+from repro.sim.scheduler import Simulator
+from repro.topology.attachment import ConstantLatencyModel
+
+SPACE = IdSpace(4, 4)
+
+
+class Harness:
+    """A transport with hand-built nodes and message capture."""
+
+    def __init__(self):
+        self.simulator = Simulator()
+        self.stats = MessageStats()
+        self.transport = Transport(
+            self.simulator, ConstantLatencyModel(1.0), self.stats
+        )
+
+    def s_node(self, text):
+        node_id = SPACE.from_string(text)
+        node = ProtocolNode(
+            node_id, self.transport, status=NodeStatus.IN_SYSTEM
+        )
+        for level in range(SPACE.num_digits):
+            node.table.set_entry(
+                level, node_id.digit(level), node_id, NeighborState.S
+            )
+        return node
+
+    def t_node(self, text, status=NodeStatus.WAITING):
+        node_id = SPACE.from_string(text)
+        node = ProtocolNode(node_id, self.transport, status=status)
+        for level in range(SPACE.num_digits):
+            node.table.set_entry(
+                level, node_id.digit(level), node_id, NeighborState.T
+            )
+        return node
+
+    def sent(self, type_name):
+        return self.stats.count(type_name)
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+class TestJoinWaitHandler:
+    """Figure 6."""
+
+    def test_s_node_with_empty_entry_replies_positive(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323")  # csuf = 2, entry (2, 3)
+        y._on_join_wait(JoinWaitMsg(x.node_id))
+        assert y.table.get(2, 3) == x.node_id
+        assert y.table.state(2, 3) is NeighborState.T
+        assert harness.sent("JoinWaitRlyMsg") == 1
+        assert harness.sent("RvNghNotiMsg") == 1  # fill bookkeeping
+
+    def test_s_node_with_occupied_entry_replies_negative(self, harness):
+        y = harness.s_node("0123")
+        other = harness.s_node("1323")
+        y.table.set_entry(2, 3, other.node_id, NeighborState.S)
+        x = harness.t_node("3323")
+        y._on_join_wait(JoinWaitMsg(x.node_id))
+        # The entry keeps its occupant; x is told about it.
+        assert y.table.get(2, 3) == other.node_id
+        assert harness.sent("JoinWaitRlyMsg") == 1
+
+    def test_t_node_queues_joiner(self, harness):
+        y = harness.t_node("0123", status=NodeStatus.NOTIFYING)
+        x = harness.t_node("3323")
+        y._on_join_wait(JoinWaitMsg(x.node_id))
+        assert x.node_id in y.q_joinwait
+        assert harness.sent("JoinWaitRlyMsg") == 0
+
+
+class TestJoinWaitRlyHandler:
+    """Figure 7."""
+
+    def test_positive_reply_moves_to_notifying(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323")
+        x.q_reply.add(y.node_id)
+        # y NOT pre-added to Qn: Check_Ngh_Table will then (re)notify
+        # it, keeping x in notifying status with one reply pending.
+        x._on_join_wait_rly(
+            JoinWaitRlyMsg(y.node_id, True, x.node_id, y.table.snapshot())
+        )
+        assert x.status is NodeStatus.NOTIFYING
+        assert x.noti_level == 2  # csuf(0123, 3323)
+        assert y.node_id in x.table.reverse_neighbors(2, x.node_id.digit(2))
+        assert x.q_reply == {y.node_id}
+        assert harness.sent("JoinNotiMsg") == 1
+
+    def test_negative_reply_chains_join_wait(self, harness):
+        y = harness.s_node("0123")
+        referral = harness.s_node("1323")
+        x = harness.t_node("3323")
+        x.q_reply.add(y.node_id)
+        x._on_join_wait_rly(
+            JoinWaitRlyMsg(
+                y.node_id, False, referral.node_id, y.table.snapshot()
+            )
+        )
+        assert x.status is NodeStatus.WAITING
+        assert harness.sent("JoinWaitMsg") == 1
+        assert referral.node_id in x.q_reply
+        assert referral.node_id in x.q_notified
+
+    def test_positive_in_wrong_status_raises(self, harness):
+        from repro.protocol.node import ProtocolError
+
+        y = harness.s_node("0123")
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        with pytest.raises(ProtocolError):
+            x._on_join_wait_rly(
+                JoinWaitRlyMsg(
+                    y.node_id, True, x.node_id, y.table.snapshot()
+                )
+            )
+
+    def test_immediate_switch_when_nothing_to_notify(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323")
+        x.q_reply.add(y.node_id)
+        x.q_notified.add(y.node_id)
+        x._on_join_wait_rly(
+            JoinWaitRlyMsg(y.node_id, True, x.node_id, y.table.snapshot())
+        )
+        # y's table only held itself (already in Qn): x switches.
+        assert x.status is NodeStatus.IN_SYSTEM
+
+
+class TestJoinNotiHandler:
+    """Figure 9."""
+
+    def test_fills_and_replies_positive(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        x.noti_level = 2
+        y._on_join_noti(
+            JoinNotiMsg(x.node_id, x.table.snapshot(), x.noti_level)
+        )
+        assert y.table.get(2, 3) == x.node_id
+        assert harness.sent("JoinNotiRlyMsg") == 1
+
+    def test_conflict_flag_when_notifier_lacks_receiver(self, harness):
+        """f = true: x's table does not hold y at (csuf, y[csuf])."""
+        y = harness.s_node("0123")
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        other = harness.s_node("2123")
+        # x stored 2123 where y would go (same "123"-suffix class).
+        x.table.set_entry(2, 1, other.node_id, NeighborState.S)
+        harness.simulator.run()  # flush RvNgh noise
+        before = harness.sent("JoinNotiRlyMsg")
+        y._on_join_noti(
+            JoinNotiMsg(x.node_id, x.table.snapshot(), x.noti_level)
+        )
+        assert harness.sent("JoinNotiRlyMsg") == before + 1
+
+    def test_negative_when_entry_already_taken(self, harness):
+        y = harness.s_node("0123")
+        other = harness.s_node("1323")
+        y.table.set_entry(2, 3, other.node_id, NeighborState.S)
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        y._on_join_noti(
+            JoinNotiMsg(x.node_id, x.table.snapshot(), x.noti_level)
+        )
+        assert y.table.get(2, 3) == other.node_id
+
+
+class TestSpeNotiHandler:
+    """Figures 11 and 12."""
+
+    def test_fills_empty_entry_and_replies(self, harness):
+        u = harness.s_node("0023")
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        y = harness.s_node("1123")
+        u._on_spe_noti(SpeNotiMsg(x.node_id, x.node_id, y.node_id))
+        k = u.node_id.csuf_len(y.node_id)
+        assert u.table.get(k, y.node_id.digit(k)) == y.node_id
+        assert harness.sent("SpeNotiRlyMsg") == 1
+
+    def test_forwards_when_entry_held_by_other(self, harness):
+        u = harness.s_node("0023")
+        occupant = harness.s_node("2123")  # same (2,1)-class as 1123
+        u.table.set_entry(2, 1, occupant.node_id, NeighborState.S)
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        y = harness.s_node("1123")
+        u._on_spe_noti(SpeNotiMsg(x.node_id, x.node_id, y.node_id))
+        assert harness.sent("SpeNotiMsg") == 1  # forwarded
+        assert harness.sent("SpeNotiRlyMsg") == 0
+
+    def test_reply_clears_qsr_and_switches(self, harness):
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        y = harness.s_node("1123")
+        x.q_spe_reply.add(y.node_id)
+        x._on_spe_noti_rly(
+            SpeNotiRlyMsg(y.node_id, x.node_id, y.node_id)
+        )
+        assert not x.q_spe_reply
+        assert x.status is NodeStatus.IN_SYSTEM
+
+
+class TestInSysAndRvNgh:
+    """Figures 13, 14 and the RvNgh bookkeeping."""
+
+    def test_in_sys_noti_flips_all_positions(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323")
+        y.table.set_entry(2, 3, x.node_id, NeighborState.T)
+        y._on_in_sys_noti(InSysNotiMsg(x.node_id))
+        assert y.table.state(2, 3) is NeighborState.S
+
+    def test_rv_ngh_noti_records_reverse_and_corrects_state(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323")
+        # x recorded y as T -- wrong, y is an S-node: y must reply.
+        y._on_rv_ngh_noti(
+            RvNghNotiMsg(x.node_id, 2, 0, NeighborState.T)
+        )
+        assert x.node_id in y.table.reverse_neighbors(2, 0)
+        assert harness.sent("RvNghNotiRlyMsg") == 1
+
+    def test_rv_ngh_noti_consistent_state_no_reply(self, harness):
+        y = harness.s_node("0123")
+        x = harness.t_node("3323")
+        y._on_rv_ngh_noti(
+            RvNghNotiMsg(x.node_id, 2, 0, NeighborState.S)
+        )
+        assert harness.sent("RvNghNotiRlyMsg") == 0
+
+    def test_rv_ngh_rly_updates_state(self, harness):
+        x = harness.t_node("3323")
+        y = harness.s_node("0123")
+        x.table.set_entry(2, 1, y.node_id, NeighborState.T)
+        x._on_rv_ngh_noti_rly(
+            RvNghNotiRlyMsg(y.node_id, 2, 1, NeighborState.S)
+        )
+        assert x.table.state(2, 1) is NeighborState.S
+
+    def test_rv_ngh_rly_ignores_stale_position(self, harness):
+        x = harness.t_node("3323")
+        y = harness.s_node("0123")
+        # Position empty: reply must be a no-op.
+        x._on_rv_ngh_noti_rly(
+            RvNghNotiRlyMsg(y.node_id, 2, 1, NeighborState.S)
+        )
+        assert x.table.get(2, 1) is None
+
+    def test_switch_flushes_queued_joiners(self, harness):
+        x = harness.t_node("3323", status=NodeStatus.NOTIFYING)
+        waiting = harness.t_node("1323")
+        x.q_joinwait.add(waiting.node_id)
+        x._switch_to_s_node()
+        assert x.status is NodeStatus.IN_SYSTEM
+        assert not x.q_joinwait
+        k = x.node_id.csuf_len(waiting.node_id)
+        assert x.table.get(k, waiting.node_id.digit(k)) == waiting.node_id
+        assert harness.sent("JoinWaitRlyMsg") == 1

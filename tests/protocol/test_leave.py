@@ -1,0 +1,161 @@
+"""The leave protocol (extension; paper Section 7 future work)."""
+
+import random
+
+import pytest
+
+from repro.protocol.leave import leave_sequentially, replacement_candidates
+from repro.protocol.node import ProtocolError
+from repro.protocol.status import NodeStatus
+
+from tests.conftest import (
+    assert_network_correct,
+    build_network,
+    make_ids,
+    run_joins,
+)
+
+
+class TestSingleLeave:
+    def test_consistency_after_one_leave(self):
+        space, ids = make_ids(4, 4, 25, seed=0)
+        net = build_network(space, ids, seed=0)
+        net.start_leave(ids[0], at=0.0)
+        net.run()
+        assert net.has_departed(ids[0])
+        assert ids[0] not in net.nodes
+        report = net.check_consistency()
+        assert report.consistent, report.violations[:3]
+
+    def test_leaver_absent_from_all_tables(self):
+        space, ids = make_ids(4, 4, 25, seed=1)
+        net = build_network(space, ids, seed=1)
+        net.start_leave(ids[3], at=0.0)
+        net.run()
+        for node_id, table in net.tables().items():
+            assert ids[3] not in table.distinct_neighbors()
+
+    def test_leaver_absent_from_reverse_records(self):
+        space, ids = make_ids(4, 4, 25, seed=2)
+        net = build_network(space, ids, seed=2)
+        net.start_leave(ids[3], at=0.0)
+        net.run()
+        for node_id, table in net.tables().items():
+            assert ids[3] not in table.all_reverse_neighbors()
+
+    def test_status_transitions(self):
+        space, ids = make_ids(4, 4, 10, seed=3)
+        net = build_network(space, ids, seed=3)
+        node = net.node(ids[0])
+        net.start_leave(ids[0], at=0.0)
+        net.run()
+        assert node.status is NodeStatus.LEFT
+        assert node.left_at is not None
+
+    def test_entry_cleared_when_class_dies(self):
+        """The sole member of a suffix class leaves: entries for that
+        class must become null (condition (b))."""
+        space = make_ids(4, 4, 0)[0]
+        # 3210 is the only node ending in 0.
+        members = [
+            space.from_string(s) for s in ["3210", "0001", "1111", "2221"]
+        ]
+        net = build_network(space, members, seed=4)
+        lone = members[0]
+        net.start_leave(lone, at=0.0)
+        net.run()
+        assert net.check_consistency().consistent
+        for node_id, table in net.tables().items():
+            assert table.get(0, 0) is None
+
+    def test_entry_replaced_when_class_survives(self):
+        space = make_ids(4, 4, 0)[0]
+        members = [
+            space.from_string(s) for s in ["3210", "1110", "0001", "1111"]
+        ]
+        net = build_network(space, members, seed=5)
+        survivor = members[1]
+        net.start_leave(members[0], at=0.0)
+        net.run()
+        assert net.check_consistency().consistent
+        # The class "...0" still exists: entries must now point at 1110.
+        for node_id, table in net.tables().items():
+            if node_id.digit(0) != 0:
+                assert table.get(0, 0) == survivor
+
+
+class TestLeaveGuards:
+    def test_cannot_leave_while_joining(self):
+        space, ids = make_ids(4, 4, 11, seed=6)
+        net = build_network(space, ids[:10], seed=6)
+        joiner = net.start_join(ids[10], at=5.0)
+        with pytest.raises(ProtocolError):
+            joiner.begin_leave()
+
+    def test_replacement_candidates_shape(self):
+        space, ids = make_ids(4, 4, 25, seed=7)
+        net = build_network(space, ids, seed=7)
+        node = net.node(ids[0])
+        for level, digit in node.table.reverse_positions():
+            for candidate in replacement_candidates(node, level):
+                # Candidates share at least level+1 digits with the
+                # leaver -- exactly the class a reverse (level, digit)
+                # entry requires.
+                assert candidate.csuf_len(ids[0]) >= level + 1
+                assert candidate != ids[0]
+
+
+class TestManyLeaves:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sequential_leaves_preserve_consistency(self, seed):
+        space, ids = make_ids(4, 4, 40, seed=seed)
+        net = build_network(space, ids, seed=seed)
+        rng = random.Random(seed)
+        leavers = rng.sample(ids, 20)
+        leave_sequentially(net, leavers)
+        assert len(net.nodes) == 20
+        report = net.check_consistency()
+        assert report.consistent, report.violations[:3]
+
+    def test_leave_down_to_one_node(self):
+        space, ids = make_ids(4, 4, 12, seed=20)
+        net = build_network(space, ids, seed=20)
+        leave_sequentially(net, ids[:-1])
+        assert len(net.nodes) == 1
+        assert net.check_consistency().consistent
+
+    def test_join_after_leaves(self):
+        """Full membership churn: join, leave, join again."""
+        space, ids = make_ids(4, 4, 30, seed=21)
+        net = build_network(space, ids[:20], seed=21)
+        run_joins(net, ids[20:25])
+        leave_sequentially(net, ids[:10])
+        run_joins(net, ids[25:])
+        assert_network_correct(net)
+
+    def test_concurrent_distant_leaves(self):
+        """Two simultaneous leaves that are not candidates for each
+        other's entries still compose safely."""
+        space = make_ids(8, 4, 0)[0]
+        members = [
+            space.from_string(s)
+            for s in ["1110", "2220", "3331", "4441", "5552", "6662"]
+        ]
+        net = build_network(space, members, seed=22)
+        # 1110 and 3331 are in different classes at every level below
+        # their csuf (which is 0), and neither is the other's sole
+        # class representative.
+        net.start_leave(members[0], at=0.0)
+        net.start_leave(members[2], at=0.0)
+        net.run()
+        assert net.has_departed(members[0])
+        assert net.has_departed(members[2])
+        assert net.check_consistency().consistent
+
+    def test_departed_excluded_from_membership(self):
+        space, ids = make_ids(4, 4, 10, seed=23)
+        net = build_network(space, ids, seed=23)
+        leave_sequentially(net, [ids[0]])
+        assert ids[0] not in net.member_ids()
+        assert ids[0] not in net.tables()
+        assert net.all_in_system()

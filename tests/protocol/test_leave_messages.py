@@ -1,0 +1,93 @@
+"""Message-level tests for the leave protocol and recovery messages."""
+
+from repro.ids.idspace import IdSpace
+from repro.network.message import HEADER_BYTES
+from repro.protocol.leave import (
+    LeaveForgetMsg,
+    LeaveNotifyMsg,
+    LeaveNotifyRlyMsg,
+    replacement_candidates,
+)
+from repro.recovery.messages import (
+    AdvertiseMsg,
+    PingMsg,
+    PongMsg,
+    RepairFindMsg,
+    RepairFindRlyMsg,
+)
+from repro.optimize.messages import OptFindMsg, OptFindRlyMsg
+
+SPACE = IdSpace(4, 4)
+A = SPACE.from_string("0123")
+B = SPACE.from_string("3210")
+
+
+class TestLeaveMessages:
+    def test_notify_size_scales_with_candidates(self):
+        small = LeaveNotifyMsg(A, 1, 2, ())
+        large = LeaveNotifyMsg(A, 1, 2, (B, A))
+        assert large.size_bytes() > small.size_bytes()
+        assert small.size_bytes() > HEADER_BYTES
+
+    def test_notify_carries_position(self):
+        msg = LeaveNotifyMsg(A, 2, 3, (B,))
+        assert (msg.level, msg.digit) == (2, 3)
+        assert msg.candidates == (B,)
+
+    def test_plain_leave_messages(self):
+        assert LeaveNotifyRlyMsg(A).size_bytes() == HEADER_BYTES
+        assert LeaveForgetMsg(A).size_bytes() == HEADER_BYTES
+
+
+class TestRecoveryMessages:
+    def test_ping_pong_echo(self):
+        ping = PingMsg(A, 12.5, token=1)
+        pong = PongMsg(B, ping.sent_at, ping.token)
+        assert pong.sent_at == 12.5
+        assert pong.token == 1
+
+    def test_repair_find_fields(self):
+        msg = RepairFindMsg(A, A, (1, 2), ttl=2)
+        assert msg.origin == A
+        assert msg.suffix == (1, 2)
+        assert msg.ttl == 2
+        assert msg.size_bytes() > HEADER_BYTES
+
+    def test_repair_find_rly_size(self):
+        empty = RepairFindRlyMsg(A, (1,), ())
+        full = RepairFindRlyMsg(A, (1,), (B, A))
+        assert full.size_bytes() > empty.size_bytes()
+
+    def test_advertise_is_tiny(self):
+        assert AdvertiseMsg(A).size_bytes() == HEADER_BYTES
+
+
+class TestOptimizeMessages:
+    def test_opt_find_roundtrip_fields(self):
+        msg = OptFindMsg(A, (3, 2))
+        assert msg.suffix == (3, 2)
+        reply = OptFindRlyMsg(B, msg.suffix, (A,))
+        assert reply.suffix == msg.suffix
+        assert reply.candidates == (A,)
+        assert reply.size_bytes() > msg.size_bytes()
+
+
+class TestReplacementCandidates:
+    def test_orders_deterministically_and_excludes_self(self):
+        from repro.protocol.join import JoinProtocolNetwork
+        from repro.topology.attachment import ConstantLatencyModel
+        from repro.routing.oracle import build_consistent_tables
+        from repro.protocol.node import ProtocolNode
+        from repro.protocol.status import NodeStatus
+        import random
+
+        ids = SPACE.random_unique_ids(20, random.Random(1))
+        tables = build_consistent_tables(ids)
+        net = JoinProtocolNetwork(
+            SPACE, latency_model=ConstantLatencyModel(1.0)
+        )
+        node = net.add_s_node(ids[0], tables[ids[0]])
+        for level in range(SPACE.num_digits):
+            candidates = replacement_candidates(node, level)
+            assert ids[0] not in candidates
+            assert candidates == replacement_candidates(node, level)

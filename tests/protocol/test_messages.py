@@ -1,0 +1,113 @@
+"""Unit tests for protocol message types and size accounting."""
+
+from repro.ids.idspace import IdSpace
+from repro.network.message import ENTRY_BYTES, HEADER_BYTES
+from repro.protocol.messages import (
+    BIG_MESSAGE_TYPES,
+    CpRlyMsg,
+    CpRstMsg,
+    InSysNotiMsg,
+    JoinNotiMsg,
+    JoinNotiRlyMsg,
+    JoinWaitMsg,
+    JoinWaitRlyMsg,
+    RvNghNotiMsg,
+    RvNghNotiRlyMsg,
+    SpeNotiMsg,
+    SpeNotiRlyMsg,
+    snapshot_view,
+)
+from repro.routing.entry import NeighborState, TableEntry
+
+SPACE = IdSpace(4, 4)
+A = SPACE.from_string("0123")
+B = SPACE.from_string("3210")
+
+
+def snapshot(n=3):
+    entries = []
+    digits = ["3103", "2103", "1103"]
+    for i in range(n):
+        node = SPACE.from_string(digits[i])
+        entries.append(TableEntry(3, node.digit(3), node, NeighborState.S))
+    return tuple(entries)
+
+
+class TestSnapshotView:
+    def test_lookup(self):
+        view = snapshot_view(snapshot())
+        assert view[(3, 3)][0] == SPACE.from_string("3103")
+        assert (0, 0) not in view
+
+    def test_empty(self):
+        assert snapshot_view(()) == {}
+
+
+class TestMessageSizes:
+    def test_plain_messages_are_header_only(self):
+        assert CpRstMsg(A).size_bytes() == HEADER_BYTES
+        assert InSysNotiMsg(A).size_bytes() == HEADER_BYTES
+        assert JoinWaitMsg(A).size_bytes() == HEADER_BYTES
+
+    def test_table_messages_charge_per_entry(self):
+        msg = CpRlyMsg(A, snapshot(3))
+        assert msg.size_bytes() == HEADER_BYTES + 3 * ENTRY_BYTES
+        assert msg.carries_table
+
+    def test_join_wait_rly_includes_referral(self):
+        msg = JoinWaitRlyMsg(A, True, B, snapshot(2))
+        assert msg.size_bytes() > HEADER_BYTES + 2 * ENTRY_BYTES
+        assert msg.positive
+        assert msg.referral == B
+
+    def test_join_noti_bit_vector_bytes(self):
+        base = JoinNotiMsg(A, snapshot(2), noti_level=1)
+        reduced = JoinNotiMsg(
+            A, snapshot(2), noti_level=1, bit_vector_bytes=2
+        )
+        assert reduced.size_bytes() == base.size_bytes() + 2
+
+    def test_join_noti_rly_flags(self):
+        msg = JoinNotiRlyMsg(A, False, snapshot(1), conflict=True)
+        assert not msg.positive
+        assert msg.conflict
+
+    def test_spe_noti_carries_two_refs(self):
+        msg = SpeNotiMsg(A, origin=A, subject=B)
+        assert msg.origin == A
+        assert msg.subject == B
+        assert msg.size_bytes() > HEADER_BYTES
+        reply = SpeNotiRlyMsg(B, origin=A, subject=B)
+        assert reply.size_bytes() == msg.size_bytes()
+
+    def test_rv_ngh_messages_small(self):
+        msg = RvNghNotiMsg(A, 1, 2, NeighborState.T)
+        reply = RvNghNotiRlyMsg(B, 1, 2, NeighborState.S)
+        assert msg.size_bytes() < HEADER_BYTES + 10
+        assert reply.size_bytes() < HEADER_BYTES + 10
+
+    def test_big_message_types_match_paper(self):
+        assert set(BIG_MESSAGE_TYPES) == {
+            "CpRstMsg",
+            "JoinWaitMsg",
+            "JoinNotiMsg",
+        }
+
+    def test_type_names_unique(self):
+        names = [
+            cls.type_name
+            for cls in (
+                CpRstMsg,
+                CpRlyMsg,
+                JoinWaitMsg,
+                JoinWaitRlyMsg,
+                JoinNotiMsg,
+                JoinNotiRlyMsg,
+                InSysNotiMsg,
+                SpeNotiMsg,
+                SpeNotiRlyMsg,
+                RvNghNotiMsg,
+                RvNghNotiRlyMsg,
+            )
+        ]
+        assert len(names) == len(set(names)) == 11

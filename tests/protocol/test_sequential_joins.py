@@ -1,0 +1,46 @@
+"""Sequential joins (Definition 3.2, Lemma 5.2)."""
+
+from repro.baselines.sequential_gate import join_sequentially
+from repro.csettree.classify import JoiningPeriod, joins_are_sequential
+
+from tests.conftest import assert_network_correct, build_network, make_ids
+
+
+class TestSequentialJoins:
+    def test_lemma_5_2_consistency(self):
+        space, ids = make_ids(4, 4, 30, seed=0)
+        net = build_network(space, ids[:20], seed=0)
+        join_sequentially(net, ids[20:], gap=1.0)
+        assert_network_correct(net)
+
+    def test_joining_periods_are_sequential(self):
+        space, ids = make_ids(4, 4, 26, seed=1)
+        net = build_network(space, ids[:20], seed=1)
+        join_sequentially(net, ids[20:], gap=1.0)
+        periods = [
+            JoiningPeriod(
+                joiner,
+                net.node(joiner).join_began_at,
+                net.node(joiner).became_s_at,
+            )
+            for joiner in ids[20:]
+        ]
+        assert joins_are_sequential(periods)
+
+    def test_later_joiners_know_earlier_ones_when_needed(self):
+        """After sequential joins the network is one system: routing
+        works between any pair of joiners."""
+        space, ids = make_ids(4, 4, 28, seed=2)
+        net = build_network(space, ids[:20], seed=2)
+        join_sequentially(net, ids[20:], gap=1.0)
+        for source in ids[20:]:
+            for target in ids[20:]:
+                assert net.route(source, target).success
+
+    def test_sequential_gate_raises_on_incomplete_join(self):
+        """join_sequentially validates completion (sanity guard)."""
+        space, ids = make_ids(4, 4, 22, seed=3)
+        net = build_network(space, ids[:20], seed=3)
+        # Normal operation should never raise.
+        join_sequentially(net, ids[20:], gap=0.5)
+        assert_network_correct(net)

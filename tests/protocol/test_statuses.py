@@ -1,0 +1,108 @@
+"""Node status machinery and protocol guards."""
+
+import pytest
+
+from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.node import ProtocolError, ProtocolNode
+from repro.protocol.status import NodeStatus
+from repro.routing.table import NeighborTable
+from repro.topology.attachment import ConstantLatencyModel
+
+from tests.conftest import build_network, make_ids, run_joins
+
+
+class TestNodeStatus:
+    def test_is_s_node(self):
+        assert NodeStatus.IN_SYSTEM.is_s_node
+        for status in (
+            NodeStatus.COPYING,
+            NodeStatus.WAITING,
+            NodeStatus.NOTIFYING,
+        ):
+            assert not status.is_s_node
+
+    def test_str(self):
+        assert str(NodeStatus.COPYING) == "copying"
+
+
+class TestGuards:
+    def test_double_start_join_rejected(self):
+        space, ids = make_ids(4, 4, 12, seed=0)
+        net = build_network(space, ids[:10], seed=0)
+        net.start_join(ids[10], at=0.0)
+        with pytest.raises(ValueError):
+            net.start_join(ids[10], at=1.0)
+
+    def test_join_of_existing_member_rejected(self):
+        space, ids = make_ids(4, 4, 10, seed=1)
+        net = build_network(space, ids[:10], seed=1)
+        with pytest.raises(ValueError):
+            net.start_join(ids[0])
+
+    def test_begin_join_twice_rejected(self):
+        space, ids = make_ids(4, 4, 12, seed=2)
+        net = build_network(space, ids[:10], seed=2)
+        node = net.start_join(ids[10], at=0.0)
+        net.run()
+        with pytest.raises(ProtocolError):
+            node.begin_join(ids[0])
+
+    def test_join_via_itself_rejected(self):
+        space, ids = make_ids(4, 4, 11, seed=3)
+        net = JoinProtocolNetwork(
+            space, latency_model=ConstantLatencyModel(1.0)
+        )
+        from repro.protocol.network_init import single_node_table
+
+        net.add_s_node(ids[0], single_node_table(ids[0]))
+        node = ProtocolNode(
+            ids[1], net.transport, status=NodeStatus.COPYING
+        )
+        with pytest.raises(ProtocolError):
+            node.begin_join(ids[1])
+
+    def test_table_owner_mismatch_rejected(self):
+        space, ids = make_ids(4, 4, 2, seed=4)
+        net = JoinProtocolNetwork(
+            space, latency_model=ConstantLatencyModel(1.0)
+        )
+        with pytest.raises(ValueError):
+            ProtocolNode(
+                ids[0], net.transport, table=NeighborTable(ids[1])
+            )
+
+    def test_join_without_existing_nodes_rejected(self):
+        space, ids = make_ids(4, 4, 1, seed=5)
+        net = JoinProtocolNetwork(
+            space, latency_model=ConstantLatencyModel(1.0)
+        )
+        with pytest.raises(ValueError):
+            net.start_join(ids[0])
+
+
+class TestBookkeeping:
+    def test_initial_members_have_te_zero(self):
+        space, ids = make_ids(4, 4, 10, seed=6)
+        net = build_network(space, ids[:10], seed=6)
+        for node_id in ids[:10]:
+            assert net.node(node_id).became_s_at == 0.0
+            assert net.node(node_id).join_began_at is None
+
+    def test_joiner_queues_empty_after_completion(self):
+        space, ids = make_ids(4, 4, 16, seed=7)
+        net = build_network(space, ids[:10], seed=7)
+        run_joins(net, ids[10:])
+        for joiner in ids[10:]:
+            node = net.node(joiner)
+            assert node.q_reply == set()
+            assert node.q_spe_reply == set()
+            assert node.q_joinwait == set()
+
+    def test_joining_period_ordering(self):
+        space, ids = make_ids(4, 4, 14, seed=8)
+        net = build_network(space, ids[:10], seed=8)
+        run_joins(net, ids[10:])
+        for joiner in ids[10:]:
+            node = net.node(joiner)
+            assert node.join_began_at == 0.0
+            assert node.became_s_at > node.join_began_at

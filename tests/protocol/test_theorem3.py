@@ -1,0 +1,39 @@
+"""Theorem 3: a joining node sends at most d+1 CpRstMsg + JoinWaitMsg."""
+
+import pytest
+
+from repro.analysis.expected_cost import theorem3_bound
+
+from tests.conftest import build_network, make_ids, run_joins
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bound_holds_concurrent(self, seed):
+        space, ids = make_ids(4, 5, 40, seed=seed)
+        net = build_network(space, ids[:25], seed=seed)
+        run_joins(net, ids[25:])
+        bound = theorem3_bound(space.num_digits)
+        for count in net.theorem3_counts():
+            assert count <= bound
+
+    def test_bound_holds_binary_base(self):
+        """Deep suffix collisions maximize JoinWaitMsg chains."""
+        space, ids = make_ids(2, 10, 80, seed=100)
+        net = build_network(space, ids[:30], seed=100)
+        run_joins(net, ids[30:])
+        bound = theorem3_bound(space.num_digits)
+        assert max(net.theorem3_counts()) <= bound
+
+    def test_bound_value(self):
+        assert theorem3_bound(8) == 9
+        assert theorem3_bound(40) == 41
+
+    def test_single_join_well_below_bound(self):
+        space, ids = make_ids(16, 8, 51, seed=7)
+        net = build_network(space, ids[:50], seed=7)
+        run_joins(net, [ids[50]])
+        count = net.theorem3_counts()[0]
+        # Expected: ~log_16(50) CpRstMsg + 1 JoinWaitMsg.
+        assert count <= theorem3_bound(8)
+        assert count >= 2  # at least one CpRst and one JoinWait

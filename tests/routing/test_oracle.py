@@ -1,0 +1,96 @@
+"""Unit tests for oracle table construction."""
+
+import random
+
+import pytest
+
+from repro.consistency.checker import check_consistency
+from repro.ids.idspace import IdSpace
+from repro.routing.entry import NeighborState
+from repro.routing.oracle import build_consistent_tables
+
+
+class TestOracle:
+    def test_single_node_network(self):
+        space = IdSpace(4, 4)
+        node = space.from_string("0123")
+        tables = build_consistent_tables([node])
+        table = tables[node]
+        # Only self-pointers.
+        assert table.distinct_neighbors() == {node}
+        assert table.filled_count() == 4
+        assert check_consistency(tables).consistent
+
+    def test_consistency_for_random_networks(self):
+        for seed in range(5):
+            space = IdSpace(4, 4)
+            ids = space.random_unique_ids(30, random.Random(seed))
+            tables = build_consistent_tables(ids, random.Random(seed))
+            report = check_consistency(tables)
+            assert report.consistent, report.violations[:3]
+
+    def test_deterministic_without_rng(self):
+        space = IdSpace(4, 4)
+        ids = space.random_unique_ids(20, random.Random(1))
+        t1 = build_consistent_tables(ids)
+        t2 = build_consistent_tables(ids)
+        for node in ids:
+            assert t1[node].snapshot() == t2[node].snapshot()
+
+    def test_self_entries_point_to_owner_with_state_s(self):
+        space = IdSpace(4, 4)
+        ids = space.random_unique_ids(10, random.Random(2))
+        tables = build_consistent_tables(ids)
+        for node in ids:
+            for level in range(space.num_digits):
+                assert tables[node].get(level, node.digit(level)) == node
+                assert (
+                    tables[node].state(level, node.digit(level))
+                    is NeighborState.S
+                )
+
+    def test_all_states_are_s(self):
+        space = IdSpace(4, 4)
+        ids = space.random_unique_ids(10, random.Random(3))
+        tables = build_consistent_tables(ids, random.Random(3))
+        for node in ids:
+            for entry in tables[node].entries():
+                assert entry.state is NeighborState.S
+
+    def test_reverse_neighbors_match_forward_pointers(self):
+        space = IdSpace(4, 4)
+        ids = space.random_unique_ids(15, random.Random(4))
+        tables = build_consistent_tables(ids, random.Random(4))
+        for node in ids:
+            for entry in tables[node].entries():
+                if entry.node == node:
+                    continue
+                assert node in tables[entry.node].reverse_neighbors(
+                    entry.level, entry.digit
+                )
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError):
+            build_consistent_tables([])
+
+    def test_rejects_duplicates(self):
+        space = IdSpace(4, 4)
+        node = space.from_string("0123")
+        with pytest.raises(ValueError):
+            build_consistent_tables([node, node])
+
+    def test_rejects_mixed_id_spaces(self):
+        a = IdSpace(4, 4).from_string("0123")
+        b = IdSpace(8, 4).from_string("0123")
+        with pytest.raises(ValueError):
+            build_consistent_tables([a, b])
+
+    def test_randomized_choice_uses_rng(self):
+        space = IdSpace(2, 6)
+        ids = space.random_unique_ids(40, random.Random(5))
+        t1 = build_consistent_tables(ids, random.Random(1))
+        t2 = build_consistent_tables(ids, random.Random(2))
+        differs = any(
+            t1[node].snapshot() != t2[node].snapshot() for node in ids
+        )
+        assert differs

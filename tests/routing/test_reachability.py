@@ -1,0 +1,45 @@
+"""Unit tests for reachability (Definition 3.7)."""
+
+import random
+
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.reachability import is_reachable, reachability_path
+
+
+def network(count=20, seed=0):
+    space = IdSpace(4, 4)
+    ids = space.random_unique_ids(count, random.Random(seed))
+    tables = build_consistent_tables(ids, random.Random(seed))
+    return space, ids, tables
+
+
+class TestReachability:
+    def test_reachable_in_consistent_network(self):
+        space, ids, tables = network()
+        provider = lambda n: tables[n]  # noqa: E731
+        assert is_reachable(provider, ids[0], ids[1])
+
+    def test_path_is_valid_neighbor_sequence(self):
+        space, ids, tables = network(seed=2)
+        provider = lambda n: tables[n]  # noqa: E731
+        path = reachability_path(provider, ids[0], ids[7])
+        assert path is not None
+        assert path[0] == ids[0] and path[-1] == ids[7]
+        for current, nxt in zip(path, path[1:]):
+            level = current.csuf_len(ids[7])
+            assert tables[current].get(level, ids[7].digit(level)) == nxt
+
+    def test_unreachable_returns_none(self):
+        space = IdSpace(4, 4)
+        a, b = space.from_string("0000"), space.from_string("1111")
+        tables = build_consistent_tables([a])
+        tables[b] = build_consistent_tables([b])[b]
+        provider = lambda n: tables[n]  # noqa: E731
+        assert reachability_path(provider, a, b) is None
+        assert not is_reachable(provider, a, b)
+
+    def test_self_reachable(self):
+        space, ids, tables = network()
+        provider = lambda n: tables[n]  # noqa: E731
+        assert is_reachable(provider, ids[0], ids[0])

@@ -1,0 +1,85 @@
+"""Unit tests for the suffix-matching routing scheme."""
+
+import random
+
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.router import next_hop, route
+
+
+def oracle_network(base, num_digits, count, seed=0):
+    space = IdSpace(base, num_digits)
+    ids = space.random_unique_ids(count, random.Random(seed))
+    tables = build_consistent_tables(ids, random.Random(seed + 1))
+    return space, ids, tables
+
+
+class TestNextHop:
+    def test_self_when_at_target(self):
+        space, ids, tables = oracle_network(4, 4, 10)
+        node = ids[0]
+        assert next_hop(tables[node], node, node) == node
+
+    def test_hop_extends_suffix_match(self):
+        space, ids, tables = oracle_network(4, 4, 30, seed=2)
+        src, dst = ids[0], ids[1]
+        hop = next_hop(tables[src], src, dst)
+        assert hop is not None
+        assert hop.csuf_len(dst) > src.csuf_len(dst)
+
+    def test_none_on_missing_entry(self):
+        space = IdSpace(4, 4)
+        ids = [space.from_string("0000"), space.from_string("1111")]
+        tables = build_consistent_tables([ids[0]])
+        # 1111 is not in the network, so 0000 has no (0,1)-entry.
+        assert next_hop(tables[ids[0]], ids[0], ids[1]) is None
+
+
+class TestRoute:
+    def test_route_to_self(self):
+        space, ids, tables = oracle_network(4, 4, 10)
+        result = route(lambda n: tables[n], ids[0], ids[0])
+        assert result.success
+        assert result.hops == 0
+
+    def test_all_pairs_reach_within_d_hops(self):
+        space, ids, tables = oracle_network(4, 4, 25, seed=3)
+        provider = lambda n: tables[n]  # noqa: E731
+        for src in ids:
+            for dst in ids:
+                result = route(provider, src, dst)
+                assert result.success, f"{src} -> {dst}"
+                assert result.hops <= space.num_digits
+
+    def test_path_starts_and_ends_correctly(self):
+        space, ids, tables = oracle_network(8, 4, 40, seed=4)
+        result = route(lambda n: tables[n], ids[0], ids[5])
+        assert result.path[0] == ids[0]
+        assert result.path[-1] == ids[5]
+
+    def test_suffix_match_strictly_increases_along_path(self):
+        space, ids, tables = oracle_network(8, 4, 40, seed=5)
+        result = route(lambda n: tables[n], ids[3], ids[9])
+        matches = [node.csuf_len(ids[9]) for node in result.path]
+        assert all(b > a for a, b in zip(matches, matches[1:]))
+
+    def test_failure_on_inconsistent_tables(self):
+        space = IdSpace(4, 4)
+        a = space.from_string("0000")
+        b = space.from_string("1111")
+        tables = build_consistent_tables([a, b])
+        # Sabotage: route from a to an ID not in the network.
+        ghost = space.from_string("2222")
+        tables[ghost] = tables[a]
+        result = route(lambda n: tables[n], a, ghost)
+        assert not result.success
+        assert result.failed_at == a
+
+    def test_max_hops_cutoff(self):
+        space, ids, tables = oracle_network(4, 4, 25, seed=6)
+        # With max_hops=0 any non-trivial route fails immediately.
+        src = ids[0]
+        dst = next(i for i in ids if i != src)
+        result = route(lambda n: tables[n], src, dst, max_hops=0)
+        assert not result.success
+        assert result.failed_at == src

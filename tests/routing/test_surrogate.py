@@ -1,0 +1,109 @@
+"""Tests for PRR surrogate routing (deterministic object roots)."""
+
+import random
+
+from repro.ids.idspace import IdSpace
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.router import surrogate_route
+
+
+def network(base=4, num_digits=4, count=25, seed=0):
+    space = IdSpace(base, num_digits)
+    ids = space.random_unique_ids(count, random.Random(seed))
+    tables = build_consistent_tables(ids, random.Random(seed + 1))
+    return space, ids, tables
+
+
+class TestSurrogateRouting:
+    def test_existing_node_resolves_to_itself(self):
+        space, ids, tables = network()
+        provider = lambda n: tables[n]  # noqa: E731
+        result = surrogate_route(provider, ids[0], ids[5])
+        assert result.success
+        assert result.path[-1] == ids[5]
+
+    def test_origin_independence(self):
+        """The defining property: every origin resolves the same root
+        for a given object ID (P1, deterministic location)."""
+        space, ids, tables = network(seed=3)
+        provider = lambda n: tables[n]  # noqa: E731
+        rng = random.Random(9)
+        for _ in range(20):
+            target = space.from_int(rng.randrange(space.size))
+            roots = set()
+            for origin in ids:
+                result = surrogate_route(provider, origin, target)
+                assert result.success
+                roots.add(result.path[-1])
+            assert len(roots) == 1, f"object {target}: roots {roots}"
+
+    def test_root_is_member(self):
+        space, ids, tables = network(seed=4)
+        provider = lambda n: tables[n]  # noqa: E731
+        members = set(ids)
+        rng = random.Random(1)
+        for _ in range(20):
+            target = space.from_int(rng.randrange(space.size))
+            result = surrogate_route(provider, ids[0], target)
+            assert result.path[-1] in members
+
+    def test_root_has_maximal_suffix_match(self):
+        """The root matches the object in at least as many suffix
+        digits as any other member (the PRR root property)."""
+        space, ids, tables = network(seed=5)
+        provider = lambda n: tables[n]  # noqa: E731
+        rng = random.Random(2)
+        for _ in range(20):
+            target = space.from_int(rng.randrange(space.size))
+            result = surrogate_route(provider, ids[0], target)
+            root = result.path[-1]
+            best = max(member.csuf_len(target) for member in ids)
+            assert root.csuf_len(target) == best
+
+    def test_single_node_network(self):
+        space = IdSpace(4, 4)
+        node = space.from_string("0123")
+        tables = build_consistent_tables([node])
+        provider = lambda n: tables[n]  # noqa: E731
+        target = space.from_string("3210")
+        result = surrogate_route(provider, node, target)
+        assert result.success
+        assert result.path == [node]
+
+    def test_path_length_bounded(self):
+        space, ids, tables = network(base=2, num_digits=8, count=50, seed=6)
+        provider = lambda n: tables[n]  # noqa: E731
+        rng = random.Random(3)
+        for _ in range(20):
+            target = space.from_int(rng.randrange(space.size))
+            result = surrogate_route(provider, ids[0], target)
+            assert result.success
+            assert result.hops <= space.num_digits + 1
+
+    def test_deterministic_after_joins(self):
+        """Roots stay origin-independent on protocol-built tables."""
+        from repro.protocol.join import JoinProtocolNetwork
+        from repro.topology.attachment import UniformLatencyModel
+
+        space = IdSpace(4, 4)
+        rng = random.Random(7)
+        ids = space.random_unique_ids(30, rng)
+        net = JoinProtocolNetwork.from_oracle(
+            space,
+            ids[:20],
+            latency_model=UniformLatencyModel(random.Random(8)),
+            seed=7,
+        )
+        for joiner in ids[20:]:
+            net.start_join(joiner, at=0.0)
+        net.run()
+        assert net.check_consistency().consistent
+        tables = net.tables()
+        provider = lambda n: tables[n]  # noqa: E731
+        for _ in range(10):
+            target = space.from_int(rng.randrange(space.size))
+            roots = {
+                surrogate_route(provider, origin, target).path[-1]
+                for origin in ids
+            }
+            assert len(roots) == 1

@@ -1,0 +1,71 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append(3))
+        queue.push(1.0, lambda: fired.append(1))
+        queue.push(2.0, lambda: fired.append(2))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.fire()
+        assert fired == [1, 2, 3]
+
+    def test_ties_fire_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(5):
+            queue.push(1.0, fired.append, i)
+        while queue:
+            queue.pop().fire()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, fired.append, "keep")
+        drop = queue.push(0.5, fired.append, "drop")
+        drop.cancel()
+        while queue:
+            queue.pop().fire()
+        assert fired == ["keep"]
+
+    def test_cancelled_event_fire_is_noop(self):
+        fired = []
+        event = Event(0.0, 0, fired.append, "x")
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+    def test_payload_passed_to_action(self):
+        queue = EventQueue()
+        got = []
+        queue.push(1.0, got.append, {"a": 1})
+        queue.pop().fire()
+        assert got == [{"a": 1}]

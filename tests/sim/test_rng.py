@@ -1,0 +1,43 @@
+"""Unit tests for seeded RNG streams."""
+
+from repro.sim.rng import RngFactory
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(42).stream("ids")
+        b = RngFactory(42).stream("ids")
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_streams_independent_of_creation_order(self):
+        f1 = RngFactory(42)
+        f2 = RngFactory(42)
+        f1.stream("a")
+        first = f1.stream("b").random()
+        second = f2.stream("b").random()  # "a" never created on f2
+        assert first == second
+
+    def test_different_names_differ(self):
+        factory = RngFactory(42)
+        assert factory.stream("a").random() != factory.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert (
+            RngFactory(1).stream("x").random()
+            != RngFactory(2).stream("x").random()
+        )
+
+    def test_stream_is_cached(self):
+        factory = RngFactory(1)
+        assert factory.stream("x") is factory.stream("x")
+
+    def test_fork_changes_streams(self):
+        base = RngFactory(1)
+        forked = base.fork(3)
+        assert forked.seed != base.seed
+        assert base.stream("x").random() != forked.stream("x").random()
+
+    def test_fork_deterministic(self):
+        assert RngFactory(1).fork(3).seed == RngFactory(1).fork(3).seed

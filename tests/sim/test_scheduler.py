@@ -1,0 +1,121 @@
+"""Unit tests for the simulator run loop."""
+
+import pytest
+
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_relative_delay(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(3.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.0]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling_from_handler(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(2.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+
+class TestRunLoop:
+    def test_time_is_monotonic(self):
+        sim = Simulator()
+        seen = []
+        for delay in (5.0, 1.0, 3.0, 1.0):
+            sim.schedule(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+
+    def test_run_until_bound_is_respected(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_watchdog(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        fired = sim.run(max_events=25)
+        assert fired == 25
+        assert not sim.quiesced()
+
+    def test_events_fired_accumulates(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        error = {}
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                error["raised"] = exc
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert "raised" in error
+
+    def test_quiesced(self):
+        sim = Simulator()
+        assert sim.quiesced()
+        sim.schedule(1.0, lambda: None)
+        assert not sim.quiesced()
+        sim.run()
+        assert sim.quiesced()
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        assert sim.run() == 0
+        assert fired == []

@@ -1,0 +1,50 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "21233" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "C_61" in out
+        assert "consistent: True" in out
+
+    def test_fig15a(self, capsys):
+        assert main(["fig15a"]) == 0
+        out = capsys.readouterr().out
+        assert "m=1000, b=16, d=8" in out
+
+    def test_fig15b_scaled(self, capsys):
+        assert main(
+            ["fig15b", "--n", "60", "--m", "20", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bound" in out
+
+    def test_join(self, capsys):
+        assert main(
+            ["join", "--n", "50", "--m", "15", "--base", "4",
+             "--digits", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1 (consistent): True" in out
+
+    def test_churn(self, capsys):
+        assert main(
+            ["churn", "--n", "50", "--m", "10", "--leaves", "8",
+             "--failures", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "final consistency  : True" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,59 @@
+"""Documentation quality gate: every public item has a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in iter_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in iter_modules():
+            for name, item in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(item) or inspect.isfunction(item)):
+                    continue
+                if getattr(item, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if not (item.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_public_methods_documented(self):
+        """Public methods of public classes in the core packages."""
+        missing = []
+        for module in iter_modules():
+            for cls_name, cls in vars(module).items():
+                if cls_name.startswith("_") or not inspect.isclass(cls):
+                    continue
+                if getattr(cls, "__module__", None) != module.__name__:
+                    continue
+                for meth_name, meth in vars(cls).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(meth):
+                        continue
+                    if not (meth.__doc__ or "").strip():
+                        missing.append(
+                            f"{module.__name__}.{cls_name}.{meth_name}"
+                        )
+        assert missing == []

@@ -1,0 +1,102 @@
+"""Unit tests for host attachment and latency models."""
+
+import random
+
+import pytest
+
+from repro.ids.idspace import IdSpace
+from repro.topology.attachment import (
+    ConstantLatencyModel,
+    HostAttachment,
+    TopologyLatencyModel,
+    UniformLatencyModel,
+)
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    generate_transit_stub,
+)
+
+SMALL = TransitStubParams(
+    num_transit_domains=2,
+    transit_domain_size=2,
+    stubs_per_transit_router=2,
+    stub_size=3,
+)
+
+
+class TestConstantLatency:
+    def test_constant(self):
+        model = ConstantLatencyModel(2.5)
+        assert model.latency("a", "b") == 2.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantLatencyModel(0.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatencyModel(random.Random(1), low=2.0, high=9.0)
+        for _ in range(100):
+            value = model.latency("a", "b")
+            assert 2.0 <= value <= 9.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(random.Random(1), low=5.0, high=2.0)
+        with pytest.raises(ValueError):
+            UniformLatencyModel(random.Random(1), low=0.0, high=2.0)
+
+
+class TestHostAttachment:
+    def setup_method(self):
+        self.topo = generate_transit_stub(SMALL, random.Random(0))
+        space = IdSpace(4, 4)
+        self.hosts = space.random_unique_ids(10, random.Random(1))
+        self.attachment = HostAttachment(
+            self.topo, self.hosts, random.Random(2)
+        )
+
+    def test_hosts_attach_to_stub_routers(self):
+        stub_routers = set(self.topo.stub_routers)
+        for host in self.hosts:
+            assert self.attachment.router_of(host) in stub_routers
+
+    def test_access_latency_positive(self):
+        for host in self.hosts:
+            assert self.attachment.access_latency(host) > 0
+
+    def test_add_host(self):
+        self.attachment.add_host("extra", self.topo.stub_routers[0], 1.5)
+        assert self.attachment.router_of("extra") == self.topo.stub_routers[0]
+        assert self.attachment.access_latency("extra") == 1.5
+
+    def test_hosts_listing(self):
+        assert set(self.attachment.hosts) == set(self.hosts)
+
+
+class TestTopologyLatencyModel:
+    def setup_method(self):
+        self.topo = generate_transit_stub(SMALL, random.Random(0))
+        space = IdSpace(4, 4)
+        self.hosts = space.random_unique_ids(10, random.Random(1))
+        self.attachment = HostAttachment(
+            self.topo, self.hosts, random.Random(2)
+        )
+        self.model = TopologyLatencyModel(self.topo, self.attachment)
+
+    def test_self_latency_zero(self):
+        assert self.model.latency(self.hosts[0], self.hosts[0]) == 0.0
+
+    def test_symmetric(self):
+        a, b = self.hosts[0], self.hosts[1]
+        assert self.model.latency(a, b) == self.model.latency(b, a)
+
+    def test_includes_access_links(self):
+        a, b = self.hosts[0], self.hosts[1]
+        floor = self.attachment.access_latency(a) + self.attachment.access_latency(b)
+        assert self.model.latency(a, b) >= floor
+
+    def test_deterministic_per_pair(self):
+        a, b = self.hosts[2], self.hosts[3]
+        assert self.model.latency(a, b) == self.model.latency(a, b)

@@ -1,0 +1,87 @@
+"""Unit tests for the weighted graph."""
+
+import pytest
+
+from repro.topology.graph import Graph
+
+
+def triangle():
+    g = Graph()
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 2.0)
+    g.add_edge(0, 2, 5.0)
+    return g
+
+
+class TestGraphBasics:
+    def test_add_edge_and_query(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.weight(1, 2) == 2.0
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_parallel_edge_keeps_minimum(self):
+        g = Graph()
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 9.0)
+        assert g.weight(0, 1) == 2.0
+        assert g.num_edges == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge(1, 1, 1.0)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge(0, 1, 0.0)
+
+    def test_neighbors(self):
+        g = triangle()
+        assert set(g.neighbors(0)) == {1, 2}
+
+    def test_edges_iteration_no_duplicates(self):
+        edges = list(triangle().edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+
+class TestDijkstra:
+    def test_shortest_path_takes_cheaper_route(self):
+        g = triangle()
+        dist = g.dijkstra(0)
+        # 0->1->2 costs 3, direct edge costs 5.
+        assert dist[2] == 3.0
+        assert dist[0] == 0.0
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_node(9)
+        dist = g.dijkstra(0)
+        assert 9 not in dist
+
+    def test_line_graph_distances(self):
+        g = Graph()
+        for i in range(5):
+            g.add_edge(i, i + 1, 2.0)
+        dist = g.dijkstra(0)
+        assert dist[5] == 10.0
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert triangle().is_connected()
+
+    def test_disconnected(self):
+        g = Graph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        assert not g.is_connected()
+        comps = g.components()
+        assert sorted(map(sorted, comps)) == [[0, 1], [2, 3]]
+
+    def test_empty_graph_connected(self):
+        assert Graph().is_connected()

@@ -1,0 +1,104 @@
+"""Unit tests for the transit-stub generator."""
+
+import random
+
+import pytest
+
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    generate_transit_stub,
+)
+
+SMALL = TransitStubParams(
+    num_transit_domains=2,
+    transit_domain_size=3,
+    stubs_per_transit_router=2,
+    stub_size=4,
+)
+
+
+class TestParams:
+    def test_default_router_count_matches_paper(self):
+        # The paper's Figure 15(b) topology has 8320 routers.
+        assert TransitStubParams().num_routers == 8320
+
+    def test_counts(self):
+        assert SMALL.num_transit_routers == 6
+        assert SMALL.num_stub_domains == 12
+        assert SMALL.num_routers == 6 + 12 * 4
+
+
+class TestGeneration:
+    def setup_method(self):
+        self.topo = generate_transit_stub(SMALL, random.Random(1))
+
+    def test_router_counts(self):
+        assert self.topo.num_routers == SMALL.num_routers
+        assert len(self.topo.transit_routers) == 6
+        assert len(self.topo.stubs) == 12
+        assert len(self.topo.stub_routers) == 48
+
+    def test_core_is_connected(self):
+        assert self.topo.core.is_connected()
+
+    def test_stubs_are_connected(self):
+        for stub in self.topo.stubs:
+            assert stub.graph.is_connected()
+
+    def test_stub_router_ids_disjoint_from_transit(self):
+        transit = set(self.topo.transit_routers)
+        for stub in self.topo.stubs:
+            assert not transit & set(stub.routers)
+
+    def test_is_transit_partition(self):
+        for router in self.topo.transit_routers:
+            assert self.topo.is_transit(router)
+        for router in self.topo.stub_routers:
+            assert not self.topo.is_transit(router)
+
+    def test_gateways_valid(self):
+        for stub in self.topo.stubs:
+            assert stub.gateway_stub_router in stub.routers
+            assert stub.gateway_transit_router in self.topo.transit_routers
+            assert stub.gateway_latency > 0
+
+    def test_stub_of_mapping(self):
+        for stub in self.topo.stubs:
+            for router in stub.routers:
+                assert self.topo.stub_of[router] is stub
+
+    def test_each_transit_router_has_its_stub_quota(self):
+        per_transit = {}
+        for stub in self.topo.stubs:
+            per_transit.setdefault(stub.gateway_transit_router, 0)
+            per_transit[stub.gateway_transit_router] += 1
+        assert all(
+            count == SMALL.stubs_per_transit_router
+            for count in per_transit.values()
+        )
+        assert len(per_transit) == SMALL.num_transit_routers
+
+    def test_deterministic_for_seed(self):
+        a = generate_transit_stub(SMALL, random.Random(5))
+        b = generate_transit_stub(SMALL, random.Random(5))
+        assert sorted(a.core.edges()) == sorted(b.core.edges())
+        assert [s.gateway_stub_router for s in a.stubs] == [
+            s.gateway_stub_router for s in b.stubs
+        ]
+
+    def test_rejects_empty_domains(self):
+        bad = TransitStubParams(transit_domain_size=0)
+        with pytest.raises(ValueError):
+            generate_transit_stub(bad, random.Random(0))
+
+
+class TestSingletonDomains:
+    def test_degenerate_sizes_work(self):
+        params = TransitStubParams(
+            num_transit_domains=1,
+            transit_domain_size=1,
+            stubs_per_transit_router=1,
+            stub_size=1,
+        )
+        topo = generate_transit_stub(params, random.Random(0))
+        assert topo.num_routers == 2
