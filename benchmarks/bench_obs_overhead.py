@@ -1,0 +1,101 @@
+"""Overhead of disabled observability on the join hot path.
+
+The obs subsystem promises that a run with tracing *off* (NullTracer;
+registry-backed ``MessageStats``) costs at most 5% over the completely
+uninstrumented network.  This benchmark times the
+``bench_join_cost``-style workload both ways and records the ratio in
+``BENCH_obs_overhead.json`` at the repo root -- the first entry of the
+perf trajectory the ROADMAP asks for.
+
+Timing uses min-of-rounds (the standard way to suppress scheduler and
+allocator noise) over alternating baseline/instrumented runs.
+"""
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import fresh_network, run_concurrent, sampled_workload
+from repro.obs import Observability
+from repro.protocol.join import JoinProtocolNetwork
+from repro.topology.attachment import UniformLatencyModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_obs_overhead.json"
+
+BASE, DIGITS, N, M, SEED = 16, 8, 400, 120, 21
+ROUNDS = 5
+
+
+def _run_once(obs):
+    space, initial, joiners = sampled_workload(BASE, DIGITS, N, M, seed=SEED)
+    if obs is None:
+        net = fresh_network(space, initial, seed=SEED)
+    else:
+        import random
+
+        net = JoinProtocolNetwork.from_oracle(
+            space,
+            initial,
+            latency_model=UniformLatencyModel(
+                random.Random(f"bench-lat-{SEED}"), 1.0, 100.0
+            ),
+            seed=SEED,
+            obs=obs,
+        )
+    run_concurrent(net, joiners)
+    return net
+
+
+def _time_once(obs_factory):
+    obs = obs_factory() if obs_factory is not None else None
+    start = time.perf_counter()
+    net = _run_once(obs)
+    elapsed = time.perf_counter() - start
+    return elapsed, net
+
+
+def test_obs_off_overhead_under_5_percent():
+    """Tracing-off instrumentation must stay within 5% of baseline."""
+    baseline_times = []
+    instrumented_times = []
+    nets = {}
+    for _ in range(ROUNDS):
+        elapsed, nets["baseline"] = _time_once(None)
+        baseline_times.append(elapsed)
+        elapsed, nets["obs_off"] = _time_once(Observability.metrics_only)
+        instrumented_times.append(elapsed)
+
+    # Identical seeds: the instrumented run must change nothing
+    # observable, down to exact message counts.
+    assert (
+        nets["baseline"].stats.snapshot() == nets["obs_off"].stats.snapshot()
+    )
+
+    baseline = min(baseline_times)
+    instrumented = min(instrumented_times)
+    overhead_pct = 100.0 * (instrumented - baseline) / baseline
+
+    record = {
+        "benchmark": "obs_overhead",
+        "workload": {
+            "base": BASE,
+            "num_digits": DIGITS,
+            "n": N,
+            "m": M,
+            "seed": SEED,
+        },
+        "rounds": ROUNDS,
+        "baseline_s": round(baseline, 4),
+        "obs_disabled_s": round(instrumented, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "threshold_pct": 5.0,
+        "total_messages": nets["baseline"].stats.total_messages,
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert overhead_pct <= 5.0, (
+        f"disabled-observability overhead {overhead_pct:.2f}% "
+        f"exceeds 5% (baseline {baseline:.3f}s, "
+        f"instrumented {instrumented:.3f}s)"
+    )

@@ -38,6 +38,12 @@ from repro.csettree import (
     notification_set,
 )
 from repro.ids import IdSpace, NodeId
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Observability,
+    Tracer,
+)
 from repro.optimize import measure_stretch, optimize_tables
 from repro.protocol import (
     JoinProtocolNetwork,
@@ -62,13 +68,17 @@ __version__ = "1.0.0"
 __all__ = [
     "IdSpace",
     "JoinProtocolNetwork",
+    "MetricsRegistry",
     "NeighborState",
     "NeighborTable",
     "NodeId",
     "NodeStatus",
+    "NullTracer",
+    "Observability",
     "ProtocolNode",
     "Simulator",
     "SizingPolicy",
+    "Tracer",
     "build_consistent_tables",
     "build_realized_tree",
     "build_template",

@@ -8,7 +8,9 @@ Commands map one-to-one onto the paper's artifacts:
 * ``fig15b``    -- run a Figure 15(b) simulation (scaled by default,
   ``--full`` for the paper's 8320-router configurations).
 * ``join``      -- run a concurrent-join experiment and verify
-  Theorems 1-3.
+  Theorems 1-3; ``--trace out.jsonl`` writes a span/event trace,
+  ``--metrics`` / ``--metrics-csv out.csv`` expose the metrics
+  registry (see :mod:`repro.obs`).
 * ``churn``     -- joins + leaves + crashes + recovery + optimization.
 """
 
@@ -106,6 +108,43 @@ def _cmd_fig15b(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _build_observability(args: argparse.Namespace):
+    """The Observability implied by ``--trace``/``--metrics`` flags
+    (or ``None`` when neither was given)."""
+    from repro.obs import Observability
+
+    if getattr(args, "trace", None):
+        return Observability.tracing()
+    if getattr(args, "metrics", False) or getattr(args, "metrics_csv", None):
+        return Observability.metrics_only()
+    return None
+
+
+def _emit_observability(args: argparse.Namespace, net) -> None:
+    """Write/print the trace and metrics artifacts ``args`` asked for."""
+    from repro.experiments.harness import (
+        render_metrics_table,
+        render_phase_table,
+    )
+    from repro.obs import write_metrics_csv, write_trace_jsonl
+
+    obs = net.obs
+    if obs is None:
+        return
+    net.collect_final_metrics()
+    if getattr(args, "trace", None):
+        records = write_trace_jsonl(obs.tracer, args.trace)
+        print(f"trace              : {args.trace} ({records} records)")
+        print("join phase durations (virtual time):")
+        print(render_phase_table(obs.tracer))
+    if getattr(args, "metrics_csv", None):
+        rows = write_metrics_csv(obs.metrics, args.metrics_csv)
+        print(f"metrics csv        : {args.metrics_csv} ({rows} metrics)")
+    if getattr(args, "metrics", False):
+        print("metrics snapshot:")
+        print(render_metrics_table(obs.metrics))
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.analysis.expected_cost import theorem3_bound
     from repro.experiments.workloads import make_workload
@@ -116,6 +155,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         n=args.n,
         m=args.m,
         seed=args.seed,
+        obs=_build_observability(args),
     )
     workload.start_all_joins()
     workload.run()
@@ -130,6 +170,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     print(f"mean JoinNotiMsg   : "
           f"{sum(net.join_noti_counts()) / args.m:.3f}")
     print(f"total messages     : {net.stats.total_messages}")
+    _emit_observability(args, net)
     return 0 if report.consistent and net.all_in_system() else 1
 
 
@@ -191,6 +232,18 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--n", type=int, default=300)
     join.add_argument("--m", type=int, default=100)
     join.add_argument("--seed", type=int, default=0)
+    join.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL span/event trace of the run to PATH",
+    )
+    join.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics-registry snapshot after the run",
+    )
+    join.add_argument(
+        "--metrics-csv", metavar="PATH",
+        help="write the metrics snapshot as CSV to PATH",
+    )
     join.set_defaults(func=_cmd_join)
 
     churn = sub.add_parser("churn", help="full membership lifecycle")

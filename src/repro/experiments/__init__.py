@@ -17,10 +17,19 @@ from repro.experiments.fig15b import (
     Fig15bResult,
     run_fig15b,
 )
-from repro.experiments.harness import Cdf, summarize
+from repro.experiments.harness import (
+    Cdf,
+    join_phase_durations,
+    render_metrics_table,
+    render_phase_table,
+    summarize,
+)
 
 __all__ = [
     "Cdf",
+    "join_phase_durations",
+    "render_metrics_table",
+    "render_phase_table",
     "FIG15A_CONFIGS",
     "Fig15bConfig",
     "Fig15bResult",

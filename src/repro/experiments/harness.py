@@ -1,10 +1,15 @@
-"""Shared experiment utilities: CDFs and summary statistics."""
+"""Shared experiment utilities: CDFs, summary statistics, and
+rendering helpers for observability output (metrics tables, per-phase
+join latency breakdowns)."""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 
 class Cdf:
@@ -102,4 +107,59 @@ def render_cdf_table(
     lines = ["  #JoinNotiMsg   cumulative fraction"]
     for point in points:
         lines.append(f"  {point:>12}   {cdf.at(point):.4f}")
+    return "\n".join(lines)
+
+
+def render_metrics_table(
+    registry: MetricsRegistry, prefix: Optional[str] = None
+) -> str:
+    """Text rendering of a registry snapshot, sorted by metric name.
+
+    ``prefix`` filters to metrics whose flat name starts with it
+    (e.g. ``"messages_sent"`` for the per-type message accounting).
+    """
+    snapshot = registry.snapshot()
+    keys = sorted(k for k in snapshot if prefix is None or k.startswith(prefix))
+    if not keys:
+        return "  (no metrics)"
+    width = max(len(k) for k in keys)
+    lines = []
+    for key in keys:
+        value = snapshot[key]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key:<{width}}   {rendered}")
+    return "\n".join(lines)
+
+
+def join_phase_durations(tracer: Tracer) -> Dict[str, Summary]:
+    """Per-phase duration summaries from a join trace.
+
+    Groups the tracer's finished ``phase:*`` spans by phase name and
+    summarizes their virtual-time durations -- the "where does the
+    joining period go" breakdown that aggregate counters cannot give.
+    """
+    by_phase: Dict[str, List[float]] = {}
+    for span in tracer.spans():
+        if not span.name.startswith("phase:") or span.duration is None:
+            continue
+        by_phase.setdefault(span.name[len("phase:"):], []).append(
+            span.duration
+        )
+    return {
+        phase: summarize(durations)
+        for phase, durations in sorted(by_phase.items())
+    }
+
+
+def render_phase_table(tracer: Tracer) -> str:
+    """Text rendering of :func:`join_phase_durations`."""
+    durations = join_phase_durations(tracer)
+    if not durations:
+        return "  (no phase spans)"
+    lines = ["  phase        n    mean      max"]
+    for phase, summary in durations.items():
+        lines.append(
+            f"  {phase:<10} {summary.count:>3}  {summary.mean:>8.2f} "
+            f"{summary.maximum:>8.2f}"
+        )
     return "\n".join(lines)

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 from repro.ids.digits import NodeId
 from repro.ids.idspace import IdSpace
+from repro.obs.instrument import Observability
 from repro.protocol.join import JoinProtocolNetwork
 from repro.protocol.sizing import SizingPolicy
 from repro.topology.attachment import (
@@ -92,9 +93,14 @@ def make_workload(
     use_topology: bool = False,
     topology_params: Optional[TransitStubParams] = None,
     sizing: SizingPolicy = SizingPolicy.FULL,
+    obs: Optional[Observability] = None,
 ) -> Workload:
     """Build the paper's setup: an ``n``-node consistent network (via
-    the oracle) and ``m`` joiners ready to start."""
+    the oracle) and ``m`` joiners ready to start.
+
+    Pass ``obs`` to instrument the run (phase spans, message events,
+    registry-backed stats); see :mod:`repro.obs`.
+    """
     idspace = IdSpace(base, num_digits)
     rng = random.Random(f"workload-{seed}")
     initial_ids, joiner_ids = sample_ids(idspace, n, m, rng)
@@ -110,5 +116,6 @@ def make_workload(
         latency_model=latency,
         sizing=sizing,
         seed=seed,
+        obs=obs,
     )
     return Workload(idspace, network, initial_ids, joiner_ids)

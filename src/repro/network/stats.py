@@ -7,56 +7,156 @@ These back the paper's measurements:
 * Theorem 3: ``CpRstMsg + JoinWaitMsg`` per joining node is <= d+1.
 * Footnote 8: ``SpeNotiMsg`` is rarely sent.
 * Section 6.2: bytes saved by the message-size reductions.
+
+Since the observability subsystem (:mod:`repro.obs`) landed, the
+storage behind these counters is a
+:class:`~repro.obs.metrics.MetricsRegistry`: every legacy counter is a
+labelled metric (``messages_sent{type=...}``,
+``messages_sent_by{sender=...,type=...}``, ``message_bytes{type=...}``,
+``messages_dropped{type=...}``), so a registry snapshot reproduces the
+paper's accounting without bespoke counters.  The public
+:class:`MessageStats` API is unchanged; the dict attributes
+(``count_by_type`` etc.) are now read-only views materialized from the
+registry.  Hot-path cost is preserved by caching the counter objects
+per type and per (sender, type).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ids.digits import NodeId
 from repro.network.message import Message
+from repro.obs.metrics import Counter, MetricsRegistry
+
+
+class _ZeroDict(dict):
+    """A plain dict that reads 0 for missing keys (defaultdict view
+    semantics for the legacy ``MessageStats`` attributes, without
+    inserting on read)."""
+
+    def __missing__(self, key):
+        return 0
 
 
 class MessageStats:
-    """Counters updated by the transport on every send."""
+    """Counters updated by the transport on every send.
 
-    def __init__(self) -> None:
-        self.count_by_type: Dict[str, int] = defaultdict(int)
-        self.bytes_by_type: Dict[str, int] = defaultdict(int)
-        self.count_by_sender_type: Dict[NodeId, Dict[str, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
-        self.total_messages = 0
-        self.total_bytes = 0
-        self.dropped_by_type: Dict[str, int] = defaultdict(int)
-        self.total_dropped = 0
+    ``registry`` is the backing metrics store; pass a shared
+    :class:`~repro.obs.metrics.MetricsRegistry` to co-locate message
+    accounting with the rest of a run's metrics, or omit it to get a
+    private one (the legacy behaviour).
+    """
 
-    def on_drop(self, message: Message) -> None:
-        """A message addressed to a crashed node was dropped."""
-        self.dropped_by_type[message.type_name] += 1
-        self.total_dropped += 1
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Hot-path caches: one dict lookup per send instead of a
+        # registry get-or-create with label canonicalization.
+        self._sent: Dict[str, Counter] = {}
+        self._bytes: Dict[str, Counter] = {}
+        self._dropped: Dict[str, Counter] = {}
+        self._by_sender: Dict[Tuple[NodeId, str], Counter] = {}
+        self._total_messages = self.registry.counter("messages_total")
+        self._total_bytes = self.registry.counter("message_bytes_total")
+        self._total_dropped = self.registry.counter("messages_dropped_total")
+
+    # -- write side (transport hot path) --------------------------------
 
     def on_send(self, message: Message) -> None:
         """Account one sent message (called by the transport)."""
         name = message.type_name
         size = message.size_bytes()
-        self.count_by_type[name] += 1
-        self.bytes_by_type[name] += size
-        self.count_by_sender_type[message.sender][name] += 1
-        self.total_messages += 1
-        self.total_bytes += size
+        sent = self._sent.get(name)
+        if sent is None:
+            sent = self.registry.counter("messages_sent", type=name)
+            self._sent[name] = sent
+            self._bytes[name] = self.registry.counter(
+                "message_bytes", type=name
+            )
+        sent.inc()
+        self._bytes[name].inc(size)
+        key = (message.sender, name)
+        by_sender = self._by_sender.get(key)
+        if by_sender is None:
+            by_sender = self.registry.counter(
+                "messages_sent_by", sender=str(message.sender), type=name
+            )
+            self._by_sender[key] = by_sender
+        by_sender.inc()
+        self._total_messages.inc()
+        self._total_bytes.inc(size)
+
+    def on_drop(self, message: Message) -> None:
+        """A message addressed to a crashed node was dropped."""
+        name = message.type_name
+        dropped = self._dropped.get(name)
+        if dropped is None:
+            dropped = self.registry.counter("messages_dropped", type=name)
+            self._dropped[name] = dropped
+        dropped.inc()
+        self._total_dropped.inc()
+
+    # -- legacy dict views ----------------------------------------------
+
+    @property
+    def count_by_type(self) -> Dict[str, int]:
+        """Per-type send counts (read-only view; missing keys read 0)."""
+        return _ZeroDict(
+            (name, counter.value) for name, counter in self._sent.items()
+        )
+
+    @property
+    def bytes_by_type(self) -> Dict[str, int]:
+        """Per-type byte totals (read-only view; missing keys read 0)."""
+        return _ZeroDict(
+            (name, counter.value) for name, counter in self._bytes.items()
+        )
+
+    @property
+    def dropped_by_type(self) -> Dict[str, int]:
+        """Per-type drop counts (read-only view; missing keys read 0)."""
+        return _ZeroDict(
+            (name, counter.value) for name, counter in self._dropped.items()
+        )
+
+    @property
+    def count_by_sender_type(self) -> Dict[NodeId, Dict[str, int]]:
+        """Nested sender -> type -> count view (missing keys read 0)."""
+        out: Dict[NodeId, Dict[str, int]] = {}
+        for (sender, name), counter in self._by_sender.items():
+            per_sender = out.get(sender)
+            if per_sender is None:
+                per_sender = _ZeroDict()
+                out[sender] = per_sender
+            per_sender[name] = counter.value
+        return out
+
+    @property
+    def total_messages(self) -> int:
+        """All messages sent so far."""
+        return self._total_messages.value
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of ``size_bytes()`` over all sent messages."""
+        return self._total_bytes.value
+
+    @property
+    def total_dropped(self) -> int:
+        """All messages dropped (dead destinations) so far."""
+        return self._total_dropped.value
+
+    # -- read side -------------------------------------------------------
 
     def count(self, type_name: str) -> int:
         """Total messages of ``type_name`` sent so far."""
-        return self.count_by_type.get(type_name, 0)
+        counter = self._sent.get(type_name)
+        return counter.value if counter is not None else 0
 
     def sent_by(self, sender: NodeId, type_name: str) -> int:
         """Messages of ``type_name`` sent by ``sender``."""
-        per_sender = self.count_by_sender_type.get(sender)
-        if per_sender is None:
-            return 0
-        return per_sender.get(type_name, 0)
+        counter = self._by_sender.get((sender, type_name))
+        return counter.value if counter is not None else 0
 
     def sent_by_each(
         self, senders: Iterable[NodeId], type_name: str
@@ -75,4 +175,4 @@ class MessageStats:
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy of the per-type counters."""
-        return dict(self.count_by_type)
+        return {name: counter.value for name, counter in self._sent.items()}

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.ids.digits import NodeId
 from repro.network.message import Message
 from repro.network.stats import MessageStats
+from repro.obs.tracer import Tracer
 from repro.sim.scheduler import Simulator
 from repro.topology.attachment import LatencyModel
 
@@ -33,11 +34,20 @@ class Transport:
         simulator: Simulator,
         latency_model: LatencyModel,
         stats: Optional[MessageStats] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.simulator = simulator
         self.latency_model = latency_model
         self.stats = stats if stats is not None else MessageStats()
+        # A disabled tracer (NullTracer) is normalized to None so the
+        # hot send path stays the exact pre-instrumentation code.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._nodes: Dict[NodeId, "NetworkNode"] = {}
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The live tracer, or ``None`` when tracing is off."""
+        return self._tracer
 
     def register(self, node: "NetworkNode") -> None:
         """Register ``node`` as reachable at its ID."""
@@ -75,7 +85,45 @@ class Transport:
         self.stats.on_send(message)
         delay = self.latency_model.latency(message.sender, dst)
         target = self._nodes[dst]
-        self.simulator.schedule(delay, target.receive, message)
+        if self._tracer is None:
+            self.simulator.schedule(delay, target.receive, message)
+        else:
+            self._send_traced(dst, message, delay, target)
+
+    def _send_traced(
+        self,
+        dst: NodeId,
+        message: Message,
+        delay: float,
+        target: "NetworkNode",
+    ) -> None:
+        """Tracing path of :meth:`send`: emits a ``message.send`` event
+        now and a ``message.deliver`` event at delivery time."""
+        tracer = self._tracer
+        assert tracer is not None
+        name = message.type_name
+        src, dst_s = str(message.sender), str(dst)
+        tracer.event(
+            "message.send",
+            self.simulator.now,
+            type=name,
+            src=src,
+            dst=dst_s,
+            bytes=message.size_bytes(),
+            latency=delay,
+        )
+
+        def deliver(msg: Message = message) -> None:
+            tracer.event(
+                "message.deliver",
+                self.simulator.now,
+                type=name,
+                src=src,
+                dst=dst_s,
+            )
+            target.receive(msg)
+
+        self.simulator.schedule(delay, deliver)
 
     def send_lossy(self, dst: NodeId, message: Message) -> bool:
         """Like :meth:`send`, but silently drop messages to unknown
@@ -84,6 +132,14 @@ class Transport:
         message was actually dispatched."""
         if dst not in self._nodes:
             self.stats.on_drop(message)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "message.drop",
+                    self.simulator.now,
+                    type=message.type_name,
+                    src=str(message.sender),
+                    dst=str(dst),
+                )
             return False
         self.send(dst, message)
         return True

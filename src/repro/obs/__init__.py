@@ -1,0 +1,85 @@
+"""Observability: structured tracing and metrics for the simulator.
+
+The paper's evaluation is an exercise in *counting* -- JoinNotiMsg per
+joiner (Figure 15(b)), ``CpRstMsg + JoinWaitMsg <= d+1`` (Theorem 3),
+bytes saved by message-size reduction (Section 6.2) -- and its
+correctness argument lives in *interleavings* of the join phases.
+This package makes both first-class:
+
+* :class:`~repro.obs.tracer.Tracer` -- hierarchical spans over
+  simulator virtual time (one ``join`` root per joiner, one
+  ``phase:*`` child per protocol phase) plus point events
+  (``message.send`` / ``message.deliver``).
+* :class:`~repro.obs.metrics.MetricsRegistry` -- labelled counters,
+  gauges and histograms; :class:`~repro.network.stats.MessageStats`
+  is backed by one, so every legacy counter is also a metric.
+* Exporters -- JSONL traces (round-trippable) and flat dict/CSV
+  metrics snapshots.
+* :class:`~repro.obs.tracer.NullTracer` -- the disabled path;
+  instrumented components fall back to their original code so a
+  run without observability pays (almost) nothing.
+
+Typical use::
+
+    from repro.obs import Observability, write_trace_jsonl
+
+    obs = Observability.tracing()
+    net = JoinProtocolNetwork.from_oracle(space, ids, obs=obs, seed=1)
+    ...
+    write_trace_jsonl(obs.tracer, "run.jsonl")
+    print(obs.metrics.snapshot())
+"""
+
+from repro.obs.export import (
+    metrics_to_csv,
+    metrics_to_dict,
+    read_trace_jsonl,
+    trace_to_records,
+    write_metrics_csv,
+    write_trace_jsonl,
+)
+from repro.obs.instrument import (
+    JoinObserver,
+    Observability,
+    SchedulerProbe,
+    collect_table_metrics,
+    instrument_scheduler,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    TracerError,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JoinObserver",
+    "MetricsError",
+    "MetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "SchedulerProbe",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "TracerError",
+    "collect_table_metrics",
+    "instrument_scheduler",
+    "metrics_to_csv",
+    "metrics_to_dict",
+    "read_trace_jsonl",
+    "trace_to_records",
+    "write_metrics_csv",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,86 @@
+"""Exporters: JSONL traces and flat-dict / CSV metrics.
+
+The JSONL trace format is one JSON object per line, spans first and
+events after, each tagged with ``"kind"``::
+
+    {"kind": "span", "id": 1, "parent": null, "name": "join", ...}
+    {"kind": "event", "name": "message.send", "time": 3.5, ...}
+
+``read_trace_jsonl`` inverts ``write_trace_jsonl`` exactly (a
+round-trip is tested), so traces can be archived, diffed between runs,
+and post-processed without the repro package.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def trace_to_records(tracer: Tracer) -> List[Dict[str, Any]]:
+    """All of ``tracer``'s spans and events as plain dicts."""
+    return list(tracer.records())
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> int:
+    """Write ``tracer``'s records to ``path`` (one JSON per line).
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in tracer.records():
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(
+    path: str,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse a JSONL trace back into ``(spans, events)`` dict lists."""
+    spans: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "event":
+                events.append(record)
+            else:
+                raise ValueError(f"unknown trace record kind: {kind!r}")
+    return spans, events
+
+
+def metrics_to_dict(registry: MetricsRegistry) -> Dict[str, float]:
+    """Flat ``name{labels} -> value`` view of the registry."""
+    return registry.snapshot()
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Render the registry as two-column CSV (``metric,value``)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["metric", "value"])
+    for key, value in sorted(registry.snapshot().items()):
+        writer.writerow([key, value])
+    return buffer.getvalue()
+
+
+def write_metrics_csv(registry: MetricsRegistry, path: str) -> int:
+    """Write :func:`metrics_to_csv` to ``path``; returns row count."""
+    text = metrics_to_csv(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text.count("\n") - 1

@@ -1,0 +1,247 @@
+"""Hierarchical span tracing over simulator virtual time.
+
+A :class:`Tracer` collects two kinds of records:
+
+* **Spans** -- named intervals of virtual time with a parent pointer,
+  forming a forest.  The join protocol emits one root span per joining
+  node (``join``) with one child span per protocol phase
+  (``phase:copying``, ``phase:waiting``, ``phase:notifying``); the
+  root closes when the node reaches *in_system*.
+* **Events** -- named instants (``message.send``, ``message.deliver``,
+  ...) optionally attached to a span.
+
+Timestamps are simulator virtual times, not wall-clock: a trace is a
+deterministic, replayable record of one simulation.
+
+:class:`NullTracer` is the disabled path: every operation is a no-op
+returning a shared dummy span, and instrumentation sites are expected
+to check :attr:`Tracer.enabled` (or hold ``None``) so that a disabled
+tracer costs nothing on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """A named interval of virtual time, possibly nested under a parent.
+
+    ``end`` stays ``None`` until :meth:`Tracer.end_span` closes the
+    span; :attr:`duration` is then the virtual-time extent.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        attrs: Dict[str, Any],
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def finished(self) -> bool:
+        """True once the span has been ended."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Virtual-time extent, or ``None`` while the span is open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_record(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSONL exporter."""
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"Span(#{self.span_id} {self.name!r} "
+            f"[{self.start}, {self.end}] parent={self.parent_id})"
+        )
+
+
+class TraceEvent:
+    """A named instant, optionally attached to a span."""
+
+    __slots__ = ("name", "time", "span_id", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        time: float,
+        span_id: Optional[int],
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.time = time
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def to_record(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSONL exporter."""
+        return {
+            "kind": "event",
+            "name": self.name,
+            "time": self.time,
+            "span": self.span_id,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"TraceEvent({self.name!r} @ {self.time})"
+
+
+class TracerError(RuntimeError):
+    """Misuse of the tracing API (e.g. ending a span twice)."""
+
+
+class Tracer:
+    """Collects spans and events for one simulation run."""
+
+    #: Instrumentation sites check this before building attribute dicts.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._events: List[TraceEvent] = []
+        self._next_id = 1
+
+    # -- spans ---------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        time: float,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span named ``name`` at virtual time ``time``.
+
+        ``parent`` nests this span under another one; the hierarchy is
+        explicit (not a thread-local stack) because a discrete-event
+        simulation interleaves many logical tasks in one thread.
+        """
+        parent_id = parent.span_id if parent is not None else None
+        span = Span(self._next_id, parent_id, name, time, attrs)
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def end_span(self, span: Span, time: float, **attrs: Any) -> None:
+        """Close ``span`` at virtual time ``time`` (adds ``attrs``)."""
+        if span.end is not None:
+            raise TracerError(f"span {span.span_id} already ended")
+        if time < span.start:
+            raise TracerError(
+                f"span {span.span_id} cannot end at {time} "
+                f"before its start {span.start}"
+            )
+        span.end = time
+        if attrs:
+            span.attrs.update(attrs)
+
+    # -- events --------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        time: float,
+        span: Optional[Span] = None,
+        **attrs: Any,
+    ) -> None:
+        """Record an instantaneous event (optionally inside ``span``)."""
+        span_id = span.span_id if span is not None else None
+        self._events.append(TraceEvent(name, time, span_id, attrs))
+
+    # -- inspection ----------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """All spans, optionally filtered by name."""
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def events(self, name: Optional[str] = None) -> List[TraceEvent]:
+        """All events, optionally filtered by name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e.name == name]
+
+    def children(self, span: Span) -> List[Span]:
+        """Direct child spans of ``span``."""
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def open_spans(self) -> List[Span]:
+        """Spans that were started but never ended (leaks/bugs)."""
+        return [s for s in self._spans if s.end is None]
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """All spans then all events, as exporter-ready dicts."""
+        for span in self._spans:
+            yield span.to_record()
+        for event in self._events:
+            yield event.to_record()
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self._spans.clear()
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans) + len(self._events)
+
+
+#: Shared dummy span handed out by :class:`NullTracer`; never recorded.
+NULL_SPAN = Span(0, None, "null", 0.0, {})
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing, allocates nothing.
+
+    Instrumentation sites either check :attr:`enabled` or replace
+    their tracer reference with ``None``, so a simulation with tracing
+    off runs the exact pre-instrumentation code path.
+    """
+
+    enabled = False
+
+    def start_span(
+        self,
+        name: str,
+        time: float,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Return the shared dummy span; nothing is recorded."""
+        return NULL_SPAN
+
+    def end_span(self, span: Span, time: float, **attrs: Any) -> None:
+        """No-op."""
+
+    def event(
+        self,
+        name: str,
+        time: float,
+        span: Optional[Span] = None,
+        **attrs: Any,
+    ) -> None:
+        """No-op."""

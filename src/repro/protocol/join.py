@@ -23,6 +23,12 @@ from repro.ids.digits import NodeId
 from repro.ids.idspace import IdSpace
 from repro.network.stats import MessageStats
 from repro.network.transport import Transport
+from repro.obs.instrument import (
+    JoinObserver,
+    Observability,
+    collect_table_metrics,
+    instrument_scheduler,
+)
 from repro.protocol.node import ProtocolNode
 from repro.protocol.sizing import SizingPolicy
 from repro.protocol.status import NodeStatus
@@ -44,15 +50,29 @@ class JoinProtocolNetwork:
         sizing: SizingPolicy = SizingPolicy.FULL,
         trace: Optional[TraceLog] = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ):
         self.idspace = idspace
         self.simulator = Simulator()
-        self.stats = MessageStats()
+        self.obs = obs
+        self._join_observer: Optional[JoinObserver] = None
+        if obs is not None:
+            # Message accounting shares the run's registry, the queue
+            # probe samples the scheduler, and join phase transitions
+            # become spans (no-ops under a NullTracer).
+            self.stats = MessageStats(registry=obs.metrics)
+            instrument_scheduler(self.simulator, obs)
+            self._join_observer = JoinObserver(obs)
+        else:
+            self.stats = MessageStats()
         self.latency_model = (
             latency_model if latency_model is not None else ConstantLatencyModel()
         )
         self.transport = Transport(
-            self.simulator, self.latency_model, self.stats
+            self.simulator,
+            self.latency_model,
+            self.stats,
+            tracer=obs.tracer if obs is not None else None,
         )
         self.sizing = sizing
         self.trace = trace if trace is not None else NullTraceLog()
@@ -75,6 +95,7 @@ class JoinProtocolNetwork:
         trace: Optional[TraceLog] = None,
         seed: int = 0,
         randomize_tables: bool = True,
+        obs: Optional[Observability] = None,
     ) -> "JoinProtocolNetwork":
         """Create a network whose initial members already have
         consistent tables (built from global knowledge).
@@ -90,6 +111,7 @@ class JoinProtocolNetwork:
             sizing=sizing,
             trace=trace,
             seed=seed,
+            obs=obs,
         )
         table_rng = random.Random(f"{seed}-oracle") if randomize_tables else None
         tables = build_consistent_tables(initial_ids, table_rng)
@@ -149,6 +171,8 @@ class JoinProtocolNetwork:
             trace=self.trace,
         )
         node.on_departed = self._on_node_departed
+        if self._join_observer is not None:
+            node.on_phase = self._join_observer.on_phase
         self.nodes[node_id] = node
         self.joiner_ids.append(node_id)
         self.simulator.schedule_at(at, node.begin_join, gateway)
@@ -212,6 +236,17 @@ class JoinProtocolNetwork:
         from repro.consistency.checker import check_consistency
 
         return check_consistency(self.tables())
+
+    def collect_final_metrics(self) -> Dict[str, float]:
+        """Fold end-of-run gauges (per-level neighbor-table fill) into
+        the registry and return the flat metrics snapshot.
+
+        Requires the network to have been built with ``obs=``.
+        """
+        if self.obs is None:
+            raise ValueError("network was not built with an Observability")
+        collect_table_metrics(self.tables(), self.obs.metrics)
+        return self.obs.metrics.snapshot()
 
     # -- cost accounting ------------------------------------------------
 

@@ -32,7 +32,7 @@ paper              here
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.ids.digits import NodeId
 from repro.network.node import NetworkNode
@@ -96,6 +96,12 @@ class ProtocolNode(
         self.status = status
         self.sizing = sizing
         self.trace = trace if trace is not None else NullTraceLog()
+        #: Optional observability hook, called as
+        #: ``on_phase(node_id, status, now)`` when the join begins and
+        #: on every status transition (see repro.obs.JoinObserver).
+        self.on_phase: Optional[Callable[[NodeId, NodeStatus, float], None]] = (
+            None
+        )
         if table is not None:
             if table.owner != node_id:
                 raise ValueError("table owner mismatch")
@@ -149,6 +155,8 @@ class ProtocolNode(
             self.now, "status", node=self.node_id, status=status
         )
         self.status = status
+        if self.on_phase is not None:
+            self.on_phase(self.node_id, status, self.now)
 
     def _fill_entry(
         self, level: int, digit: int, node: NodeId, state: NeighborState
@@ -176,6 +184,8 @@ class ProtocolNode(
         if gateway == self.node_id:
             raise ProtocolError("a node cannot join via itself")
         self.join_began_at = self.now
+        if self.on_phase is not None:
+            self.on_phase(self.node_id, self.status, self.now)
         self._copy_level = 0
         self._copy_prev = None
         self._copy_target = gateway

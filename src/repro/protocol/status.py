@@ -27,5 +27,34 @@ class NodeStatus(enum.Enum):
     def is_s_node(self) -> bool:
         return self is NodeStatus.IN_SYSTEM
 
+    @property
+    def is_join_phase(self) -> bool:
+        """True for the Figure 3 join-lifecycle statuses (the ones the
+        observability layer turns into ``phase:*`` spans)."""
+        return self in JOIN_PHASES
+
+    @property
+    def phase_index(self) -> int:
+        """Position in the join lifecycle (-1 for extension states).
+
+        The join protocol only ever moves forward through
+        ``copying -> waiting -> notifying -> in_system``; trace
+        consumers use this to validate phase-transition ordering.
+        """
+        try:
+            return JOIN_PHASES.index(self)
+        except ValueError:
+            return -1
+
     def __str__(self) -> str:  # pragma: no cover - repr sugar
         return self.value
+
+
+#: The join lifecycle in protocol order (Figure 3).  A joining node's
+#: trace must visit a prefix-free increasing subsequence of these.
+JOIN_PHASES = (
+    NodeStatus.COPYING,
+    NodeStatus.WAITING,
+    NodeStatus.NOTIFYING,
+    NodeStatus.IN_SYSTEM,
+)

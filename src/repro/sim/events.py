@@ -20,7 +20,7 @@ class Event:
     popped.
     """
 
-    __slots__ = ("time", "seq", "action", "payload", "cancelled")
+    __slots__ = ("time", "seq", "action", "payload", "cancelled", "queue")
 
     def __init__(
         self,
@@ -34,10 +34,14 @@ class Event:
         self.action = action
         self.payload = payload
         self.cancelled = False
+        self.queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.queue is not None:
+                self.queue._live -= 1
 
     def fire(self) -> None:
         """Invoke the action unless the event was cancelled."""
@@ -62,6 +66,10 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        # Live (non-cancelled) entry count, so __len__ is O(1); the
+        # scheduler reports queue depth after every event, which was
+        # quadratic when this required a heap scan.
+        self._live = 0
 
     def push(
         self,
@@ -71,7 +79,9 @@ class EventQueue:
     ) -> Event:
         """Schedule ``action`` at virtual time ``time``; returns the event."""
         event = Event(time, next(self._counter), action, payload)
+        event.queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -79,6 +89,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event.queue = None  # a later cancel() must not re-count
                 return event
         return None
 
@@ -91,7 +103,7 @@ class EventQueue:
         return None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None

@@ -30,6 +30,9 @@ class Simulator:
         self._now = 0.0
         self._events_fired = 0
         self._running = False
+        #: Optional observability hook called as ``cb(now, pending)``
+        #: after each event fires (see repro.obs.SchedulerProbe).
+        self.on_event_fired: Optional[Callable[[float, int], None]] = None
 
     @property
     def now(self) -> float:
@@ -83,6 +86,7 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         fired = 0
+        on_event_fired = self.on_event_fired
         try:
             while True:
                 if max_events is not None and fired >= max_events:
@@ -98,6 +102,8 @@ class Simulator:
                 event.fire()
                 fired += 1
                 self._events_fired += 1
+                if on_event_fired is not None:
+                    on_event_fired(self._now, len(self._queue))
         finally:
             self._running = False
         if until is not None and self._now < until and not self._queue:

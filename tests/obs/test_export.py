@@ -1,0 +1,97 @@
+"""Exporter tests: JSONL round-trip and CSV/dict metrics snapshots."""
+
+import json
+
+from repro.obs.export import (
+    metrics_to_csv,
+    metrics_to_dict,
+    read_trace_jsonl,
+    trace_to_records,
+    write_metrics_csv,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    root = tracer.start_span("join", 0.0, node="0123")
+    phase = tracer.start_span("phase:copying", 0.0, parent=root, node="0123")
+    tracer.event(
+        "message.send", 0.5, span=phase, type="CpRstMsg", src="0123",
+        dst="3210", bytes=40, latency=1.5,
+    )
+    tracer.end_span(phase, 2.0)
+    tracer.end_span(root, 9.0)
+    tracer.start_span("join", 1.0, node="2222")  # left open on purpose
+    return tracer
+
+
+class TestTraceJsonl:
+    def test_round_trip_exact(self, tmp_path):
+        tracer = sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        written = write_trace_jsonl(tracer, path)
+        assert written == len(tracer)
+        spans, events = read_trace_jsonl(path)
+        original = trace_to_records(tracer)
+        assert spans + events == original
+
+    def test_each_line_is_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(sample_tracer(), path)
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert record["kind"] in ("span", "event")
+
+    def test_open_span_exports_null_end(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(sample_tracer(), path)
+        spans, _ = read_trace_jsonl(path)
+        open_spans = [s for s in spans if s["end"] is None]
+        assert len(open_spans) == 1
+        assert open_spans[0]["attrs"] == {"node": "2222"}
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        try:
+            read_trace_jsonl(str(path))
+        except ValueError as error:
+            assert "mystery" in str(error)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")
+
+
+class TestMetricsExport:
+    def sample_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("messages_sent", type="JoinNotiMsg").inc(6)
+        registry.gauge("table_fill", level="0").set(15.5)
+        registry.histogram("join_latency").observe(12.0)
+        return registry
+
+    def test_dict_snapshot(self):
+        snap = metrics_to_dict(self.sample_registry())
+        assert snap["messages_sent{type=JoinNotiMsg}"] == 6
+        assert snap["table_fill{level=0}"] == 15.5
+        assert snap["join_latency_count"] == 1.0
+
+    def test_csv_header_and_rows(self):
+        text = metrics_to_csv(self.sample_registry())
+        lines = text.strip().splitlines()
+        assert lines[0] == "metric,value"
+        assert any(line.startswith("join_latency_count,") for line in lines)
+        # Rows are sorted by metric name.
+        assert lines[1:] == sorted(lines[1:])
+
+    def test_write_csv_row_count(self, tmp_path):
+        path = str(tmp_path / "metrics.csv")
+        rows = write_metrics_csv(self.sample_registry(), path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert rows == len(lines) - 1

@@ -1,0 +1,112 @@
+"""Tracer unit tests: span nesting, lifecycle, and the no-op path."""
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, NullTracer, Tracer, TracerError
+
+
+class TestSpans:
+    def test_span_lifecycle(self):
+        tracer = Tracer()
+        span = tracer.start_span("join", 1.0, node="0123")
+        assert not span.finished
+        assert span.duration is None
+        tracer.end_span(span, 5.5, outcome="in_system")
+        assert span.finished
+        assert span.duration == 4.5
+        assert span.attrs == {"node": "0123", "outcome": "in_system"}
+
+    def test_nesting_parent_links(self):
+        tracer = Tracer()
+        root = tracer.start_span("join", 0.0)
+        child_a = tracer.start_span("phase:copying", 0.0, parent=root)
+        child_b = tracer.start_span("phase:waiting", 2.0, parent=root)
+        grandchild = tracer.start_span("rpc", 2.5, parent=child_b)
+        assert root.parent_id is None
+        assert child_a.parent_id == root.span_id
+        assert grandchild.parent_id == child_b.span_id
+        assert {s.span_id for s in tracer.children(root)} == {
+            child_a.span_id,
+            child_b.span_id,
+        }
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        ids = [tracer.start_span("s", 0.0).span_id for _ in range(50)]
+        assert len(set(ids)) == 50
+
+    def test_double_end_rejected(self):
+        tracer = Tracer()
+        span = tracer.start_span("s", 0.0)
+        tracer.end_span(span, 1.0)
+        with pytest.raises(TracerError):
+            tracer.end_span(span, 2.0)
+
+    def test_end_before_start_rejected(self):
+        tracer = Tracer()
+        span = tracer.start_span("s", 5.0)
+        with pytest.raises(TracerError):
+            tracer.end_span(span, 4.0)
+
+    def test_open_spans(self):
+        tracer = Tracer()
+        a = tracer.start_span("a", 0.0)
+        b = tracer.start_span("b", 0.0)
+        tracer.end_span(a, 1.0)
+        assert [s.span_id for s in tracer.open_spans()] == [b.span_id]
+
+    def test_filtering_and_len(self):
+        tracer = Tracer()
+        tracer.start_span("join", 0.0)
+        tracer.start_span("join", 1.0)
+        tracer.event("message.send", 0.5, type="CpRstMsg")
+        assert len(tracer.spans("join")) == 2
+        assert len(tracer.spans("other")) == 0
+        assert len(tracer.events("message.send")) == 1
+        assert len(tracer) == 3
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestEvents:
+    def test_event_attached_to_span(self):
+        tracer = Tracer()
+        span = tracer.start_span("join", 0.0)
+        tracer.event("message.send", 0.25, span=span, type="CpRstMsg")
+        (event,) = tracer.events()
+        assert event.span_id == span.span_id
+        assert event.attrs["type"] == "CpRstMsg"
+
+    def test_event_without_span(self):
+        tracer = Tracer()
+        tracer.event("tick", 1.0)
+        assert tracer.events()[0].span_id is None
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        span = tracer.start_span("join", 0.0, node="x")
+        tracer.event("message.send", 0.5, span=span)
+        tracer.end_span(span, 1.0)
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+        assert tracer.events() == []
+        assert list(tracer.records()) == []
+
+    def test_returns_shared_dummy_span(self):
+        tracer = NullTracer()
+        a = tracer.start_span("a", 0.0)
+        b = tracer.start_span("b", 5.0)
+        assert a is b is NULL_SPAN
+
+    def test_end_is_idempotent(self):
+        tracer = NullTracer()
+        span = tracer.start_span("a", 0.0)
+        tracer.end_span(span, 1.0)
+        tracer.end_span(span, 2.0)  # no TracerError on the null path
+        assert NULL_SPAN.end is None
+
+    def test_enabled_flag(self):
+        assert Tracer().enabled
+        assert not NullTracer().enabled

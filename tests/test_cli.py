@@ -37,6 +37,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Theorem 1 (consistent): True" in out
 
+    def test_join_trace_and_metrics(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "out.jsonl")
+        csv_path = str(tmp_path / "metrics.csv")
+        assert main(
+            ["join", "--n", "50", "--m", "15", "--base", "4",
+             "--digits", "4", "--trace", trace_path, "--metrics",
+             "--metrics-csv", csv_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "join phase durations" in out
+        assert "metrics snapshot:" in out
+        from repro.obs import read_trace_jsonl
+
+        spans, events = read_trace_jsonl(trace_path)
+        assert any(s["name"] == "phase:copying" for s in spans)
+        assert any(e["name"] == "message.send" for e in events)
+        with open(csv_path) as handle:
+            assert handle.readline().strip() == "metric,value"
+
     def test_churn(self, capsys):
         assert main(
             ["churn", "--n", "50", "--m", "10", "--leaves", "8",

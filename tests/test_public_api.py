@@ -24,6 +24,7 @@ class TestTopLevelApi:
             "repro.sim",
             "repro.topology",
             "repro.network",
+            "repro.obs",
             "repro.routing",
             "repro.protocol",
             "repro.csettree",
