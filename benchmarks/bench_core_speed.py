@@ -1,0 +1,174 @@
+"""Core simulation speed: hot-path gains and process fan-out scaling.
+
+Two gates, recorded together in ``BENCH_core_speed.json`` at the repo
+root (the perf-trajectory artifact the ROADMAP asks for):
+
+1. **Hot path** -- the concurrent-join workload runs against the
+   pre-optimization reference implementations (restored in-process by
+   :func:`repro.perf.use_pre_pr_hot_path`) and against the current
+   code, alternating rounds, min-of-rounds.  The optimized run must be
+   at least 1.25x faster *and* produce byte-identical message counts
+   and final consistency -- the optimizations must be invisible to the
+   simulation semantics.
+
+2. **Fan-out** -- an 8-seed Figure 15(b) sweep at ``--jobs 1`` vs
+   ``--jobs 4`` through :mod:`repro.experiments.parallel`.  Per-seed
+   results must be identical; the >= 2.5x wall-clock gate only applies
+   on machines with >= 4 CPUs (single-core CI shards still record the
+   measured ratio, which process-spawn overhead can push below 1).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments.fig15b import Fig15bConfig
+from repro.experiments.sweep import sweep_fig15b
+from repro.experiments.workloads import SMALL_TOPOLOGY, make_workload
+from repro.perf import use_pre_pr_hot_path
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_core_speed.json"
+
+BASE, DIGITS, N, M, SEED = 16, 8, 400, 120, 21
+HOT_PATH_ROUNDS = 7
+HOT_PATH_MIN_SPEEDUP = 1.25
+
+SWEEP_CONFIG = Fig15bConfig(
+    n=300,
+    m=100,
+    base=16,
+    num_digits=8,
+    use_topology=True,
+    topology_params=SMALL_TOPOLOGY,
+)
+SWEEP_SEEDS = range(8)
+SWEEP_JOBS = 4
+SWEEP_MIN_SPEEDUP = 2.5
+
+
+def _run_join_workload():
+    workload = make_workload(
+        base=BASE,
+        num_digits=DIGITS,
+        n=N,
+        m=M,
+        seed=SEED,
+        use_topology=True,
+        topology_params=SMALL_TOPOLOGY,
+    )
+    workload.start_all_joins(at=0.0)
+    workload.run()
+    return workload.network
+
+
+def _time_join():
+    # CPU time, not wall clock: the workload is single-threaded and
+    # deterministic, and process time is immune to load from other
+    # processes on shared CI machines.  The fan-out gate below uses
+    # wall clock, where elapsed time is the quantity of interest.
+    start = time.process_time()
+    net = _run_join_workload()
+    return time.process_time() - start, net
+
+
+def _sweep_fingerprint(sweep):
+    """Everything observable about a sweep, for equality checks."""
+    return [
+        (
+            r.config.seed,
+            tuple(r.join_noti_counts),
+            r.consistent,
+            r.all_in_system,
+            r.total_messages,
+            tuple(sorted(r.message_counts.items())),
+        )
+        for r in sweep.results
+    ]
+
+
+def test_core_speed_gates():
+    record = {
+        "benchmark": "core_speed",
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "base": BASE,
+            "num_digits": DIGITS,
+            "n": N,
+            "m": M,
+            "seed": SEED,
+            "topology": "small_transit_stub",
+        },
+    }
+
+    # -- Gate 1: hot-path speedup, alternating rounds ------------------
+    _run_join_workload()  # warm-up: imports, allocator, branch caches
+    baseline_times, optimized_times = [], []
+    nets = {}
+    for _ in range(HOT_PATH_ROUNDS):
+        with use_pre_pr_hot_path():
+            elapsed, nets["pre_pr"] = _time_join()
+        baseline_times.append(elapsed)
+        elapsed, nets["optimized"] = _time_join()
+        optimized_times.append(elapsed)
+
+    # Same seed, so the optimizations must change nothing observable.
+    assert (
+        nets["pre_pr"].stats.snapshot() == nets["optimized"].stats.snapshot()
+    )
+    assert nets["optimized"].check_consistency().consistent
+    assert nets["optimized"].all_in_system()
+
+    baseline = min(baseline_times)
+    optimized = min(optimized_times)
+    speedup = baseline / optimized
+    events = nets["optimized"].simulator.events_fired
+    record["hot_path"] = {
+        "rounds": HOT_PATH_ROUNDS,
+        "timer": "process_time",
+        "pre_pr_s": round(baseline, 4),
+        "optimized_s": round(optimized, 4),
+        "speedup": round(speedup, 3),
+        "min_speedup": HOT_PATH_MIN_SPEEDUP,
+        "events_fired": events,
+        "events_per_sec": round(events / optimized),
+        "joins_per_sec": round(M / optimized, 1),
+        "total_messages": nets["optimized"].stats.total_messages,
+    }
+
+    # -- Gate 2: fan-out scaling on the 8-seed sweep -------------------
+    start = time.perf_counter()
+    serial = sweep_fig15b(SWEEP_CONFIG, SWEEP_SEEDS, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = sweep_fig15b(SWEEP_CONFIG, SWEEP_SEEDS, jobs=SWEEP_JOBS)
+    parallel_s = time.perf_counter() - start
+
+    assert _sweep_fingerprint(serial) == _sweep_fingerprint(parallel)
+    assert serial.all_consistent
+
+    scaling = serial_s / parallel_s
+    gate_applies = (os.cpu_count() or 1) >= SWEEP_JOBS
+    record["fan_out"] = {
+        "seeds": len(list(SWEEP_SEEDS)),
+        "jobs": SWEEP_JOBS,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "scaling": round(scaling, 3),
+        "min_scaling": SWEEP_MIN_SPEEDUP,
+        "gate_applies": gate_applies,
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert speedup >= HOT_PATH_MIN_SPEEDUP, (
+        f"hot-path speedup {speedup:.3f}x below the "
+        f"{HOT_PATH_MIN_SPEEDUP}x gate (pre-PR {baseline:.3f}s, "
+        f"optimized {optimized:.3f}s)"
+    )
+    if gate_applies:
+        assert scaling >= SWEEP_MIN_SPEEDUP, (
+            f"--jobs {SWEEP_JOBS} scaling {scaling:.3f}x below the "
+            f"{SWEEP_MIN_SPEEDUP}x gate on a {os.cpu_count()}-CPU "
+            f"machine (serial {serial_s:.3f}s, parallel {parallel_s:.3f}s)"
+        )

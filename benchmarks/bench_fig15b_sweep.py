@@ -4,7 +4,14 @@ A single simulation is one sample; this bench repeats the scaled
 configuration over five seeds and reports mean +/- stddev of the mean
 JoinNotiMsg count, checking every run stays under the Theorem 5 bound
 and consistent.
+
+The per-seed runs go through the process-pool engine of
+:mod:`repro.experiments.parallel`; set ``REPRO_BENCH_JOBS`` to fan
+them over that many worker processes (results are identical to the
+serial run for any value).
 """
+
+import os
 
 from repro.experiments.fig15b import Fig15bConfig
 from repro.experiments.sweep import sweep_fig15b
@@ -19,14 +26,22 @@ CONFIG = Fig15bConfig(
     topology_params=SMALL_TOPOLOGY,
 )
 
+SEEDS = range(5)
+
+
+def bench_jobs() -> int:
+    """Worker-process count for benches (``REPRO_BENCH_JOBS``, default 1)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 def run_sweep():
-    return sweep_fig15b(CONFIG, seeds=range(5))
+    return sweep_fig15b(CONFIG, seeds=SEEDS, jobs=bench_jobs())
 
 
 def test_fig15b_seed_sweep(benchmark):
     sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     stats = sweep.mean_join_noti
+    benchmark.extra_info["jobs"] = bench_jobs()
     benchmark.extra_info["mean_of_means"] = round(stats.mean, 3)
     benchmark.extra_info["stddev"] = round(stats.stddev, 3)
     benchmark.extra_info["envelope"] = (

@@ -2,9 +2,19 @@
 
 Regenerates the per-message-type accounting behind the paper's cost
 analysis: big messages (table-carrying) vs small messages, per join.
+
+The seed loop is routed through the process-pool engine of
+:mod:`repro.experiments.parallel` (``run_join_tasks``); set
+``REPRO_BENCH_JOBS`` to fan the seeds over worker processes.
 """
 
-from benchmarks.conftest import fresh_network, run_concurrent, sampled_workload
+import os
+
+from repro.experiments.parallel import (
+    JoinTaskConfig,
+    run_join_tasks,
+    seeded_configs,
+)
 
 BIG = ("CpRstMsg", "JoinWaitMsg", "JoinNotiMsg")
 SMALL = (
@@ -15,27 +25,44 @@ SMALL = (
     "RvNghNotiRlyMsg",
 )
 
+CONFIG = JoinTaskConfig(base=16, num_digits=8, n=400, m=120, seed=21)
+SEEDS = (21, 22, 23)
 
-def run_workload():
-    space, initial, joiners = sampled_workload(16, 8, 400, 120, seed=21)
-    net = fresh_network(space, initial, seed=21)
-    run_concurrent(net, joiners)
-    return net, len(joiners)
+
+def bench_jobs() -> int:
+    """Worker-process count for benches (``REPRO_BENCH_JOBS``, default 1)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def run_workloads():
+    return run_join_tasks(
+        seeded_configs(CONFIG, SEEDS), jobs=bench_jobs()
+    )
 
 
 def test_join_cost_breakdown(benchmark):
-    net, m = benchmark.pedantic(run_workload, rounds=1, iterations=1)
-    assert net.check_consistency().consistent
+    results = benchmark.pedantic(run_workloads, rounds=1, iterations=1)
+    m = CONFIG.m
+    benchmark.extra_info["jobs"] = bench_jobs()
+    benchmark.extra_info["seeds"] = list(SEEDS)
+    per_seed_counts = [r.counts_dict() for r in results]
+    for result in results:
+        assert result.consistent
+        assert result.all_in_system
     for name in BIG + SMALL:
-        benchmark.extra_info[f"{name}_per_join"] = round(
-            net.stats.count(name) / m, 3
-        )
-    big_total = sum(net.stats.count(name) for name in BIG)
-    benchmark.extra_info["big_messages_per_join"] = round(big_total / m, 3)
+        mean = sum(c.get(name, 0) for c in per_seed_counts) / len(results)
+        benchmark.extra_info[f"{name}_per_join"] = round(mean / m, 3)
+    big_total = sum(
+        c.get(name, 0) for c in per_seed_counts for name in BIG
+    )
+    benchmark.extra_info["big_messages_per_join"] = round(
+        big_total / (m * len(results)), 3
+    )
     benchmark.extra_info["total_bytes_per_join"] = round(
-        net.stats.total_bytes / m
+        sum(r.total_bytes for r in results) / (m * len(results))
     )
     # Each big message has exactly one reply (Section 5.2).
-    assert net.stats.count("CpRstMsg") == net.stats.count("CpRlyMsg")
-    assert net.stats.count("JoinWaitMsg") == net.stats.count("JoinWaitRlyMsg")
-    assert net.stats.count("JoinNotiMsg") == net.stats.count("JoinNotiRlyMsg")
+    for counts in per_seed_counts:
+        assert counts.get("CpRstMsg") == counts.get("CpRlyMsg")
+        assert counts.get("JoinWaitMsg") == counts.get("JoinWaitRlyMsg")
+        assert counts.get("JoinNotiMsg") == counts.get("JoinNotiRlyMsg")

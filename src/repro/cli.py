@@ -10,7 +10,11 @@ Commands map one-to-one onto the paper's artifacts:
 * ``join``      -- run a concurrent-join experiment and verify
   Theorems 1-3; ``--trace out.jsonl`` writes a span/event trace,
   ``--metrics`` / ``--metrics-csv out.csv`` expose the metrics
-  registry (see :mod:`repro.obs`).
+  registry (see :mod:`repro.obs`); ``--seeds K --jobs N`` fans K
+  seeds over N worker processes.
+* ``sweep``     -- multi-seed Figure 15(b) sweep with aggregates;
+  ``--jobs N`` parallelizes across processes (results are identical
+  to the serial run for any N).
 * ``churn``     -- joins + leaves + crashes + recovery + optimization.
 """
 
@@ -72,7 +76,7 @@ def _cmd_fig15b(args: argparse.Namespace) -> int:
     from repro.experiments.fig15b import (
         Fig15bConfig,
         PAPER_CONFIGS,
-        run_fig15b,
+        run_fig15b_many,
     )
     from repro.experiments.harness import render_cdf_table
     from repro.experiments.workloads import SMALL_TOPOLOGY
@@ -94,8 +98,8 @@ def _cmd_fig15b(args: argparse.Namespace) -> int:
 
     ok = True
     samples = {}
-    for config in configs:
-        result = run_fig15b(config)
+    results = run_fig15b_many(configs, jobs=args.jobs)
+    for config, result in zip(configs, results):
         print(f"== {config.label} ==")
         print(render_cdf_table(result.cdf))
         print(f"  mean {result.mean_join_noti:.3f}  "
@@ -149,6 +153,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
     from repro.analysis.expected_cost import theorem3_bound
     from repro.experiments.workloads import make_workload
 
+    if args.seeds > 1:
+        return _cmd_join_multi(args)
     workload = make_workload(
         base=args.base,
         num_digits=args.digits,
@@ -172,6 +178,62 @@ def _cmd_join(args: argparse.Namespace) -> int:
     print(f"total messages     : {net.stats.total_messages}")
     _emit_observability(args, net)
     return 0 if report.consistent and net.all_in_system() else 1
+
+
+def _cmd_join_multi(args: argparse.Namespace) -> int:
+    """``join --seeds K``: fan K seeded runs over ``--jobs`` workers."""
+    from repro.experiments.parallel import (
+        JoinTaskConfig,
+        run_join_tasks,
+        seeded_configs,
+    )
+
+    base_config = JoinTaskConfig(
+        base=args.base,
+        num_digits=args.digits,
+        n=args.n,
+        m=args.m,
+        seed=args.seed,
+    )
+    seeds = range(args.seed, args.seed + args.seeds)
+    results = run_join_tasks(
+        seeded_configs(base_config, seeds), jobs=args.jobs
+    )
+    ok = True
+    print(f"{'seed':>6}  {'members':>7}  {'mean noti':>9}  "
+          f"{'max thm3':>8}  {'messages':>8}  consistent")
+    for result in results:
+        ok = ok and result.consistent and result.all_in_system
+        print(f"{result.seed:>6}  {result.members:>7}  "
+              f"{result.mean_join_noti:>9.3f}  "
+              f"{result.max_theorem3:>8}  "
+              f"{result.total_messages:>8}  {result.consistent}")
+    mean_noti = sum(r.mean_join_noti for r in results) / len(results)
+    print(f"mean JoinNotiMsg over {len(results)} seeds: {mean_noti:.3f}")
+    print(f"all consistent     : {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.fig15b import Fig15bConfig
+    from repro.experiments.sweep import sweep_fig15b
+    from repro.experiments.workloads import SMALL_TOPOLOGY
+
+    config = Fig15bConfig(
+        n=args.n,
+        m=args.m,
+        base=16,
+        num_digits=args.digits,
+        topology_params=SMALL_TOPOLOGY,
+    )
+    seeds = range(args.seed, args.seed + args.seeds)
+    sweep = sweep_fig15b(config, seeds, jobs=args.jobs)
+    print(f"== {config.label}; seeds {list(seeds)} ==")
+    print(sweep.mean_join_noti)
+    print(f"Theorem 5 bound    : {sweep.theorem5_bound:.3f}")
+    print(f"bound never exceeded: {sweep.bound_never_exceeded}")
+    print(f"all consistent     : {sweep.all_consistent}")
+    return 0 if sweep.all_consistent else 1
 
 
 def _cmd_churn(args: argparse.Namespace) -> int:
@@ -224,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig15b.add_argument("--m", type=int, default=100)
     fig15b.add_argument("--digits", type=int, default=8)
     fig15b.add_argument("--seed", type=int, default=0)
+    fig15b.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for multi-config runs (e.g. --full)",
+    )
     fig15b.set_defaults(func=_cmd_fig15b)
 
     join = sub.add_parser("join", help="concurrent-join experiment")
@@ -244,7 +310,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-csv", metavar="PATH",
         help="write the metrics snapshot as CSV to PATH",
     )
+    join.add_argument(
+        "--seeds", type=int, default=1,
+        help="run this many seeds (starting at --seed) and aggregate",
+    )
+    join.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --seeds > 1",
+    )
     join.set_defaults(func=_cmd_join)
+
+    sweep = sub.add_parser(
+        "sweep", help="multi-seed Figure 15(b) sweep with aggregates"
+    )
+    sweep.add_argument("--n", type=int, default=300)
+    sweep.add_argument("--m", type=int, default=100)
+    sweep.add_argument("--digits", type=int, default=8)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="first seed of the sweep")
+    sweep.add_argument("--seeds", type=int, default=5,
+                       help="number of seeds")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes")
+    sweep.set_defaults(func=_cmd_sweep)
 
     churn = sub.add_parser("churn", help="full membership lifecycle")
     churn.add_argument("--n", type=int, default=150)

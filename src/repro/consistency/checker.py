@@ -81,14 +81,16 @@ def check_consistency(
 
     for node_id in members:
         table = tables[node_id]
+        table_get = table.get
+        any_with = index.any_with
         report.nodes_checked += 1
         for level in range(node_id.num_digits):
             shared = node_id.suffix(level)
+            report.entries_checked += node_id.base
             for digit in range(node_id.base):
-                report.entries_checked += 1
                 desired = shared + (digit,)
-                occupant = table.get(level, digit)
-                exists = index.any_with(desired)
+                occupant = table_get(level, digit)
+                exists = any_with(desired)
                 if occupant is None:
                     if exists:
                         if add(Violation(

@@ -7,6 +7,8 @@
 * :mod:`~repro.experiments.fig15a` -- Theorem 5 upper-bound curves.
 * :mod:`~repro.experiments.fig15b` -- the concurrent-join simulation
   (CDF of JoinNotiMsg per joiner) on a transit-stub topology.
+* :mod:`~repro.experiments.parallel` -- process-pool fan-out engine for
+  multi-seed campaigns (deterministic merge, serial-equivalent).
 """
 
 from repro.experiments.fig1 import figure1_example
@@ -16,6 +18,7 @@ from repro.experiments.fig15b import (
     Fig15bConfig,
     Fig15bResult,
     run_fig15b,
+    run_fig15b_many,
 )
 from repro.experiments.harness import (
     Cdf,
@@ -24,6 +27,15 @@ from repro.experiments.harness import (
     render_phase_table,
     summarize,
 )
+from repro.experiments.parallel import (
+    JoinTaskConfig,
+    JoinTaskResult,
+    parallel_map,
+    run_join_task,
+    run_join_tasks,
+    verified_parallel_map,
+)
+from repro.experiments.sweep import sweep_fig15b
 
 __all__ = [
     "Cdf",
@@ -33,9 +45,16 @@ __all__ = [
     "FIG15A_CONFIGS",
     "Fig15bConfig",
     "Fig15bResult",
+    "JoinTaskConfig",
+    "JoinTaskResult",
     "figure15a_series",
     "figure1_example",
     "figure2_example",
+    "parallel_map",
     "run_fig15b",
-    "summarize",
+    "run_fig15b_many",
+    "run_join_task",
+    "run_join_tasks",
+    "sweep_fig15b",
+    "verified_parallel_map",
 ]

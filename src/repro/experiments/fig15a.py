@@ -54,14 +54,43 @@ def figure15a_series(
     ]
 
 
+def _series_task(
+    task: Tuple[Fig15aConfig, Tuple[int, ...]]
+) -> List[Tuple[int, float]]:
+    """Picklable per-curve task for the parallel engine."""
+    config, n_values = task
+    return figure15a_series(config, n_values)
+
+
+def figure15a_all_series(
+    configs: Sequence[Fig15aConfig] = FIG15A_CONFIGS,
+    n_values: Sequence[int] = FIG15A_N_VALUES,
+    jobs: int = 1,
+) -> List[List[Tuple[int, float]]]:
+    """All curves, one per config, optionally computed across worker
+    processes (the closed-form bound is cheap at the paper's scale but
+    grows with ``n`` sweeps; the engine keeps curve order regardless)."""
+    from repro.experiments.parallel import parallel_map
+
+    return parallel_map(
+        _series_task,
+        [(config, tuple(n_values)) for config in configs],
+        jobs=jobs,
+    )
+
+
 def render_figure15a(
     configs: Sequence[Fig15aConfig] = FIG15A_CONFIGS,
     n_values: Sequence[int] = FIG15A_N_VALUES,
+    jobs: int = 1,
 ) -> str:
     """Text table with one column per curve (the figure's four lines)."""
     header = "       n  " + "  ".join(f"{c.label:>18}" for c in configs)
     lines = [header]
-    series = [dict(figure15a_series(c, n_values)) for c in configs]
+    series = [
+        dict(curve)
+        for curve in figure15a_all_series(configs, n_values, jobs=jobs)
+    ]
     for n in n_values:
         row = f"{n:>8}  " + "  ".join(
             f"{s[n]:>18.3f}" for s in series

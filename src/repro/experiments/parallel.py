@@ -1,0 +1,259 @@
+"""Parallel experiment engine: fan simulation tasks across processes.
+
+The paper's evaluation -- and every bench derived from it -- is a
+multi-seed simulation campaign: the same event-driven run repeated over
+``seed x config`` points, then aggregated.  Each run is CPU-bound pure
+Python, so threads cannot help; this module fans tasks out over a
+:class:`concurrent.futures.ProcessPoolExecutor` instead.
+
+Design rules that keep parallel runs trustworthy:
+
+* **Self-seeding tasks.**  A task is a picklable config that carries
+  its own seed; the task function derives every RNG it uses from that
+  config (as :func:`repro.experiments.fig15b.run_fig15b` and
+  :func:`run_join_task` do).  Worker processes never share RNG state,
+  so results are independent of scheduling order and of ``jobs``.
+* **Deterministic merge.**  Results are reassembled strictly in task
+  order, whatever order workers finish in.  ``parallel_map(fn, tasks,
+  jobs=k)`` therefore returns exactly ``[fn(t) for t in tasks]`` for
+  any ``k`` -- :func:`verified_parallel_map` asserts that equality by
+  also running the serial path.
+* **Chunked dispatch.**  Tasks are submitted in contiguous chunks to
+  amortize pickling and inter-process latency; chunking never changes
+  results, only scheduling granularity.
+
+``jobs <= 1`` short-circuits to a plain in-process loop -- byte-for-byte
+the serial path, with no executor or pickling involved.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.experiments.workloads import make_workload
+from repro.protocol.sizing import SizingPolicy
+from repro.topology.transit_stub import TransitStubParams
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Progress callback: called as ``progress(done, total)`` from the
+#: coordinating process after every completed task.
+ProgressFn = Callable[[int, int], None]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None or 0 means one worker per
+    available CPU; negative values are rejected."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def default_chunksize(num_tasks: int, jobs: int) -> int:
+    """Chunk so each worker sees a handful of submissions (4 per worker
+    when tasks allow), balancing dispatch overhead against stragglers."""
+    if num_tasks <= 0:
+        return 1
+    return max(1, num_tasks // (jobs * 4))
+
+
+def _run_chunk(
+    fn: Callable[[T], R], start: int, chunk: Sequence[T]
+) -> Tuple[int, List[R]]:
+    """Worker-side body: run one contiguous chunk, tagged with its
+    starting task index so the coordinator can merge deterministically."""
+    return start, [fn(task) for task in chunk]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[R]:
+    """``[fn(t) for t in tasks]``, computed on ``jobs`` processes.
+
+    ``fn`` and every task must be picklable (top-level function plus
+    self-seeding config objects).  Results are merged in task order, so
+    the output is independent of ``jobs`` whenever ``fn`` is a pure
+    function of its task.  ``progress`` is invoked in this process
+    after each task completes (serial path: after every ``fn`` call;
+    parallel path: chunk completions report every task in the chunk).
+    """
+    jobs = resolve_jobs(jobs)
+    total = len(tasks)
+    if total == 0:
+        return []
+    if jobs <= 1 or total == 1:
+        results: List[R] = []
+        for index, task in enumerate(tasks):
+            results.append(fn(task))
+            if progress is not None:
+                progress(index + 1, total)
+        return results
+
+    if chunksize is None:
+        chunksize = default_chunksize(total, jobs)
+    chunks = [
+        (start, tasks[start:start + chunksize])
+        for start in range(0, total, chunksize)
+    ]
+    merged: Dict[int, List[R]] = {}
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        pending = {
+            pool.submit(_run_chunk, fn, start, chunk)
+            for start, chunk in chunks
+        }
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                start, chunk_results = future.result()
+                merged[start] = chunk_results
+                done += len(chunk_results)
+                if progress is not None:
+                    progress(done, total)
+    out: List[R] = []
+    for start in sorted(merged):
+        out.extend(merged[start])
+    if len(out) != total:  # pragma: no cover - engine invariant
+        raise RuntimeError(
+            f"parallel merge produced {len(out)} results for {total} tasks"
+        )
+    return out
+
+
+def verified_parallel_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: int,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Run :func:`parallel_map` and assert it matches the serial path.
+
+    Used by the equivalence tests (and available as a belt-and-braces
+    mode anywhere determinism is suspect): runs the tasks both ways and
+    raises :class:`AssertionError` on any mismatch.
+    """
+    parallel = parallel_map(fn, tasks, jobs=jobs, chunksize=chunksize)
+    serial = parallel_map(fn, tasks, jobs=1)
+    if parallel != serial:
+        mismatches = [
+            i for i, (p, s) in enumerate(zip(parallel, serial)) if p != s
+        ]
+        raise AssertionError(
+            f"parallel results diverge from serial at tasks {mismatches}"
+        )
+    return parallel
+
+
+# ---------------------------------------------------------------------------
+# Ready-made parallel task: one concurrent-join experiment per seed.
+
+
+@dataclass(frozen=True)
+class JoinTaskConfig:
+    """One self-seeding concurrent-join simulation (CLI ``repro join``,
+    the join-cost benches): ``n`` initial nodes, ``m`` simultaneous
+    joiners, IDs from a ``(base, num_digits)`` space."""
+
+    base: int = 16
+    num_digits: int = 8
+    n: int = 300
+    m: int = 100
+    seed: int = 0
+    use_topology: bool = False
+    topology_params: Optional[TransitStubParams] = None
+    sizing: SizingPolicy = SizingPolicy.FULL
+
+
+@dataclass(frozen=True)
+class JoinTaskResult:
+    """Aggregate outcome of one :class:`JoinTaskConfig` run.
+
+    Carries everything the CLI and benches report; comparable with
+    ``==`` so serial/parallel equivalence can be asserted directly.
+    """
+
+    seed: int
+    consistent: bool
+    all_in_system: bool
+    members: int
+    mean_join_noti: float
+    max_theorem3: int
+    total_messages: int
+    total_bytes: int
+    message_counts: Tuple[Tuple[str, int], ...] = field(default=())
+
+    def counts_dict(self) -> Dict[str, int]:
+        """Per-type message counts as a plain dict."""
+        return dict(self.message_counts)
+
+
+def run_join_task(config: JoinTaskConfig) -> JoinTaskResult:
+    """Run one concurrent-join experiment to quiescence (picklable
+    top-level task function for :func:`parallel_map`)."""
+    workload = make_workload(
+        base=config.base,
+        num_digits=config.num_digits,
+        n=config.n,
+        m=config.m,
+        seed=config.seed,
+        use_topology=config.use_topology,
+        topology_params=config.topology_params,
+        sizing=config.sizing,
+    )
+    workload.start_all_joins(at=0.0)
+    workload.run()
+    net = workload.network
+    report = net.check_consistency()
+    counts = net.join_noti_counts()
+    return JoinTaskResult(
+        seed=config.seed,
+        consistent=report.consistent,
+        all_in_system=net.all_in_system(),
+        members=len(net.member_ids()),
+        mean_join_noti=sum(counts) / len(counts) if counts else 0.0,
+        max_theorem3=max(net.theorem3_counts()),
+        total_messages=net.stats.total_messages,
+        total_bytes=net.stats.total_bytes,
+        message_counts=tuple(sorted(net.stats.snapshot().items())),
+    )
+
+
+def run_join_tasks(
+    configs: Sequence[JoinTaskConfig],
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[JoinTaskResult]:
+    """Fan :func:`run_join_task` over ``configs``."""
+    return parallel_map(
+        run_join_task, configs, jobs=jobs, chunksize=chunksize,
+        progress=progress,
+    )
+
+
+def seeded_configs(
+    config: JoinTaskConfig, seeds: Sequence[int]
+) -> List[JoinTaskConfig]:
+    """Copies of ``config`` differing only in seed (a seed sweep)."""
+    from dataclasses import replace
+
+    return [replace(config, seed=seed) for seed in seeds]

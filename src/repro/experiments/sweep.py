@@ -11,11 +11,12 @@ long a node stays a T-node under concurrent load.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.fig15b import Fig15bConfig, Fig15bResult, run_fig15b
 from repro.experiments.harness import Summary, summarize
+from repro.experiments.parallel import ProgressFn, parallel_map
 
 
 @dataclass
@@ -81,25 +82,34 @@ class Fig15bSweep:
         )
 
 
-def sweep_fig15b(
+def sweep_configs(
     config: Fig15bConfig, seeds: Sequence[int]
+) -> List[Fig15bConfig]:
+    """Per-seed copies of ``config`` (the sweep's task list)."""
+    return [replace(config, seed=seed) for seed in seeds]
+
+
+def sweep_fig15b(
+    config: Fig15bConfig,
+    seeds: Sequence[int],
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> Fig15bSweep:
-    """Run one Figure 15(b) configuration across several seeds."""
-    results = []
-    for seed in seeds:
-        results.append(
-            run_fig15b(
-                Fig15bConfig(
-                    n=config.n,
-                    m=config.m,
-                    base=config.base,
-                    num_digits=config.num_digits,
-                    seed=seed,
-                    use_topology=config.use_topology,
-                    topology_params=config.topology_params,
-                )
-            )
-        )
+    """Run one Figure 15(b) configuration across several seeds.
+
+    ``jobs > 1`` fans the per-seed runs over worker processes via
+    :func:`repro.experiments.parallel.parallel_map`; each run derives
+    all randomness from its own config, so the results -- and any
+    aggregate over them -- are identical for every ``jobs`` value.
+    """
+    results = parallel_map(
+        run_fig15b,
+        sweep_configs(config, seeds),
+        jobs=jobs,
+        chunksize=chunksize,
+        progress=progress,
+    )
     return Fig15bSweep(config, results)
 
 

@@ -25,7 +25,7 @@ class NodeId:
     ``x[0] == 3``).
     """
 
-    __slots__ = ("_digits", "_base", "_hash")
+    __slots__ = ("_digits", "_base", "_hash", "_str", "_int")
 
     def __init__(self, digits: Tuple[int, ...], base: int):
         if not 2 <= base <= MAX_BASE:
@@ -38,6 +38,11 @@ class NodeId:
         self._digits = tuple(digits)
         self._base = base
         self._hash = hash((self._digits, base))
+        # Lazily-computed caches: the printable form is needed on every
+        # traced message and the numeric value on every ordered compare,
+        # both many times per simulated message.
+        self._str: "str | None" = None
+        self._int: "int | None" = None
 
     @property
     def digits(self) -> Tuple[int, ...]:
@@ -68,9 +73,12 @@ class NodeId:
 
     def to_int(self) -> int:
         """Numeric value of the ID (rightmost digit least significant)."""
-        value = 0
-        for dg in reversed(self._digits):
-            value = value * self._base + dg
+        value = self._int
+        if value is None:
+            value = 0
+            for dg in reversed(self._digits):
+                value = value * self._base + dg
+            self._int = value
         return value
 
     def suffix(self, k: int) -> Tuple[int, ...]:
@@ -93,24 +101,40 @@ class NodeId:
         """Length of the longest common suffix with ``other``.
 
         This is the paper's ``|csuf(x.ID, y.ID)|``.
+
+        Called on every routing decision and table check, so the common
+        cases are short-circuited: comparing an ID with itself (IDs are
+        shared value objects, so identity is the norm), a full match
+        guarded by the precomputed hash, and a first-digit mismatch
+        (probability ``(b-1)/b`` for random pairs).
         """
-        n = 0
-        for a, c in zip(self._digits, other._digits):
-            if a != c:
-                break
+        a = self._digits
+        b = other._digits
+        if a is b:
+            return len(a)
+        if a[0] != b[0]:
+            return 0
+        if self._hash == other._hash and a == b:
+            return len(a)
+        n = 1
+        limit = min(len(a), len(b))
+        while n < limit and a[n] == b[n]:
             n += 1
         return n
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, NodeId):
             return NotImplemented
         return self._digits == other._digits and self._base == other._base
 
     def __ne__(self, other: object) -> bool:
-        eq = self.__eq__(other)
-        if eq is NotImplemented:
-            return eq
-        return not eq
+        if other is self:
+            return False
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._digits != other._digits or self._base != other._base
 
     def __lt__(self, other: "NodeId") -> bool:
         return self.to_int() < other.to_int()
@@ -128,7 +152,13 @@ class NodeId:
         return self._hash
 
     def __str__(self) -> str:
-        return "".join(_DIGIT_CHARS[dg] for dg in reversed(self._digits))
+        text = self._str
+        if text is None:
+            text = "".join(
+                _DIGIT_CHARS[dg] for dg in reversed(self._digits)
+            )
+            self._str = text
+        return text
 
     def __repr__(self) -> str:
         return f"NodeId('{self}', b={self._base})"

@@ -43,6 +43,14 @@ class Transport:
         # hot send path stays the exact pre-instrumentation code.
         self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._nodes: Dict[NodeId, "NetworkNode"] = {}
+        # Pairwise latency memo, only for models whose (src, dst) delay
+        # is a pure function of the pair (topology shortest paths,
+        # constant delay).  Jittered models draw per message and must
+        # not be memoized.
+        self._latency_memo: Optional[Dict[tuple, float]] = (
+            {} if getattr(latency_model, "deterministic_pairs", False)
+            else None
+        )
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -75,16 +83,30 @@ class Transport:
 
     @property
     def node_ids(self):
-        return list(self._nodes)
+        """Registered node IDs as a live, read-only view (no copy).
+
+        Iterating or membership-testing is O(1)-per-step on the dict's
+        keys; callers that need a materialized list or set should build
+        one themselves.
+        """
+        return self._nodes.keys()
 
     def send(self, dst: NodeId, message: Message) -> None:
         """Send ``message`` to ``dst``; the sender is read off the
         message.  Delivery is scheduled at ``now + latency(src, dst)``."""
-        if dst not in self._nodes:
+        target = self._nodes.get(dst)
+        if target is None:
             raise UnknownDestinationError(str(dst))
         self.stats.on_send(message)
-        delay = self.latency_model.latency(message.sender, dst)
-        target = self._nodes[dst]
+        src = message.sender
+        memo = self._latency_memo
+        if memo is None:
+            delay = self.latency_model.latency(src, dst)
+        else:
+            delay = memo.get((src, dst))
+            if delay is None:
+                delay = self.latency_model.latency(src, dst)
+                memo[(src, dst)] = delay
         if self._tracer is None:
             self.simulator.schedule(delay, target.receive, message)
         else:

@@ -1,0 +1,27 @@
+"""Performance tooling: pre-optimization reference implementations.
+
+:mod:`repro.perf.baseline` keeps byte-for-byte copies of the hot-path
+code as it stood *before* the single-core optimization pass (cached
+``NodeId`` forms, neighbor-table snapshot caching, transport latency
+memoization, scheduler hoisting).  They serve two purposes:
+
+* equivalence tests assert the optimized fast paths compute exactly
+  what the naive code computed;
+* ``benchmarks/bench_core_speed.py`` measures the optimized code
+  against the pre-optimization baseline *in the same run*, so the
+  recorded speedup is self-contained and reproducible.
+"""
+
+from repro.perf.baseline import (
+    naive_csuf_len,
+    naive_str,
+    naive_to_int,
+    use_pre_pr_hot_path,
+)
+
+__all__ = [
+    "naive_csuf_len",
+    "naive_str",
+    "naive_to_int",
+    "use_pre_pr_hot_path",
+]

@@ -1,0 +1,242 @@
+"""Pre-optimization reference implementations of the hot paths.
+
+Every function here reproduces, unchanged, the behaviour the
+corresponding method had before the hot-path optimization pass; the
+optimized methods must be *observationally identical* (same results,
+same message counts, same final tables) -- only faster.
+
+:func:`use_pre_pr_hot_path` temporarily swaps the naive versions back
+in, which is how ``benchmarks/bench_core_speed.py`` measures the
+pre-PR baseline inside the same process, and how the semantics tests
+check that a fixed-seed simulation is unaffected by the pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Tuple
+
+from repro.ids.digits import _DIGIT_CHARS, NodeId
+from repro.network.transport import Transport, UnknownDestinationError
+from repro.routing.table import NeighborTable, TableEntry
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+# ---------------------------------------------------------------------------
+# NodeId (repro.ids.digits) -- pre-PR digit loops, no caches
+
+
+def naive_csuf_len(a: NodeId, b: NodeId) -> int:
+    """Reference ``|csuf(a, b)|``: plain digit loop, no fast paths."""
+    n = 0
+    for x, y in zip(a.digits, b.digits):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def naive_str(a: NodeId) -> str:
+    """Reference printable form: rebuilt from digits on every call."""
+    return "".join(_DIGIT_CHARS[dg] for dg in reversed(a.digits))
+
+
+def naive_to_int(a: NodeId) -> int:
+    """Reference numeric value: recomputed on every call."""
+    value = 0
+    for dg in reversed(a.digits):
+        value = value * a.base + dg
+    return value
+
+
+def _naive_eq(self: NodeId, other: object):
+    if not isinstance(other, NodeId):
+        return NotImplemented
+    return self.digits == other.digits and self.base == other.base
+
+
+def _naive_ne(self: NodeId, other: object):
+    eq = _naive_eq(self, other)
+    if eq is NotImplemented:
+        return eq
+    return not eq
+
+
+def _naive_lt(self: NodeId, other: NodeId) -> bool:
+    return naive_to_int(self) < naive_to_int(other)
+
+
+# ---------------------------------------------------------------------------
+# NeighborTable (repro.routing.table) -- re-sorted snapshot every call
+
+
+def _naive_entries(self: NeighborTable) -> Iterator[TableEntry]:
+    for (level, digit) in sorted(self._entries):
+        node, state = self._entries[(level, digit)]
+        yield TableEntry(level, digit, node, state)
+
+
+def _naive_snapshot(self: NeighborTable) -> Tuple[TableEntry, ...]:
+    return tuple(_naive_entries(self))
+
+
+def _naive_snapshot_levels(
+    self: NeighborTable, low: int, high: int
+) -> Tuple[TableEntry, ...]:
+    return tuple(
+        entry for entry in _naive_entries(self) if low <= entry.level <= high
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transport (repro.network.transport) -- no pairwise latency memo
+
+
+def _naive_send(self: Transport, dst, message) -> None:
+    if dst not in self._nodes:
+        raise UnknownDestinationError(str(dst))
+    self.stats.on_send(message)
+    delay = self.latency_model.latency(message.sender, dst)
+    target = self._nodes[dst]
+    if self._tracer is None:
+        self.simulator.schedule(delay, target.receive, message)
+    else:
+        self._send_traced(dst, message, delay, target)
+
+
+# ---------------------------------------------------------------------------
+# Simulator (repro.sim.scheduler) -- attribute chains inside the loop
+
+
+def _naive_run(self: Simulator, until=None, max_events=None) -> int:
+    if self._running:
+        raise SimulationError("run() is not reentrant")
+    self._running = True
+    fired = 0
+    on_event_fired = self.on_event_fired
+    try:
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.fire()
+            fired += 1
+            self._events_fired += 1
+            if on_event_fired is not None:
+                on_event_fired(self._now, len(self._queue))
+    finally:
+        self._running = False
+    if until is not None and self._now < until and not self._queue:
+        self._now = until
+    return fired
+
+
+# ---------------------------------------------------------------------------
+# ProtocolNode (repro.protocol.node) -- unhoisted Check_Ngh_Table
+
+
+def _naive_check_ngh_table(self, snapshot) -> None:
+    from repro.protocol.status import NodeStatus
+
+    for entry in snapshot:
+        u = entry.node
+        if u == self.node_id:
+            continue
+        k = self._csuf(u)
+        current = self.table.get(k, u.digit(k))
+        if current is None:
+            self._fill_entry(k, u.digit(k), u, entry.state)
+        elif current != u:
+            self.backups.offer(k, u.digit(k), u)
+        if (
+            self.status is NodeStatus.NOTIFYING
+            and k >= self.noti_level
+            and u not in self.q_notified
+        ):
+            self._send_join_noti(u, k)
+
+
+def _naive_offer(self, level: int, digit: int, node) -> bool:
+    if node == self.owner:
+        return False
+    if naive_csuf_len(node, self.owner) < level or node.digit(level) != digit:
+        return False
+    bucket = self._backups.setdefault((level, digit), [])
+    if node in bucket or len(bucket) >= self.capacity:
+        return False
+    bucket.append(node)
+    return True
+
+
+def _naive_nodeid_csuf_len(self: NodeId, other: NodeId) -> int:
+    return naive_csuf_len(self, other)
+
+
+def _naive_nodeid_str(self: NodeId) -> str:
+    return naive_str(self)
+
+
+def _naive_nodeid_to_int(self: NodeId) -> int:
+    return naive_to_int(self)
+
+
+@contextlib.contextmanager
+def use_pre_pr_hot_path():
+    """Swap the pre-optimization implementations back in, temporarily.
+
+    Patches the hot-path methods of :class:`NodeId`,
+    :class:`NeighborTable`, :class:`Transport`, :class:`Simulator`,
+    ``ProtocolNode`` and ``BackupStore`` with the reference versions
+    above, restoring the optimized ones on exit.  Also disables the
+    transport latency memo and the hierarchical-latency pair memo for
+    networks *created inside* the context (existing transports keep
+    their memo dict, so only use this around whole-run workloads).
+    """
+    from repro.protocol.node import ProtocolNode
+    from repro.routing.backups import BackupStore
+    from repro.topology.latency import HierarchicalLatency
+
+    def _naive_hier_latency(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        return self._compute_latency(u, v)
+
+    patches = [
+        (NodeId, "csuf_len", _naive_nodeid_csuf_len),
+        (NodeId, "__str__", _naive_nodeid_str),
+        (NodeId, "to_int", _naive_nodeid_to_int),
+        (NodeId, "__eq__", _naive_eq),
+        (NodeId, "__ne__", _naive_ne),
+        (NodeId, "__lt__", _naive_lt),
+        (NeighborTable, "entries", _naive_entries),
+        (NeighborTable, "snapshot", _naive_snapshot),
+        (NeighborTable, "snapshot_levels", _naive_snapshot_levels),
+        (Transport, "send", _naive_send),
+        (Simulator, "run", _naive_run),
+        (ProtocolNode, "_check_ngh_table", _naive_check_ngh_table),
+        (BackupStore, "offer", _naive_offer),
+        (HierarchicalLatency, "latency", _naive_hier_latency),
+    ]
+    saved = [(cls, name, cls.__dict__[name]) for cls, name, _ in patches]
+    try:
+        for cls, name, impl in patches:
+            setattr(cls, name, impl)
+        yield
+    finally:
+        for cls, name, impl in saved:
+            setattr(cls, name, impl)
+
+
+__all__ = [
+    "naive_csuf_len",
+    "naive_str",
+    "naive_to_int",
+    "use_pre_pr_hot_path",
+]

@@ -96,6 +96,9 @@ class ProtocolNode(
         self.status = status
         self.sizing = sizing
         self.trace = trace if trace is not None else NullTraceLog()
+        # Category enablement is fixed at TraceLog construction, so the
+        # hot fill path can skip building record kwargs when disabled.
+        self._trace_fill = self.trace.enabled("fill")
         #: Optional observability hook, called as
         #: ``on_phase(node_id, status, now)`` when the join begins and
         #: on every status transition (see repro.obs.JoinObserver).
@@ -164,10 +167,11 @@ class ProtocolNode(
         """Set ``N_x(level, digit) = node`` and notify the new neighbor
         that we point at it (the paper's RvNghNotiMsg rule)."""
         self.table.set_entry(level, digit, node, state)
-        self.trace.record(
-            self.now, "fill", node=self.node_id, level=level, digit=digit,
-            neighbor=node, state=state,
-        )
+        if self._trace_fill:
+            self.trace.record(
+                self.now, "fill", node=self.node_id, level=level,
+                digit=digit, neighbor=node, state=state,
+            )
         if node != self.node_id:
             self.send(node, RvNghNotiMsg(self.node_id, level, digit, state))
 
@@ -294,22 +298,31 @@ class ProtocolNode(
     # Check_Ngh_Table (Figure 8)
 
     def _check_ngh_table(self, snapshot: TableSnapshot) -> None:
-        for entry in snapshot:
-            u = entry.node
-            if u == self.node_id:
+        # The hottest protocol loop: every table-carrying message lands
+        # here, iterating the sender's whole snapshot.  Bind the
+        # loop-invariant lookups once; none of them can change inside
+        # the loop (status and noti_level only move in message
+        # handlers, and q_notified is the same set _send_join_noti
+        # mutates).
+        own_id = self.node_id
+        csuf = own_id.csuf_len
+        table_get = self.table.get
+        offer = self.backups.offer
+        notifying = self.status is NodeStatus.NOTIFYING
+        noti_level = self.noti_level
+        q_notified = self.q_notified
+        for _, _, u, state in snapshot:
+            if u == own_id:
                 continue
-            k = self._csuf(u)
-            current = self.table.get(k, u.digit(k))
+            k = csuf(u)
+            digit = u.digit(k)
+            current = table_get(k, digit)
             if current is None:
-                self._fill_entry(k, u.digit(k), u, entry.state)
+                self._fill_entry(k, digit, u, state)
             elif current != u:
                 # Entry taken: keep u as a backup (footnote 6).
-                self.backups.offer(k, u.digit(k), u)
-            if (
-                self.status is NodeStatus.NOTIFYING
-                and k >= self.noti_level
-                and u not in self.q_notified
-            ):
+                offer(k, digit, u)
+            if notifying and k >= noti_level and u not in q_notified:
                 self._send_join_noti(u, k)
 
     def _send_join_noti(self, target: NodeId, csuf_len: int) -> None:

@@ -42,7 +42,13 @@ class BackupStore:
             return False
         if node.csuf_len(self.owner) < level or node.digit(level) != digit:
             return False
-        bucket = self._backups.setdefault((level, digit), [])
+        key = (level, digit)
+        bucket = self._backups.get(key)
+        if bucket is None:
+            if self.capacity < 1:
+                return False
+            self._backups[key] = [node]
+            return True
         if node in bucket or len(bucket) >= self.capacity:
             return False
         bucket.append(node)

@@ -70,7 +70,6 @@ def surrogate_route(
     """
     path = [source]
     current = source
-    level = current.csuf_len(target)
     for _ in range(target.num_digits + 1):
         if current == target:
             return RouteResult(True, path)

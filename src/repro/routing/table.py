@@ -33,7 +33,9 @@ class EntryConflictError(RuntimeError):
 class NeighborTable:
     """Sparse ``d x b`` neighbor table with reverse-neighbor tracking."""
 
-    __slots__ = ("owner", "base", "num_levels", "_entries", "_reverse")
+    __slots__ = (
+        "owner", "base", "num_levels", "_entries", "_reverse", "_snapshot",
+    )
 
     def __init__(self, owner: NodeId):
         self.owner = owner
@@ -41,6 +43,11 @@ class NeighborTable:
         self.num_levels = owner.num_digits
         self._entries: Dict[Position, Tuple[NodeId, NeighborState]] = {}
         self._reverse: Dict[Position, Set[NodeId]] = {}
+        # Cached position-sorted snapshot tuple; every table-carrying
+        # message (CpRlyMsg, JoinWaitRlyMsg, JoinNotiMsg, ...) takes a
+        # snapshot, and between mutations they are all identical, so the
+        # sort + entry construction is paid once per table change.
+        self._snapshot: Optional[TableSnapshot] = None
 
     # -- basic access -------------------------------------------------
 
@@ -94,6 +101,7 @@ class NeighborTable:
                 f"refusing to overwrite with {node}"
             )
         self._entries[(level, digit)] = (node, state)
+        self._snapshot = None
 
     def set_state(self, level: int, digit: int, state: NeighborState) -> None:
         """Update the recorded state of a filled entry."""
@@ -101,6 +109,7 @@ class NeighborTable:
         if cell is None:
             raise KeyError(f"entry ({level},{digit}) is empty")
         self._entries[(level, digit)] = (cell[0], state)
+        self._snapshot = None
 
     def replace_entry(
         self,
@@ -121,6 +130,7 @@ class NeighborTable:
         self._check_suffix(level, digit, node)
         previous = self.get(level, digit)
         self._entries[(level, digit)] = (node, state)
+        self._snapshot = None
         return previous
 
     def clear_entry(self, level: int, digit: int) -> Optional[NodeId]:
@@ -130,6 +140,7 @@ class NeighborTable:
         """
         self._check_position(level, digit)
         cell = self._entries.pop((level, digit), None)
+        self._snapshot = None
         return cell[0] if cell is not None else None
 
     def positions_of(self, node: NodeId) -> List[Tuple[int, int]]:
@@ -181,9 +192,7 @@ class NeighborTable:
 
     def entries(self) -> Iterator[TableEntry]:
         """All filled entries (order deterministic: by position)."""
-        for (level, digit) in sorted(self._entries):
-            node, state = self._entries[(level, digit)]
-            yield TableEntry(level, digit, node, state)
+        return iter(self.snapshot())
 
     def entries_at_level(self, level: int) -> List[TableEntry]:
         """Filled entries at ``level``, in digit order."""
@@ -203,14 +212,26 @@ class NeighborTable:
         return {node for node, _ in self._entries.values()}
 
     def snapshot(self) -> TableSnapshot:
-        """Immutable copy of the filled entries, for message payloads."""
-        return tuple(self.entries())
+        """Immutable copy of the filled entries, for message payloads.
+
+        The tuple is cached between mutations; callers receive the same
+        object, which is safe because snapshots are immutable.
+        """
+        cached = self._snapshot
+        if cached is None:
+            entries = self._entries
+            cached = tuple(
+                TableEntry(level, digit, *entries[(level, digit)])
+                for (level, digit) in sorted(entries)
+            )
+            self._snapshot = cached
+        return cached
 
     def snapshot_levels(self, low: int, high: int) -> TableSnapshot:
         """Entries with ``low <= level <= high`` (Section 6.2 reduction:
         a JoinNotiMsg only needs levels noti_level..csuf)."""
         return tuple(
-            entry for entry in self.entries() if low <= entry.level <= high
+            entry for entry in self.snapshot() if low <= entry.level <= high
         )
 
     def __len__(self) -> int:

@@ -7,8 +7,8 @@ FIFO order, which keeps runs deterministic for a fixed seed.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
 
@@ -53,7 +53,11 @@ class Event:
             self.action(self.payload)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Equivalent to comparing (time, seq) tuples, without building
+        # two tuples per heap comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = " cancelled" if self.cancelled else ""
@@ -80,14 +84,14 @@ class EventQueue:
         """Schedule ``action`` at virtual time ``time``; returns the event."""
         event = Event(time, next(self._counter), action, payload)
         event.queue = self
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, event)
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or None."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heappop(self._heap)
             if not event.cancelled:
                 self._live -= 1
                 event.queue = None  # a later cancel() must not re-count
@@ -97,7 +101,7 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heappop(self._heap)
         if self._heap:
             return self._heap[0].time
         return None

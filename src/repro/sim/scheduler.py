@@ -87,23 +87,29 @@ class Simulator:
         self._running = True
         fired = 0
         on_event_fired = self.on_event_fired
+        # The loop below fires millions of events in a large run; bind
+        # the queue methods once so each iteration pays plain LOAD_FAST
+        # lookups instead of repeated attribute chains.
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop = queue.pop
         try:
             while True:
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self._queue.peek_time()
+                next_time = peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
                     break
-                event = self._queue.pop()
+                event = pop()
                 assert event is not None
                 self._now = event.time
                 event.fire()
                 fired += 1
                 self._events_fired += 1
                 if on_event_fired is not None:
-                    on_event_fired(self._now, len(self._queue))
+                    on_event_fired(self._now, len(queue))
         finally:
             self._running = False
         if until is not None and self._now < until and not self._queue:

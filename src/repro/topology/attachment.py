@@ -27,6 +27,11 @@ HostKey = Hashable
 class LatencyModel:
     """Interface: one-way message latency between two hosts."""
 
+    #: True when ``latency(src, dst)`` is a pure function of the pair,
+    #: in which case the transport may memoize it per (src, dst).
+    #: Jittered models (fresh draw per message) must leave this False.
+    deterministic_pairs = False
+
     def latency(self, src: HostKey, dst: HostKey) -> float:
         """One-way delay from ``src`` to ``dst``."""
         raise NotImplementedError
@@ -34,6 +39,8 @@ class LatencyModel:
 
 class ConstantLatencyModel(LatencyModel):
     """Every message takes exactly ``delay`` time units."""
+
+    deterministic_pairs = True
 
     def __init__(self, delay: float = 1.0):
         if delay <= 0:
@@ -104,6 +111,8 @@ class HostAttachment:
 
 class TopologyLatencyModel(LatencyModel):
     """Latency = access(src) + router path + access(dst) on a topology."""
+
+    deterministic_pairs = True
 
     def __init__(
         self,

@@ -12,7 +12,7 @@ core APSP plus per-stub APSP computed lazily -- no 8320x8320 matrix.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.topology.transit_stub import StubDomain, TransitStubTopology
 
@@ -28,6 +28,10 @@ class HierarchicalLatency:
             self._core_dist[router] = topology.core.dijkstra(router)
         # Per-stub single-source caches, filled on demand.
         self._stub_dist: Dict[int, Dict[int, float]] = {}
+        # Router-pair memo: the decomposition below is exact and
+        # static, so repeated queries (every message between the same
+        # two attachment routers) collapse to one dict hit.
+        self._pair_memo: Dict[Tuple[int, int], float] = {}
 
     def _stub_distances(self, router: int, stub: StubDomain) -> Dict[int, float]:
         cached = self._stub_dist.get(router)
@@ -45,6 +49,16 @@ class HierarchicalLatency:
         """Shortest-path latency between any two routers."""
         if u == v:
             return 0.0
+        memo = self._pair_memo
+        cached = memo.get((u, v))
+        if cached is not None:
+            return cached
+        value = self._compute_latency(u, v)
+        memo[(u, v)] = value
+        memo[(v, u)] = value
+        return value
+
+    def _compute_latency(self, u: int, v: int) -> float:
         topo = self._topology
         u_transit = topo.is_transit(u)
         v_transit = topo.is_transit(v)

@@ -1,0 +1,163 @@
+"""Tests for the process fan-out engine (:mod:`repro.experiments.parallel`).
+
+The load-bearing property throughout: ``parallel_map(fn, tasks, jobs=k)``
+equals ``[fn(t) for t in tasks]`` for every ``k`` and chunk size -- the
+simulation campaign results must not depend on how they were scheduled.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.fig15b import Fig15bConfig
+from repro.experiments.parallel import (
+    JoinTaskConfig,
+    default_chunksize,
+    parallel_map,
+    resolve_jobs,
+    run_join_tasks,
+    seeded_configs,
+    verified_parallel_map,
+)
+from repro.experiments.sweep import sweep_fig15b
+from repro.experiments.workloads import SMALL_TOPOLOGY
+
+
+def _square(x):
+    """Module-level so worker processes can unpickle it."""
+    return x * x
+
+
+def _worker_pid(_):
+    """Deliberately scheduling-dependent (for the verifier's error path)."""
+    return os.getpid()
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_and_zero_mean_cpu_count(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs(0) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestDefaultChunksize:
+    def test_spreads_tasks_over_workers(self):
+        assert default_chunksize(32, 2) == 4
+        assert default_chunksize(8, 4) == 1
+
+    def test_never_below_one(self):
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(3, 8) == 1
+
+
+class TestParallelMap:
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_equals_serial(self):
+        tasks = list(range(17))
+        serial = parallel_map(_square, tasks, jobs=1)
+        for jobs in (2, 4):
+            for chunksize in (None, 1, 3, 17):
+                assert (
+                    parallel_map(_square, tasks, jobs=jobs,
+                                 chunksize=chunksize)
+                    == serial
+                )
+
+    def test_progress_reaches_total(self):
+        calls = []
+        parallel_map(
+            _square, list(range(7)), jobs=2, chunksize=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        dones = [done for done, _ in calls]
+        assert dones == sorted(dones)
+        assert calls[-1][0] == 7
+        assert all(total == 7 for _, total in calls)
+
+    def test_serial_progress_after_every_task(self):
+        calls = []
+        parallel_map(
+            _square, [5, 6], jobs=1,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_single_task_short_circuits(self):
+        # jobs > 1 with one task must not pay for an executor.
+        assert parallel_map(_square, [7], jobs=8) == [49]
+
+
+class TestVerifiedParallelMap:
+    def test_deterministic_fn_passes(self):
+        assert verified_parallel_map(
+            _square, list(range(9)), jobs=3
+        ) == [x * x for x in range(9)]
+
+    def test_scheduling_dependent_fn_caught(self):
+        # Worker processes have different PIDs from the coordinator, so
+        # a fn leaking scheduling state must trip the verifier.
+        with pytest.raises(AssertionError, match="diverge"):
+            verified_parallel_map(_worker_pid, [1, 2, 3, 4], jobs=2)
+
+
+class TestSeededConfigs:
+    def test_only_seed_varies(self):
+        base = JoinTaskConfig(n=50, m=10, seed=0)
+        configs = seeded_configs(base, [4, 9])
+        assert [c.seed for c in configs] == [4, 9]
+        assert all(c.n == 50 and c.m == 10 for c in configs)
+
+
+class TestJoinTasks:
+    def test_jobs_invariant_results(self):
+        configs = seeded_configs(
+            JoinTaskConfig(base=16, num_digits=8, n=60, m=20), [0, 1, 2]
+        )
+        serial = run_join_tasks(configs, jobs=1)
+        parallel = run_join_tasks(configs, jobs=3)
+        assert serial == parallel
+        assert all(r.consistent and r.all_in_system for r in serial)
+        assert [r.seed for r in serial] == [0, 1, 2]
+
+
+class TestSweepJobsEquivalence:
+    def test_sweep_identical_across_jobs(self):
+        """ISSUE acceptance: jobs=1 vs jobs=4 sweeps agree per seed and
+        in aggregate."""
+        config = Fig15bConfig(
+            n=60,
+            m=20,
+            base=16,
+            num_digits=8,
+            use_topology=True,
+            topology_params=SMALL_TOPOLOGY,
+        )
+        seeds = [0, 1, 2, 3]
+        serial = sweep_fig15b(config, seeds, jobs=1)
+        parallel = sweep_fig15b(config, seeds, jobs=4)
+
+        for left, right in zip(serial.results, parallel.results):
+            assert left.config == right.config
+            assert left.join_noti_counts == right.join_noti_counts
+            assert left.message_counts == right.message_counts
+            assert left.total_messages == right.total_messages
+            assert left.consistent == right.consistent
+
+        assert (
+            serial.mean_join_noti.per_seed
+            == parallel.mean_join_noti.per_seed
+        )
+        assert serial.mean_join_noti.mean == parallel.mean_join_noti.mean
+        assert serial.all_consistent and parallel.all_consistent

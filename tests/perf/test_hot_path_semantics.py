@@ -1,0 +1,98 @@
+"""The optimization pass must be invisible to simulation semantics.
+
+Runs the same fixed-seed concurrent-join workload once with the
+pre-optimization reference implementations swapped in
+(:func:`repro.perf.use_pre_pr_hot_path`) and once with the current
+fast paths, then demands identical observable outcomes: per-type
+message counts, final neighbor tables, and consistency.
+"""
+
+from repro.experiments.workloads import SMALL_TOPOLOGY, make_workload
+from repro.ids.digits import NodeId
+from repro.perf import use_pre_pr_hot_path
+from repro.perf.baseline import naive_csuf_len
+from repro.routing.table import NeighborTable
+from repro.sim.scheduler import Simulator
+
+
+def _run_fixed_seed(use_topology):
+    workload = make_workload(
+        base=16,
+        num_digits=8,
+        n=120,
+        m=40,
+        seed=7,
+        use_topology=use_topology,
+        topology_params=SMALL_TOPOLOGY if use_topology else None,
+    )
+    workload.start_all_joins(at=0.0)
+    workload.run()
+    net = workload.network
+    tables = {
+        str(node_id): net.node(node_id).table.snapshot()
+        for node_id in net.member_ids()
+    }
+    return {
+        "stats": net.stats.snapshot(),
+        "total_bytes": net.stats.total_bytes,
+        "consistent": net.check_consistency().consistent,
+        "all_in_system": net.all_in_system(),
+        "join_noti": tuple(net.join_noti_counts()),
+        "events": net.simulator.events_fired,
+        "now": net.simulator.now,
+        "tables": tables,
+    }
+
+
+class TestSemanticsUnchanged:
+    def test_uniform_latency_workload(self):
+        with use_pre_pr_hot_path():
+            before = _run_fixed_seed(use_topology=False)
+        after = _run_fixed_seed(use_topology=False)
+        assert before == after
+        assert after["consistent"] and after["all_in_system"]
+
+    def test_topology_workload(self):
+        # Exercises the memoized hierarchical/transport latency paths.
+        with use_pre_pr_hot_path():
+            before = _run_fixed_seed(use_topology=True)
+        after = _run_fixed_seed(use_topology=True)
+        assert before == after
+        assert after["consistent"] and after["all_in_system"]
+
+
+class TestPatchRestore:
+    def test_methods_swapped_and_restored(self):
+        originals = {
+            "csuf": NodeId.csuf_len,
+            "str": NodeId.__str__,
+            "entries": NeighborTable.entries,
+            "run": Simulator.run,
+        }
+        with use_pre_pr_hot_path():
+            assert NodeId.csuf_len is not originals["csuf"]
+            assert NodeId.__str__ is not originals["str"]
+            assert NeighborTable.entries is not originals["entries"]
+            assert Simulator.run is not originals["run"]
+        assert NodeId.csuf_len is originals["csuf"]
+        assert NodeId.__str__ is originals["str"]
+        assert NeighborTable.entries is originals["entries"]
+        assert Simulator.run is originals["run"]
+
+    def test_restored_even_on_error(self):
+        original = NodeId.csuf_len
+        try:
+            with use_pre_pr_hot_path():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert NodeId.csuf_len is original
+
+    def test_naive_csuf_len_reference(self):
+        from repro.ids.idspace import IdSpace
+
+        space = IdSpace(4, 5)
+        x = space.from_string("21233")
+        y = space.from_string("10233")
+        assert naive_csuf_len(x, y) == 3
+        assert x.csuf_len(y) == 3
