@@ -1,4 +1,4 @@
-"""Overhead of disabled observability on the join hot path.
+"""Overhead of observability on the join hot path.
 
 The obs subsystem promises that a run with tracing *off* (NullTracer;
 registry-backed ``MessageStats``) costs at most 5% over the completely
@@ -6,6 +6,11 @@ uninstrumented network.  This benchmark times the
 ``bench_join_cost``-style workload both ways and records the ratio in
 ``BENCH_obs_overhead.json`` at the repo root -- the first entry of the
 perf trajectory the ROADMAP asks for.
+
+The ``--audit`` path (a :class:`~repro.obs.audit.LiveAuditor` sampling
+Definition 3.8 mid-run) is measured as a *separate* gate: auditing
+runs a consistency check every sample interval, so it is allowed real
+overhead -- but a bounded amount, so it stays usable on every CI run.
 
 Timing uses min-of-rounds (the standard way to suppress scheduler and
 allocator noise) over alternating baseline/instrumented runs.
@@ -24,10 +29,19 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_obs_overhead.json"
 
 BASE, DIGITS, N, M, SEED = 16, 8, 400, 120, 21
-ROUNDS = 5
+#: Rounds per variant.  The overhead estimate is min-over-rounds for
+#: each variant, which converges on the true floor as rounds grow; CI
+#: boxes showed per-run swings large enough that 5 rounds could leave
+#: one variant's floor unsampled.
+ROUNDS = 9
+#: The audited path may cost at most this much over the metrics-only
+#: run.  Generous on purpose: the auditor's value is flagging broken
+#: runs, not being free; the gate only guards against it becoming so
+#: slow that ``join --audit`` stops being a routine CI smoke.
+AUDIT_THRESHOLD_PCT = 300.0
 
 
-def _run_once(obs):
+def _run_once(obs, audit=False):
     space, initial, joiners = sampled_workload(BASE, DIGITS, N, M, seed=SEED)
     if obs is None:
         net = fresh_network(space, initial, seed=SEED)
@@ -43,38 +57,72 @@ def _run_once(obs):
             seed=SEED,
             obs=obs,
         )
+    auditor = net.attach_auditor() if audit else None
     run_concurrent(net, joiners)
+    if auditor is not None:
+        assert auditor.finalize().passed
     return net
 
 
-def _time_once(obs_factory):
+def _time_once(obs_factory, audit=False):
     obs = obs_factory() if obs_factory is not None else None
     start = time.perf_counter()
-    net = _run_once(obs)
+    net = _run_once(obs, audit=audit)
     elapsed = time.perf_counter() - start
     return elapsed, net
 
 
-def test_obs_off_overhead_under_5_percent():
-    """Tracing-off instrumentation must stay within 5% of baseline."""
+_MEASURED = {}
+
+
+def _measure():
+    """Time baseline / metrics-only / audited runs; write the record.
+
+    Cached at module scope so the two gate tests share one measurement
+    (and ``BENCH_obs_overhead.json`` is written exactly once).
+    """
+    if _MEASURED:
+        return _MEASURED
     baseline_times = []
     instrumented_times = []
+    audited_times = []
     nets = {}
+    # The cheap pair first, interleaved in ABBA order so neither
+    # variant systematically lands in a slow or fast machine phase;
+    # the audited runs go in their own loop afterwards, because
+    # interleaving them was observed to inflate the adjacent timings
+    # (allocator/cache pressure from the consistency sweeps).
+    for round_index in range(ROUNDS):
+        order = (None, Observability.metrics_only)
+        if round_index % 2:
+            order = tuple(reversed(order))
+        for factory in order:
+            if factory is None:
+                elapsed, nets["baseline"] = _time_once(None)
+                baseline_times.append(elapsed)
+            else:
+                elapsed, nets["obs_off"] = _time_once(factory)
+                instrumented_times.append(elapsed)
     for _ in range(ROUNDS):
-        elapsed, nets["baseline"] = _time_once(None)
-        baseline_times.append(elapsed)
-        elapsed, nets["obs_off"] = _time_once(Observability.metrics_only)
-        instrumented_times.append(elapsed)
+        elapsed, nets["audited"] = _time_once(
+            Observability.metrics_only, audit=True
+        )
+        audited_times.append(elapsed)
 
-    # Identical seeds: the instrumented run must change nothing
-    # observable, down to exact message counts.
+    # Identical seeds: neither instrumentation nor the auditor may
+    # change anything observable, down to exact message counts.
     assert (
         nets["baseline"].stats.snapshot() == nets["obs_off"].stats.snapshot()
+    )
+    assert (
+        nets["baseline"].stats.snapshot() == nets["audited"].stats.snapshot()
     )
 
     baseline = min(baseline_times)
     instrumented = min(instrumented_times)
+    audited = min(audited_times)
     overhead_pct = 100.0 * (instrumented - baseline) / baseline
+    audit_overhead_pct = 100.0 * (audited - instrumented) / instrumented
 
     record = {
         "benchmark": "obs_overhead",
@@ -88,14 +136,34 @@ def test_obs_off_overhead_under_5_percent():
         "rounds": ROUNDS,
         "baseline_s": round(baseline, 4),
         "obs_disabled_s": round(instrumented, 4),
+        "audited_s": round(audited, 4),
         "overhead_pct": round(overhead_pct, 2),
+        "audit_overhead_pct": round(audit_overhead_pct, 2),
         "threshold_pct": 5.0,
+        "audit_threshold_pct": AUDIT_THRESHOLD_PCT,
         "total_messages": nets["baseline"].stats.total_messages,
     }
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    _MEASURED.update(record)
+    return _MEASURED
 
-    assert overhead_pct <= 5.0, (
-        f"disabled-observability overhead {overhead_pct:.2f}% "
-        f"exceeds 5% (baseline {baseline:.3f}s, "
-        f"instrumented {instrumented:.3f}s)"
+
+def test_obs_off_overhead_under_5_percent():
+    """Tracing-off instrumentation must stay within 5% of baseline."""
+    record = _measure()
+    assert record["overhead_pct"] <= 5.0, (
+        f"disabled-observability overhead {record['overhead_pct']:.2f}% "
+        f"exceeds 5% (baseline {record['baseline_s']:.3f}s, "
+        f"instrumented {record['obs_disabled_s']:.3f}s)"
+    )
+
+
+def test_audit_overhead_bounded():
+    """``--audit`` may cost real time, but a bounded amount."""
+    record = _measure()
+    assert record["audit_overhead_pct"] <= AUDIT_THRESHOLD_PCT, (
+        f"live-audit overhead {record['audit_overhead_pct']:.2f}% over "
+        f"the metrics-only run exceeds {AUDIT_THRESHOLD_PCT:.0f}% "
+        f"(metrics-only {record['obs_disabled_s']:.3f}s, audited "
+        f"{record['audited_s']:.3f}s)"
     )

@@ -10,8 +10,13 @@ Commands map one-to-one onto the paper's artifacts:
 * ``join``      -- run a concurrent-join experiment and verify
   Theorems 1-3; ``--trace out.jsonl`` writes a span/event trace,
   ``--metrics`` / ``--metrics-csv out.csv`` expose the metrics
-  registry (see :mod:`repro.obs`); ``--seeds K --jobs N`` fans K
+  registry (see :mod:`repro.obs`); ``--audit`` runs the
+  :class:`~repro.obs.audit.LiveAuditor` inline (theorem gates plus
+  mid-run consistency sampling); ``--seeds K --jobs N`` fans K
   seeds over N worker processes.
+* ``report``    -- analyze a trace JSONL file: lifecycles, causal
+  join trees, theorem-3 census (text/JSON/HTML; see
+  :mod:`repro.obs.report`).
 * ``sweep``     -- multi-seed Figure 15(b) sweep with aggregates;
   ``--jobs N`` parallelizes across processes (results are identical
   to the serial run for any N).
@@ -149,6 +154,21 @@ def _emit_observability(args: argparse.Namespace, net) -> None:
         print(render_metrics_table(obs.metrics))
 
 
+def _emit_audit(args: argparse.Namespace, auditor) -> bool:
+    """Finalize the auditor, print/write its report; True iff passed."""
+    import json
+
+    report = auditor.finalize()
+    print(report.render_text())
+    if getattr(args, "audit_json", None):
+        with open(args.audit_json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, sort_keys=True,
+                      indent=2)
+            handle.write("\n")
+        print(f"audit json         : {args.audit_json}")
+    return report.passed
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.analysis.expected_cost import theorem3_bound
     from repro.experiments.workloads import make_workload
@@ -163,9 +183,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
         seed=args.seed,
         obs=_build_observability(args),
     )
+    net = workload.network
+    auditor = net.attach_auditor() if args.audit else None
     workload.start_all_joins()
     workload.run()
-    net = workload.network
     report = net.check_consistency()
     bound = theorem3_bound(args.digits)
     counts = net.theorem3_counts()
@@ -177,7 +198,14 @@ def _cmd_join(args: argparse.Namespace) -> int:
           f"{sum(net.join_noti_counts()) / args.m:.3f}")
     print(f"total messages     : {net.stats.total_messages}")
     _emit_observability(args, net)
-    return 0 if report.consistent and net.all_in_system() else 1
+    audit_ok = _emit_audit(args, auditor) if auditor is not None else True
+    if getattr(args, "messages_csv", None):
+        from repro.obs import write_message_type_csv
+
+        rows = write_message_type_csv(net.stats.registry, args.messages_csv)
+        print(f"messages csv       : {args.messages_csv} ({rows} types)")
+    ok = report.consistent and net.all_in_system() and audit_ok
+    return 0 if ok else 1
 
 
 def _cmd_join_multi(args: argparse.Namespace) -> int:
@@ -212,6 +240,30 @@ def _cmd_join_multi(args: argparse.Namespace) -> int:
     print(f"mean JoinNotiMsg over {len(results)} seeds: {mean_noti:.3f}")
     print(f"all consistent     : {ok}")
     return 0 if ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: analytics over a trace JSONL file."""
+    from repro.obs.report import RunReport
+
+    report = RunReport.from_file(args.trace)
+    data = report.to_json_dict()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report json        : {args.json}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(report.render_html())
+        print(f"report html        : {args.html}")
+    print(report.render_text())
+    healthy = (
+        not data["lifecycles"]["illegal_transitions"]
+        and not data["lifecycles"]["stalled"]
+        and not data["causality"]["problems"]
+        and data["theorem3"]["passed"]
+    )
+    return 0 if healthy else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -311,6 +363,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics snapshot as CSV to PATH",
     )
     join.add_argument(
+        "--messages-csv", metavar="PATH",
+        help="write the per-message-type counter breakdown as CSV",
+    )
+    join.add_argument(
+        "--audit", action="store_true",
+        help="run the live protocol auditor inline (theorem gates + "
+             "mid-run consistency sampling; single-run only)",
+    )
+    join.add_argument(
+        "--audit-json", metavar="PATH",
+        help="with --audit: write the audit report as JSON to PATH",
+    )
+    join.add_argument(
         "--seeds", type=int, default=1,
         help="run this many seeds (starting at --seed) and aggregate",
     )
@@ -319,6 +384,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --seeds > 1",
     )
     join.set_defaults(func=_cmd_join)
+
+    report = sub.add_parser(
+        "report", help="analyze a trace JSONL file (see join --trace)"
+    )
+    report.add_argument("trace", metavar="TRACE",
+                        help="trace JSONL file to analyze")
+    report.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON to PATH")
+    report.add_argument("--html", metavar="PATH",
+                        help="write a self-contained HTML timeline to PATH")
+    report.set_defaults(func=_cmd_report)
 
     sweep = sub.add_parser(
         "sweep", help="multi-seed Figure 15(b) sweep with aggregates"

@@ -17,7 +17,7 @@ bookkeeping bug.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.ids.digits import NodeId
 from repro.ids.suffix import SuffixIndex
@@ -63,14 +63,28 @@ def check_consistency(
     tables: Mapping[NodeId, NeighborTable],
     max_violations: Optional[int] = None,
     require_s_states: bool = True,
+    occupant_set: Optional[Iterable[NodeId]] = None,
 ) -> ConsistencyReport:
     """Check Definition 3.8 over ``tables`` (the membership is the key
     set).  Set ``require_s_states=False`` to check a network snapshot
-    taken *during* joins, where ``T`` states are legitimate."""
+    taken *during* joins, where ``T`` states are legitimate.
+
+    ``occupant_set`` widens the set of nodes a filled entry may legally
+    point at beyond the checked membership.  The live auditor uses this
+    mid-run: suffix coverage is checked over the *S-node* subnetwork
+    (``tables``), but an S-node legitimately holds pointers at T-nodes
+    still joining, so every live node is an acceptable occupant.  In
+    this relaxed mode the ``false_positive`` rule is suspended -- a
+    filled entry is justified by its (suffix-valid, live) occupant even
+    when no *checked* member carries the suffix, because the occupant
+    may simply not have reached *in_system* yet."""
     members = list(tables)
     index = SuffixIndex(members)
     report = ConsistencyReport(consistent=True)
-    member_set = set(members)
+    relaxed_occupants = occupant_set is not None
+    member_set = (
+        set(members) if occupant_set is None else set(occupant_set)
+    )
 
     def add(violation: Violation) -> bool:
         report.violations.append(violation)
@@ -101,7 +115,7 @@ def check_consistency(
                         )):
                             return report
                     continue
-                if not exists:
+                if not exists and not relaxed_occupants:
                     if add(Violation(
                         node_id, level, digit, "false_positive",
                         f"entry holds {occupant} but no node has the "

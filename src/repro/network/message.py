@@ -9,6 +9,8 @@ actually include.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.ids.digits import NodeId
 
 # Size accounting constants (bytes).  An entry is an ID plus an IP
@@ -23,9 +25,17 @@ class Message:
 
     ``sender`` is the node the message came from -- protocol handlers
     frequently need it ("Action of y on receiving ... from x").
+
+    ``msg_id`` / ``parent_id`` / ``trace_id`` are the causal identity
+    stamped by the transport when tracing is on (see
+    :mod:`repro.obs.causality`): ``msg_id`` is unique per send,
+    ``parent_id`` is the ``msg_id`` of the message whose handler sent
+    this one (``None`` for spontaneous sends such as ``begin_join``),
+    and ``trace_id`` is the ``msg_id`` of the causal root, shared by
+    the whole tree.  They stay ``None`` when tracing is off.
     """
 
-    __slots__ = ("sender",)
+    __slots__ = ("sender", "msg_id", "parent_id", "trace_id")
 
     #: Short name used by :class:`repro.network.stats.MessageStats`.
     type_name = "Message"
@@ -35,6 +45,9 @@ class Message:
 
     def __init__(self, sender: NodeId):
         self.sender = sender
+        self.msg_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.trace_id: Optional[int] = None
 
     def size_bytes(self) -> int:
         """Estimated wire size, for the Section 6.2 ablation."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.ids.digits import NodeId
 from repro.network.message import Message
@@ -42,6 +42,16 @@ class Transport:
         # A disabled tracer (NullTracer) is normalized to None so the
         # hot send path stays the exact pre-instrumentation code.
         self._tracer = tracer if tracer is not None and tracer.enabled else None
+        #: Fault-injection hook: when set, a message for which
+        #: ``drop_filter(message, dst)`` is true is dropped instead of
+        #: delivered, accounted through the same :meth:`MessageStats.on_drop`
+        #: / ``message.drop`` trace path as a lossy send to a dead node.
+        #: Used by tests and audits to inject message loss.
+        self.drop_filter: Optional[Callable[[Message, NodeId], bool]] = None
+        # Causal-stamping state (tracing only): the message currently
+        # being delivered, and the next msg_id to hand out.
+        self._cause: Optional[Message] = None
+        self._next_msg_id = 1
         self._nodes: Dict[NodeId, "NetworkNode"] = {}
         # Pairwise latency memo, only for models whose (src, dst) delay
         # is a pure function of the pair (topology shortest paths,
@@ -97,6 +107,9 @@ class Transport:
         target = self._nodes.get(dst)
         if target is None:
             raise UnknownDestinationError(str(dst))
+        if self.drop_filter is not None and self.drop_filter(message, dst):
+            self._drop(dst, message)
+            return
         self.stats.on_send(message)
         src = message.sender
         memo = self._latency_memo
@@ -112,6 +125,24 @@ class Transport:
         else:
             self._send_traced(dst, message, delay, target)
 
+    def _stamp(self, message: Message) -> None:
+        """Assign ``message`` its causal identity (tracing path only).
+
+        The parent is whatever message is currently being delivered:
+        a send from inside a handler is *caused by* the handled
+        message, a send from outside any handler (``begin_join``, a
+        recovery timer) roots a new causal tree.
+        """
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + 1
+        message.msg_id = msg_id
+        cause = self._cause
+        if cause is None:
+            message.trace_id = msg_id
+        else:
+            message.parent_id = cause.msg_id
+            message.trace_id = cause.trace_id
+
     def _send_traced(
         self,
         dst: NodeId,
@@ -119,10 +150,13 @@ class Transport:
         delay: float,
         target: "NetworkNode",
     ) -> None:
-        """Tracing path of :meth:`send`: emits a ``message.send`` event
-        now and a ``message.deliver`` event at delivery time."""
+        """Tracing path of :meth:`send`: stamps causal ids, emits a
+        ``message.send`` event now and a ``message.deliver`` event at
+        delivery time, and marks the message as the causal parent of
+        everything sent while its handler runs."""
         tracer = self._tracer
         assert tracer is not None
+        self._stamp(message)
         name = message.type_name
         src, dst_s = str(message.sender), str(dst)
         tracer.event(
@@ -133,6 +167,9 @@ class Transport:
             dst=dst_s,
             bytes=message.size_bytes(),
             latency=delay,
+            msg=message.msg_id,
+            parent=message.parent_id,
+            trace=message.trace_id,
         )
 
         def deliver(msg: Message = message) -> None:
@@ -142,10 +179,32 @@ class Transport:
                 type=name,
                 src=src,
                 dst=dst_s,
+                msg=msg.msg_id,
             )
-            target.receive(msg)
+            self._cause = msg
+            try:
+                target.receive(msg)
+            finally:
+                self._cause = None
 
         self.simulator.schedule(delay, deliver)
+
+    def _drop(self, dst: NodeId, message: Message) -> None:
+        """Account a dropped message (stats counter plus, when tracing,
+        a causally-stamped ``message.drop`` event)."""
+        self.stats.on_drop(message)
+        if self._tracer is not None:
+            self._stamp(message)
+            self._tracer.event(
+                "message.drop",
+                self.simulator.now,
+                type=message.type_name,
+                src=str(message.sender),
+                dst=str(dst),
+                msg=message.msg_id,
+                parent=message.parent_id,
+                trace=message.trace_id,
+            )
 
     def send_lossy(self, dst: NodeId, message: Message) -> bool:
         """Like :meth:`send`, but silently drop messages to unknown
@@ -153,15 +212,7 @@ class Transport:
         whose probes must tolerate dead nodes.  Returns whether the
         message was actually dispatched."""
         if dst not in self._nodes:
-            self.stats.on_drop(message)
-            if self._tracer is not None:
-                self._tracer.event(
-                    "message.drop",
-                    self.simulator.now,
-                    type=message.type_name,
-                    src=str(message.sender),
-                    dst=str(dst),
-                )
+            self._drop(dst, message)
             return False
         self.send(dst, message)
         return True

@@ -19,6 +19,20 @@ This package makes both first-class:
   instrumented components fall back to their original code so a
   run without observability pays (almost) nothing.
 
+On top of the recording tier sits the analysis tier:
+
+* :class:`~repro.obs.causality.CausalForest` -- per-join causal
+  message trees (every message is stamped with trace-id/parent-id at
+  send) with virtual-time critical-path extraction.
+* :mod:`~repro.obs.lifecycle` -- reconstructs each joiner's protocol
+  state machine from phase spans and flags illegal transitions or
+  stalls.
+* :class:`~repro.obs.audit.LiveAuditor` -- samples Definition 3.8
+  consistency and the Theorem 3/4/5 gates *during* the run
+  (``repro join --audit``).
+* :class:`~repro.obs.report.RunReport` -- ``repro report``: text /
+  JSON / HTML analytics over a trace JSONL file.
+
 Typical use::
 
     from repro.obs import Observability, write_trace_jsonl
@@ -30,13 +44,33 @@ Typical use::
     print(obs.metrics.snapshot())
 """
 
+from repro.obs.audit import (
+    AuditConfig,
+    AuditIncident,
+    AuditReport,
+    AuditSample,
+    LiveAuditor,
+)
+from repro.obs.causality import CausalForest, CausalityError, MessageRecord
 from repro.obs.export import (
+    message_type_breakdown,
+    message_type_csv,
     metrics_to_csv,
     metrics_to_dict,
+    read_message_type_csv,
     read_trace_jsonl,
     trace_to_records,
+    write_message_type_csv,
     write_metrics_csv,
     write_trace_jsonl,
+)
+from repro.obs.lifecycle import (
+    JOIN_PHASE_ORDER,
+    JoinLifecycle,
+    LifecycleReport,
+    PhaseInterval,
+    lifecycles_from_tracer,
+    reconstruct_lifecycles,
 )
 from repro.obs.instrument import (
     JoinObserver,
@@ -52,6 +86,7 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
 )
+from repro.obs.report import RunReport
 from repro.obs.tracer import (
     NullTracer,
     Span,
@@ -61,14 +96,27 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AuditConfig",
+    "AuditIncident",
+    "AuditReport",
+    "AuditSample",
+    "CausalForest",
+    "CausalityError",
     "Counter",
     "Gauge",
     "Histogram",
+    "JOIN_PHASE_ORDER",
+    "JoinLifecycle",
     "JoinObserver",
+    "LifecycleReport",
+    "LiveAuditor",
+    "MessageRecord",
     "MetricsError",
     "MetricsRegistry",
     "NullTracer",
     "Observability",
+    "PhaseInterval",
+    "RunReport",
     "SchedulerProbe",
     "Span",
     "TraceEvent",
@@ -76,10 +124,16 @@ __all__ = [
     "TracerError",
     "collect_table_metrics",
     "instrument_scheduler",
+    "lifecycles_from_tracer",
+    "message_type_breakdown",
+    "message_type_csv",
     "metrics_to_csv",
     "metrics_to_dict",
+    "read_message_type_csv",
     "read_trace_jsonl",
+    "reconstruct_lifecycles",
     "trace_to_records",
+    "write_message_type_csv",
     "write_metrics_csv",
     "write_trace_jsonl",
 ]

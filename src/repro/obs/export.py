@@ -84,3 +84,72 @@ def write_metrics_csv(registry: MetricsRegistry, path: str) -> int:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return text.count("\n") - 1
+
+
+#: Fixed column order of the per-message-type breakdown.  Explicit so
+#: the CSV shape cannot drift with counter registration order (which
+#: differs run to run with message interleavings).
+MESSAGE_TYPE_COLUMNS = ("type", "sent", "dropped", "bytes")
+
+
+def message_type_breakdown(
+    registry: MetricsRegistry,
+) -> Dict[str, Dict[str, int]]:
+    """Per-message-type counter breakdown, with rows sorted by type.
+
+    Collates the ``messages_sent`` / ``messages_dropped`` /
+    ``message_bytes`` counters that :class:`~repro.network.stats.
+    MessageStats` maintains (all keyed by the ``type`` label) into one
+    table; a type appearing in any of the three gets a full row with
+    zeros for the others.
+    """
+    sent = registry.values_by_label("messages_sent", "type")
+    dropped = registry.values_by_label("messages_dropped", "type")
+    size = registry.values_by_label("message_bytes", "type")
+    return {
+        name: {
+            "sent": int(sent.get(name, 0)),
+            "dropped": int(dropped.get(name, 0)),
+            "bytes": int(size.get(name, 0)),
+        }
+        for name in sorted(set(sent) | set(dropped) | set(size))
+    }
+
+
+def message_type_csv(registry: MetricsRegistry) -> str:
+    """The per-message-type breakdown as CSV with stable columns."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(MESSAGE_TYPE_COLUMNS)
+    for name, row in message_type_breakdown(registry).items():
+        writer.writerow(
+            [name] + [row[column] for column in MESSAGE_TYPE_COLUMNS[1:]]
+        )
+    return buffer.getvalue()
+
+
+def write_message_type_csv(registry: MetricsRegistry, path: str) -> int:
+    """Write :func:`message_type_csv` to ``path``; returns row count."""
+    text = message_type_csv(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text.count("\n") - 1
+
+
+def read_message_type_csv(path: str) -> Dict[str, Dict[str, int]]:
+    """Inverse of :func:`write_message_type_csv` (round-trip tested)."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if tuple(header) != MESSAGE_TYPE_COLUMNS:
+            raise ValueError(
+                f"unexpected message-type CSV header: {header!r}"
+            )
+        return {
+            row[0]: {
+                column: int(value)
+                for column, value in zip(MESSAGE_TYPE_COLUMNS[1:], row[1:])
+            }
+            for row in reader
+            if row
+        }

@@ -1,0 +1,220 @@
+"""Join-lifecycle reconstruction from phase spans.
+
+The join observer turns each joiner's status transitions into one
+``join`` root span with a ``phase:<status>`` child per protocol phase
+(:class:`~repro.obs.instrument.JoinObserver`).  This module inverts
+that encoding: given the spans of a trace (live tracer or JSONL), it
+rebuilds each joiner's T-node state machine (Section 4, Figure 3) and
+checks it against the protocol's only legal shape::
+
+    copying -> waiting -> notifying -> in_system
+
+Violations surfaced:
+
+* **illegal transitions** -- a phase out of order, repeated, unknown,
+  or starting before the previous one ended (the state machine only
+  ever moves forward, one status at a time);
+* **stalls** -- a join that never reached *in_system* by the end of
+  the trace, reported with the phase it is stuck in (this is how a
+  lost message shows up in a flight recording).
+
+Phase names are matched by string against
+:data:`JOIN_PHASE_ORDER`, mirroring
+:data:`repro.protocol.status.JOIN_PHASES`; the duplication is
+deliberate -- importing :mod:`repro.protocol` here would recreate the
+import cycle :mod:`repro.obs.instrument` documents, and a parity test
+keeps the two tuples in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.obs.tracer import Tracer
+
+#: The join lifecycle in protocol order (Figure 3).  The terminal
+#: *in_system* status closes the root span instead of opening a phase
+#: span, so reconstructed phase lists draw from the first three only.
+JOIN_PHASE_ORDER = ("copying", "waiting", "notifying", "in_system")
+
+_PHASE_INDEX = {name: i for i, name in enumerate(JOIN_PHASE_ORDER)}
+_SPAN_PREFIX = "phase:"
+
+
+@dataclass
+class PhaseInterval:
+    """One visit to one protocol phase."""
+
+    phase: str
+    start: float
+    end: Optional[float]
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Virtual-time extent, or ``None`` while open."""
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class JoinLifecycle:
+    """One joiner's reconstructed pass through the state machine."""
+
+    node: str
+    began: float
+    completed_at: Optional[float]
+    phases: List[PhaseInterval] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True once the joiner reached *in_system*."""
+        return self.completed_at is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """The joining period t^e - t^b (Definition 3.1)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.began
+
+    def current_phase(self) -> Optional[str]:
+        """The phase an incomplete join is sitting in (else ``None``)."""
+        if self.completed or not self.phases:
+            return None
+        return self.phases[-1].phase
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Closed-phase durations summed per phase, sorted by order."""
+        out: Dict[str, float] = {}
+        for interval in self.phases:
+            if interval.duration is not None:
+                out[interval.phase] = (
+                    out.get(interval.phase, 0.0) + interval.duration
+                )
+        return dict(
+            sorted(
+                out.items(),
+                key=lambda kv: _PHASE_INDEX.get(kv[0], len(_PHASE_INDEX)),
+            )
+        )
+
+
+@dataclass
+class LifecycleReport:
+    """All lifecycles of a trace plus the violations found."""
+
+    lifecycles: List[JoinLifecycle]
+    illegal_transitions: List[str]
+    stalled: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """No illegal transitions and no stalled joins."""
+        return not self.illegal_transitions and not self.stalled
+
+    def completed(self) -> List[JoinLifecycle]:
+        """Lifecycles that reached *in_system*."""
+        return [lc for lc in self.lifecycles if lc.completed]
+
+
+def _validate(lifecycle: JoinLifecycle, problems: List[str]) -> None:
+    """Append ``lifecycle``'s transition violations to ``problems``."""
+    previous_index = -1
+    previous_end: Optional[float] = None
+    for interval in lifecycle.phases:
+        index = _PHASE_INDEX.get(interval.phase)
+        if index is None:
+            problems.append(
+                f"{lifecycle.node}: unknown phase {interval.phase!r}"
+            )
+            continue
+        if index <= previous_index:
+            problems.append(
+                f"{lifecycle.node}: phase {interval.phase!r} after "
+                f"{JOIN_PHASE_ORDER[previous_index]!r} moves backward"
+            )
+        elif index != previous_index + 1:
+            problems.append(
+                f"{lifecycle.node}: phase {interval.phase!r} skips "
+                f"{JOIN_PHASE_ORDER[previous_index + 1]!r}"
+            )
+        if previous_end is not None and interval.start < previous_end:
+            problems.append(
+                f"{lifecycle.node}: phase {interval.phase!r} starts at "
+                f"{interval.start} inside the previous phase"
+            )
+        previous_index = index
+        previous_end = interval.end
+    if lifecycle.phases:
+        last = lifecycle.phases[-1]
+        if lifecycle.completed_at is not None and last.end is None:
+            problems.append(
+                f"{lifecycle.node}: completed but phase "
+                f"{last.phase!r} never closed"
+            )
+
+
+def reconstruct_lifecycles(
+    span_records: Iterable[Mapping[str, Any]],
+) -> LifecycleReport:
+    """Rebuild every join lifecycle from exported span dicts
+    (``read_trace_jsonl`` shape) and validate the state machines.
+
+    A lifecycle whose root span never closed is *stalled*: the trace
+    records the run to quiescence, so an open join means the protocol
+    lost progress (e.g. a dropped message), not that we looked early.
+    """
+    roots: Dict[int, JoinLifecycle] = {}
+    phase_spans: List[Mapping[str, Any]] = []
+    for record in span_records:
+        name = record.get("name", "")
+        if name == "join":
+            lifecycle = JoinLifecycle(
+                node=str(record.get("attrs", {}).get("node", "?")),
+                began=record.get("start", 0.0),
+                completed_at=record.get("end"),
+            )
+            roots[record["id"]] = lifecycle
+        elif name.startswith(_SPAN_PREFIX):
+            phase_spans.append(record)
+    for record in sorted(
+        phase_spans, key=lambda r: (r.get("start", 0.0), r.get("id", 0))
+    ):
+        lifecycle = roots.get(record.get("parent"))
+        if lifecycle is None:
+            continue
+        lifecycle.phases.append(
+            PhaseInterval(
+                phase=record["name"][len(_SPAN_PREFIX):],
+                start=record.get("start", 0.0),
+                end=record.get("end"),
+            )
+        )
+    lifecycles = sorted(roots.values(), key=lambda lc: (lc.began, lc.node))
+    illegal: List[str] = []
+    stalled: List[str] = []
+    for lifecycle in lifecycles:
+        _validate(lifecycle, illegal)
+        if not lifecycle.completed:
+            since = (
+                lifecycle.phases[-1].start
+                if lifecycle.phases
+                else lifecycle.began
+            )
+            stalled.append(
+                f"{lifecycle.node}: stuck in "
+                f"{lifecycle.current_phase() or 'pre-copying'} "
+                f"since {since}"
+            )
+    return LifecycleReport(
+        lifecycles=lifecycles,
+        illegal_transitions=illegal,
+        stalled=stalled,
+    )
+
+
+def lifecycles_from_tracer(tracer: Tracer) -> LifecycleReport:
+    """:func:`reconstruct_lifecycles` over a live tracer's spans."""
+    return reconstruct_lifecycles(
+        span.to_record() for span in tracer.spans()
+    )

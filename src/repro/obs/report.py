@@ -1,0 +1,345 @@
+"""Run analytics: ``repro report`` over a trace JSONL file.
+
+A trace written by :func:`~repro.obs.export.write_trace_jsonl` is a
+complete flight recording of one simulation.  :class:`RunReport`
+distills it into the questions the paper's evaluation asks:
+
+* what ran -- span/event census, per-message-type counts and bytes;
+* how each join went -- reconstructed lifecycles
+  (:mod:`repro.obs.lifecycle`) with phase durations, illegal
+  transitions, and stalls;
+* why it took that long -- causal join trees
+  (:mod:`repro.obs.causality`) with sizes, depths and the virtual-time
+  critical path per join;
+* whether the bounds held -- the Theorem 3 census
+  (``CpRstMsg + JoinWaitMsg <= d + 1`` per joiner, ``d`` inferred from
+  the ID-string length recorded in the spans).
+
+All output orderings are explicitly sorted and the JSON form is
+dumped with ``sort_keys``, so the same trace file always produces the
+byte-identical report -- the golden-file tests depend on this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.causality import CausalForest, MessageRecord
+from repro.obs.export import read_trace_jsonl
+from repro.obs.lifecycle import LifecycleReport, reconstruct_lifecycles
+from repro.obs.tracer import Tracer
+
+#: Message types counted by the Theorem 3 gate.
+THEOREM3_TYPES = ("CpRstMsg", "JoinWaitMsg")
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    """Stable rounding for JSON output (kills float formatting drift)."""
+    return None if value is None else round(value, 6)
+
+
+class RunReport:
+    """Analytics over one trace's spans and events."""
+
+    def __init__(
+        self,
+        spans: Sequence[Mapping[str, Any]],
+        events: Sequence[Mapping[str, Any]],
+    ):
+        self.spans = list(spans)
+        self.events = list(events)
+        self.lifecycles: LifecycleReport = reconstruct_lifecycles(self.spans)
+        self.forest: CausalForest = CausalForest.from_event_records(
+            self.events
+        )
+        self.causal_problems: List[str] = self.forest.validate()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str) -> "RunReport":
+        """Build from a trace JSONL file."""
+        spans, events = read_trace_jsonl(path)
+        return cls(spans, events)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "RunReport":
+        """Build from a live tracer."""
+        return cls(
+            [s.to_record() for s in tracer.spans()],
+            [e.to_record() for e in tracer.events()],
+        )
+
+    # -- ingredient views -----------------------------------------------
+
+    def time_range(self) -> Dict[str, float]:
+        """First and last virtual time mentioned in the trace."""
+        times: List[float] = []
+        for span in self.spans:
+            times.append(span.get("start", 0.0))
+            if span.get("end") is not None:
+                times.append(span["end"])
+        for event in self.events:
+            times.append(event.get("time", 0.0))
+        if not times:
+            return {"start": 0.0, "end": 0.0}
+        return {"start": min(times), "end": max(times)}
+
+    def message_census(self) -> Dict[str, Dict[str, int]]:
+        """Per-type ``{sent, delivered, dropped, bytes}``, type-sorted."""
+        census: Dict[str, Dict[str, int]] = {}
+        for event in self.events:
+            name = event.get("name")
+            if name not in (
+                "message.send", "message.deliver", "message.drop"
+            ):
+                continue
+            attrs = event.get("attrs", {})
+            row = census.setdefault(
+                attrs.get("type", "?"),
+                {"sent": 0, "delivered": 0, "dropped": 0, "bytes": 0},
+            )
+            if name == "message.send":
+                row["sent"] += 1
+                row["bytes"] += attrs.get("bytes", 0)
+            elif name == "message.deliver":
+                row["delivered"] += 1
+            else:
+                row["dropped"] += 1
+        return dict(sorted(census.items()))
+
+    def theorem3_census(self) -> Dict[str, Any]:
+        """Per-joiner CpRstMsg+JoinWaitMsg counts against ``d + 1``.
+
+        ``d`` is the length of the digit-string node IDs recorded in
+        the trace; joiners are the nodes with a ``join`` root span.
+        """
+        joiners = {lc.node for lc in self.lifecycles.lifecycles}
+        counts = {node: 0 for node in joiners}
+        for event in self.events:
+            if event.get("name") != "message.send":
+                continue
+            attrs = event.get("attrs", {})
+            src = attrs.get("src")
+            if attrs.get("type") in THEOREM3_TYPES and src in counts:
+                counts[src] += 1
+        digits = max((len(node) for node in joiners), default=0)
+        bound = digits + 1
+        worst = max(counts.values(), default=0)
+        return {
+            "bound": bound,
+            "max": worst,
+            "passed": worst <= bound if joiners else True,
+            "exceeding": sorted(
+                node for node, count in counts.items() if count > bound
+            ),
+        }
+
+    def _critical_path_dict(
+        self, path: List[MessageRecord]
+    ) -> Dict[str, Any]:
+        hops = [
+            {
+                "type": record.type,
+                "src": record.src,
+                "dst": record.dst,
+                "send": _round(record.send_time),
+                "deliver": _round(record.deliver_time),
+            }
+            for record in path
+        ]
+        start = path[0].send_time if path else 0.0
+        end = path[-1].completion_time if path else 0.0
+        return {
+            "hops": hops,
+            "length": len(hops),
+            "duration": _round(end - start),
+        }
+
+    def join_tree_analytics(self) -> List[Dict[str, Any]]:
+        """Per-join causal-tree analytics, sorted by joiner ID."""
+        out: List[Dict[str, Any]] = []
+        for joiner, tree in sorted(self.forest.join_trees().items()):
+            root = tree[0]
+            out.append(
+                {
+                    "joiner": joiner,
+                    "root_msg": root.msg_id,
+                    "messages": len(tree),
+                    "depth": self.forest.depth(root.msg_id),
+                    "types": self.forest.type_census(root.msg_id),
+                    "critical_path": self._critical_path_dict(
+                        self.forest.critical_path(root.msg_id)
+                    ),
+                }
+            )
+        return out
+
+    # -- output ---------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The full report as a deterministic plain dict."""
+        lifecycle_dicts = [
+            {
+                "node": lc.node,
+                "began": _round(lc.began),
+                "completed_at": _round(lc.completed_at),
+                "duration": _round(lc.duration),
+                "phases": [
+                    {
+                        "phase": p.phase,
+                        "start": _round(p.start),
+                        "end": _round(p.end),
+                    }
+                    for p in lc.phases
+                ],
+            }
+            for lc in sorted(
+                self.lifecycles.lifecycles, key=lambda lc: lc.node
+            )
+        ]
+        return {
+            "summary": {
+                "spans": len(self.spans),
+                "events": len(self.events),
+                "time": self.time_range(),
+                "messages": self.message_census(),
+            },
+            "lifecycles": {
+                "joins": lifecycle_dicts,
+                "completed": len(self.lifecycles.completed()),
+                "illegal_transitions": sorted(
+                    self.lifecycles.illegal_transitions
+                ),
+                "stalled": sorted(self.lifecycles.stalled),
+            },
+            "causality": {
+                "messages": len(self.forest),
+                "roots": len(self.forest.roots()),
+                "problems": sorted(self.causal_problems),
+                "join_trees": self.join_tree_analytics(),
+            },
+            "theorem3": self.theorem3_census(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, stable floats)."""
+        return json.dumps(
+            self.to_json_dict(), sort_keys=True, indent=2
+        ) + "\n"
+
+    def render_text(self) -> str:
+        """Human-readable multi-section summary."""
+        data = self.to_json_dict()
+        summary = data["summary"]
+        lines = [
+            "== run summary ==",
+            f"  spans {summary['spans']}  events {summary['events']}  "
+            f"virtual time [{summary['time']['start']:g}, "
+            f"{summary['time']['end']:g}]",
+            "  type              sent  delivered  dropped      bytes",
+        ]
+        for mtype, row in summary["messages"].items():
+            lines.append(
+                f"  {mtype:<16} {row['sent']:>5} {row['delivered']:>10} "
+                f"{row['dropped']:>8} {row['bytes']:>10}"
+            )
+        lifecycles = data["lifecycles"]
+        lines.append("== join lifecycles ==")
+        lines.append(
+            f"  joins {len(lifecycles['joins'])}  completed "
+            f"{lifecycles['completed']}  illegal "
+            f"{len(lifecycles['illegal_transitions'])}  stalled "
+            f"{len(lifecycles['stalled'])}"
+        )
+        for problem in lifecycles["illegal_transitions"]:
+            lines.append(f"  ILLEGAL  {problem}")
+        for problem in lifecycles["stalled"]:
+            lines.append(f"  STALLED  {problem}")
+        causality = data["causality"]
+        lines.append("== causality ==")
+        lines.append(
+            f"  messages {causality['messages']}  join trees "
+            f"{len(causality['join_trees'])}  problems "
+            f"{len(causality['problems'])}"
+        )
+        trees = causality["join_trees"]
+        if trees:
+            sizes = [t["messages"] for t in trees]
+            depths = [t["depth"] for t in trees]
+            crit = [t["critical_path"]["duration"] for t in trees]
+            lines.append(
+                f"  tree size mean {sum(sizes) / len(sizes):.1f} "
+                f"max {max(sizes)}; depth mean "
+                f"{sum(depths) / len(depths):.1f} max {max(depths)}; "
+                f"critical path max {max(crit):g}"
+            )
+        for problem in causality["problems"]:
+            lines.append(f"  CAUSAL   {problem}")
+        theorem3 = data["theorem3"]
+        lines.append("== theorem 3 ==")
+        lines.append(
+            f"  max CpRst+JoinWait {theorem3['max']} <= "
+            f"{theorem3['bound']}: {theorem3['passed']}"
+        )
+        for node in theorem3["exceeding"]:
+            lines.append(f"  EXCEEDS  {node}")
+        return "\n".join(lines)
+
+    def render_html(self) -> str:
+        """A self-contained HTML timeline of the run (no external
+        assets): one row per join, phase intervals as colored bars over
+        a linear virtual-time axis, with the summary tables inline."""
+        time = self.time_range()
+        span = max(time["end"] - time["start"], 1e-9)
+        colors = {
+            "copying": "#4c78a8",
+            "waiting": "#f58518",
+            "notifying": "#54a24b",
+        }
+        rows: List[str] = []
+        for lc in sorted(
+            self.lifecycles.lifecycles, key=lambda item: item.node
+        ):
+            bars: List[str] = []
+            for phase in lc.phases:
+                end = phase.end if phase.end is not None else time["end"]
+                left = 100.0 * (phase.start - time["start"]) / span
+                width = max(100.0 * (end - phase.start) / span, 0.15)
+                color = colors.get(phase.phase, "#b279a2")
+                bars.append(
+                    f'<div class="bar" title="{phase.phase} '
+                    f'[{phase.start:g}, {end:g}]" style="left:{left:.2f}%;'
+                    f'width:{width:.2f}%;background:{color}"></div>'
+                )
+            status = "done" if lc.completed else "STALLED"
+            rows.append(
+                f'<tr><td class="node">{lc.node}</td>'
+                f'<td class="lane"><div class="track">{"".join(bars)}'
+                f"</div></td><td>{status}</td></tr>"
+            )
+        legend = " ".join(
+            f'<span class="chip" style="background:{color}">{phase}</span>'
+            for phase, color in colors.items()
+        )
+        text = self.render_text()
+        return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>repro run report</title>
+<style>
+body {{ font: 13px/1.4 monospace; margin: 1.5em; color: #222; }}
+table {{ border-collapse: collapse; width: 100%; }}
+td {{ padding: 1px 6px; }}
+.node {{ white-space: nowrap; }}
+.lane {{ width: 80%; }}
+.track {{ position: relative; height: 12px; background: #eee; }}
+.bar {{ position: absolute; top: 0; height: 12px; }}
+.chip {{ color: #fff; padding: 0 6px; }}
+pre {{ background: #f6f6f6; padding: 1em; }}
+</style></head><body>
+<h1>repro run report</h1>
+<p>virtual time [{time['start']:g}, {time['end']:g}] &mdash; {legend}</p>
+<table>{"".join(rows)}</table>
+<pre>{text}</pre>
+</body></html>
+"""

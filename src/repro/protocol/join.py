@@ -17,7 +17,7 @@ entry point of the library::
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.ids.digits import NodeId
 from repro.ids.idspace import IdSpace
@@ -56,6 +56,9 @@ class JoinProtocolNetwork:
         self.simulator = Simulator()
         self.obs = obs
         self._join_observer: Optional[JoinObserver] = None
+        # Callbacks invoked as ``cb(node_id, status, now)`` on every
+        # join phase transition; see add_phase_listener.
+        self._phase_listeners: List[Callable[..., None]] = []
         if obs is not None:
             # Message accounting shares the run's registry, the queue
             # probe samples the scheduler, and join phase transitions
@@ -63,6 +66,7 @@ class JoinProtocolNetwork:
             self.stats = MessageStats(registry=obs.metrics)
             instrument_scheduler(self.simulator, obs)
             self._join_observer = JoinObserver(obs)
+            self._phase_listeners.append(self._join_observer.on_phase)
         else:
             self.stats = MessageStats()
         self.latency_model = (
@@ -171,12 +175,44 @@ class JoinProtocolNetwork:
             trace=self.trace,
         )
         node.on_departed = self._on_node_departed
-        if self._join_observer is not None:
-            node.on_phase = self._join_observer.on_phase
+        listeners = self._phase_listeners
+        if len(listeners) == 1:
+            # Single listener (the usual case): call it directly, no
+            # dispatch indirection on the phase-transition path.
+            node.on_phase = listeners[0]
+        elif listeners:
+            node.on_phase = self._dispatch_phase
         self.nodes[node_id] = node
         self.joiner_ids.append(node_id)
         self.simulator.schedule_at(at, node.begin_join, gateway)
         return node
+
+    # ------------------------------------------------------------------
+    # observability hooks
+
+    def _dispatch_phase(self, node_id, status, time) -> None:
+        """Fan one phase transition out to every registered listener."""
+        for listener in self._phase_listeners:
+            listener(node_id, status, time)
+
+    def add_phase_listener(
+        self, listener: Callable[..., None]
+    ) -> None:
+        """Register ``listener(node_id, status, now)`` for join phase
+        transitions.  Must be called before the joins it should see are
+        started -- nodes pick up the listener set at ``start_join``."""
+        self._phase_listeners.append(listener)
+
+    def attach_auditor(self, config=None):
+        """Attach a :class:`~repro.obs.audit.LiveAuditor` (created with
+        ``config``) to this network's scheduler and phase hooks.
+
+        Call before starting joins; after :meth:`run`, call the
+        returned auditor's ``finalize()`` for the quiescence gates.
+        """
+        from repro.obs.audit import LiveAuditor
+
+        return LiveAuditor(self, config).attach()
 
     # ------------------------------------------------------------------
     # leaving (extension protocol; see repro.protocol.leave)

@@ -39,6 +39,27 @@ class Simulator:
         """Current virtual time."""
         return self._now
 
+    def add_event_listener(
+        self, listener: Callable[[float, int], None]
+    ) -> None:
+        """Chain ``listener`` onto :attr:`on_event_fired`.
+
+        The existing hook (if any) keeps firing first; this lets several
+        observers -- e.g. a :class:`~repro.obs.instrument.SchedulerProbe`
+        and a :class:`~repro.obs.audit.LiveAuditor` -- share the single
+        callback slot without knowing about each other.
+        """
+        previous = self.on_event_fired
+        if previous is None:
+            self.on_event_fired = listener
+            return
+
+        def chained(now: float, pending: int) -> None:
+            previous(now, pending)
+            listener(now, pending)
+
+        self.on_event_fired = chained
+
     @property
     def events_fired(self) -> int:
         return self._events_fired

@@ -1,0 +1,47 @@
+"""Regenerate the golden fixtures used by ``test_report.py``.
+
+Run after any intentional change to the protocol, the tracer's record
+shapes, or the report format::
+
+    PYTHONPATH=src python tests/obs/make_golden.py
+
+then review the diff of ``tests/obs/golden/`` before committing.
+"""
+
+import os
+
+from repro.experiments.workloads import make_workload
+from repro.obs import Observability, RunReport, write_trace_jsonl
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def main() -> None:
+    obs = Observability.tracing()
+    workload = make_workload(
+        base=3, num_digits=3, n=10, m=3, seed=11, obs=obs
+    )
+    workload.start_all_joins()
+    workload.run()
+    assert workload.network.check_consistency().consistent
+
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    trace = os.path.join(GOLDEN_DIR, "small_run.jsonl")
+    records = write_trace_jsonl(obs.tracer, trace)
+
+    report = RunReport.from_file(trace)
+    with open(
+        os.path.join(GOLDEN_DIR, "small_run_report.txt"),
+        "w", encoding="utf-8",
+    ) as handle:
+        handle.write(report.render_text() + "\n")
+    with open(
+        os.path.join(GOLDEN_DIR, "small_run_report.json"),
+        "w", encoding="utf-8",
+    ) as handle:
+        handle.write(report.to_json())
+    print(f"wrote {records} trace records and both goldens to {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    main()

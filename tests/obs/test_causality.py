@@ -1,0 +1,181 @@
+"""CausalForest tests: stamping, tree structure, critical paths, and
+the causal-order property over real traced runs."""
+
+import pytest
+
+from repro.experiments.workloads import make_workload
+from repro.obs import CausalForest, CausalityError, Observability
+
+
+def _event(name, time, **attrs):
+    return {"kind": "event", "name": name, "time": time, "attrs": attrs}
+
+
+def synthetic_events():
+    """A two-tree forest: a 3-message join chain plus a lone root."""
+    return [
+        _event("message.send", 0.0, msg=1, parent=None, trace=1,
+               type="CpRstMsg", src="11", dst="22", bytes=40, latency=1.0),
+        _event("message.deliver", 1.0, msg=1, type="CpRstMsg",
+               src="11", dst="22"),
+        _event("message.send", 1.0, msg=2, parent=1, trace=1,
+               type="CpRlyMsg", src="22", dst="11", bytes=80, latency=1.0),
+        _event("message.deliver", 2.0, msg=2, type="CpRlyMsg",
+               src="22", dst="11"),
+        _event("message.send", 2.0, msg=3, parent=2, trace=1,
+               type="JoinWaitMsg", src="11", dst="22", bytes=40,
+               latency=2.5),
+        _event("message.deliver", 4.5, msg=3, type="JoinWaitMsg",
+               src="11", dst="22"),
+        _event("message.send", 0.5, msg=4, parent=None, trace=4,
+               type="InSysNotiMsg", src="33", dst="44", bytes=8,
+               latency=1.0),
+        _event("message.deliver", 1.5, msg=4, type="InSysNotiMsg",
+               src="33", dst="44"),
+    ]
+
+
+def traced_run(seed=7, m=10):
+    obs = Observability.tracing()
+    workload = make_workload(
+        base=4, num_digits=4, n=40, m=m, seed=seed, obs=obs
+    )
+    workload.start_all_joins()
+    workload.run()
+    return workload.network, obs
+
+
+class TestForestStructure:
+    def test_roots_and_children(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        assert len(forest) == 4
+        assert [r.msg_id for r in forest.roots()] == [1, 4]
+        assert [c.msg_id for c in forest.children(1)] == [2]
+        assert forest.children(3) == []
+
+    def test_tree_preorder_and_depth(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        assert [r.msg_id for r in forest.tree(1)] == [1, 2, 3]
+        assert forest.depth(1) == 3
+        assert forest.depth(4) == 1
+
+    def test_type_census(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        assert forest.type_census(1) == {
+            "CpRlyMsg": 1, "CpRstMsg": 1, "JoinWaitMsg": 1,
+        }
+
+    def test_critical_path_follows_latest_completion(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        path = forest.critical_path(1)
+        assert [r.msg_id for r in path] == [1, 2, 3]
+        assert path[-1].completion_time == 4.5
+
+    def test_join_trees_keyed_by_root_sender(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        trees = forest.join_trees()
+        assert set(trees) == {"11"}  # InSysNotiMsg root is not a join
+        assert len(trees["11"]) == 3
+
+    def test_unknown_root_rejected(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        with pytest.raises(CausalityError):
+            forest.tree(99)
+
+    def test_duplicate_msg_id_rejected(self):
+        events = synthetic_events()
+        from repro.obs.causality import MessageRecord
+        record = MessageRecord(
+            msg_id=1, parent_id=None, trace_id=1, type="X",
+            src="a", dst="b", send_time=0.0,
+        )
+        with pytest.raises(CausalityError):
+            CausalForest([record, record])
+        # from_event_records keys by msg id, so re-sends overwrite.
+        CausalForest.from_event_records(events + events[:1])
+
+
+class TestValidation:
+    def test_clean_forest_has_no_problems(self):
+        forest = CausalForest.from_event_records(synthetic_events())
+        assert forest.validate() == []
+
+    def test_dangling_parent_flagged(self):
+        events = synthetic_events()
+        events[4]["attrs"]["parent"] = 77
+        problems = CausalForest.from_event_records(events).validate()
+        assert any("unknown parent 77" in p for p in problems)
+
+    def test_child_before_parent_delivery_flagged(self):
+        events = synthetic_events()
+        events[4]["time"] = 1.5  # JoinWaitMsg before CpRlyMsg delivery
+        problems = CausalForest.from_event_records(events).validate()
+        assert any("before parent" in p for p in problems)
+
+    def test_child_of_dropped_message_flagged(self):
+        events = synthetic_events()
+        events[2] = _event("message.drop", 1.0, msg=2, parent=1, trace=1,
+                           type="CpRlyMsg", src="22", dst="11")
+        del events[3]  # its delivery
+        problems = CausalForest.from_event_records(events).validate()
+        assert any("child of dropped" in p for p in problems)
+
+    def test_trace_id_mismatch_flagged(self):
+        events = synthetic_events()
+        events[4]["attrs"]["trace"] = 999
+        problems = CausalForest.from_event_records(events).validate()
+        assert any("trace 999" in p for p in problems)
+
+
+class TestRealTraces:
+    """Properties every traced simulation run must satisfy."""
+
+    def test_causal_order_property(self):
+        # Every message with a parent was sent by that parent's
+        # delivery handler: parent delivered, at an earlier-or-equal
+        # virtual time, within the same trace.
+        _, obs = traced_run()
+        forest = CausalForest.from_tracer(obs.tracer)
+        assert len(forest) > 0
+        assert forest.validate() == []
+        for record in forest.records.values():
+            if record.parent_id is None:
+                continue
+            parent = forest.records[record.parent_id]
+            assert parent.deliver_time is not None
+            assert parent.deliver_time <= record.send_time
+            assert parent.trace_id == record.trace_id
+
+    def test_one_join_tree_per_joiner(self):
+        net, obs = traced_run()
+        forest = CausalForest.from_tracer(obs.tracer)
+        trees = forest.join_trees()
+        assert set(trees) == {str(j) for j in net.joiner_ids}
+
+    def test_every_message_stamped(self):
+        _, obs = traced_run(m=5)
+        sends = [
+            e for e in obs.tracer.events()
+            if e.name in ("message.send", "message.drop")
+        ]
+        ids = [e.attrs["msg"] for e in sends]
+        assert len(ids) == len(set(ids))  # unique
+        assert all(isinstance(i, int) for i in ids)
+
+    def test_critical_path_times_monotone(self):
+        _, obs = traced_run()
+        forest = CausalForest.from_tracer(obs.tracer)
+        for tree in forest.join_trees().values():
+            path = forest.critical_path(tree[0].msg_id)
+            times = [r.send_time for r in path]
+            assert times == sorted(times)
+
+    def test_untraced_run_stamps_nothing(self):
+        workload = make_workload(
+            base=4, num_digits=4, n=30, m=5, seed=3,
+            obs=Observability.metrics_only(),
+        )
+        workload.start_all_joins()
+        workload.run()
+        transport = workload.network.transport
+        assert transport._next_msg_id == 1

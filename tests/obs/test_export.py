@@ -3,10 +3,14 @@
 import json
 
 from repro.obs.export import (
+    message_type_breakdown,
+    message_type_csv,
     metrics_to_csv,
     metrics_to_dict,
+    read_message_type_csv,
     read_trace_jsonl,
     trace_to_records,
+    write_message_type_csv,
     write_metrics_csv,
     write_trace_jsonl,
 )
@@ -95,3 +99,68 @@ class TestMetricsExport:
         with open(path) as handle:
             lines = handle.read().strip().splitlines()
         assert rows == len(lines) - 1
+
+
+class TestMessageTypeCsv:
+    def stats_registry(self) -> MetricsRegistry:
+        """A registry shaped the way MessageStats shapes one."""
+        registry = MetricsRegistry()
+        registry.counter("messages_sent", type="CpRstMsg").inc(9)
+        registry.counter("messages_sent", type="JoinNotiMsg").inc(4)
+        registry.counter("messages_dropped", type="JoinNotiMsg").inc(1)
+        registry.counter("message_bytes", type="CpRstMsg").inc(360)
+        # A type seen only in drops still gets a full row.
+        registry.counter("messages_dropped", type="SpeNotiMsg").inc(2)
+        return registry
+
+    def test_breakdown_rows(self):
+        rows = message_type_breakdown(self.stats_registry())
+        assert list(rows) == ["CpRstMsg", "JoinNotiMsg", "SpeNotiMsg"]
+        assert rows["CpRstMsg"] == {"sent": 9, "dropped": 0, "bytes": 360}
+        assert rows["JoinNotiMsg"] == {"sent": 4, "dropped": 1, "bytes": 0}
+        assert rows["SpeNotiMsg"] == {"sent": 0, "dropped": 2, "bytes": 0}
+
+    def test_csv_column_order_is_stable(self):
+        text = message_type_csv(self.stats_registry())
+        lines = text.strip().splitlines()
+        assert lines[0] == "type,sent,dropped,bytes"
+        assert [line.split(",")[0] for line in lines[1:]] == sorted(
+            line.split(",")[0] for line in lines[1:]
+        )
+
+    def test_round_trip_exact(self, tmp_path):
+        registry = self.stats_registry()
+        path = str(tmp_path / "messages.csv")
+        rows = write_message_type_csv(registry, path)
+        assert rows == 3
+        assert read_message_type_csv(path) == message_type_breakdown(
+            registry
+        )
+
+    def test_round_trip_from_real_run(self, tmp_path):
+        from repro.experiments.workloads import make_workload
+        from repro.obs.instrument import Observability
+
+        workload = make_workload(
+            base=3, num_digits=3, n=10, m=3, seed=11,
+            obs=Observability.metrics_only(),
+        )
+        workload.start_all_joins()
+        workload.run()
+        registry = workload.network.stats.registry
+        path = str(tmp_path / "messages.csv")
+        write_message_type_csv(registry, path)
+        recovered = read_message_type_csv(path)
+        assert recovered == message_type_breakdown(registry)
+        total_sent = sum(row["sent"] for row in recovered.values())
+        assert total_sent == workload.network.stats.total_messages
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("kind,sent,dropped,bytes\nX,1,0,0\n")
+        try:
+            read_message_type_csv(str(path))
+        except ValueError as error:
+            assert "header" in str(error)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")

@@ -1,0 +1,145 @@
+"""Lifecycle reconstruction tests: state machines from phase spans,
+violation detection, and parity with the protocol's phase tuple."""
+
+from repro.experiments.workloads import make_workload
+from repro.obs import (
+    JOIN_PHASE_ORDER,
+    Observability,
+    lifecycles_from_tracer,
+    reconstruct_lifecycles,
+)
+
+
+def _span(span_id, name, start, end, parent=None, **attrs):
+    return {
+        "kind": "span", "id": span_id, "parent": parent, "name": name,
+        "start": start, "end": end, "attrs": attrs,
+    }
+
+
+def healthy_spans():
+    """One complete join plus one stalled in *notifying*."""
+    return [
+        _span(1, "join", 0.0, 9.0, node="0123"),
+        _span(2, "phase:copying", 0.0, 3.0, parent=1, node="0123"),
+        _span(3, "phase:waiting", 3.0, 5.0, parent=1, node="0123"),
+        _span(4, "phase:notifying", 5.0, 9.0, parent=1, node="0123"),
+        _span(5, "join", 1.0, None, node="3210"),
+        _span(6, "phase:copying", 1.0, 4.0, parent=5, node="3210"),
+        _span(7, "phase:notifying", 4.0, None, parent=5, node="3210"),
+    ]
+
+
+class TestPhaseOrderParity:
+    def test_matches_protocol_status(self):
+        # lifecycle.py duplicates the tuple to stay import-cycle free;
+        # this is the parity test that keeps the copies identical.
+        from repro.protocol.status import JOIN_PHASES
+
+        assert JOIN_PHASE_ORDER == tuple(
+            status.value for status in JOIN_PHASES
+        )
+
+
+class TestReconstruction:
+    def test_complete_join(self):
+        report = reconstruct_lifecycles(healthy_spans())
+        done = report.completed()
+        assert len(done) == 1
+        lc = done[0]
+        assert lc.node == "0123"
+        assert lc.completed and lc.duration == 9.0
+        assert [p.phase for p in lc.phases] == [
+            "copying", "waiting", "notifying",
+        ]
+        assert lc.phase_durations() == {
+            "copying": 3.0, "waiting": 2.0, "notifying": 4.0,
+        }
+        assert lc.current_phase() is None
+
+    def test_stalled_join_reported(self):
+        report = reconstruct_lifecycles(healthy_spans())
+        assert not report.ok
+        assert len(report.stalled) == 1
+        assert "3210" in report.stalled[0]
+        assert "notifying" in report.stalled[0]
+        open_lc = [lc for lc in report.lifecycles if not lc.completed][0]
+        assert open_lc.current_phase() == "notifying"
+        assert open_lc.duration is None
+
+    def test_skipped_phase_is_illegal_not_stalled(self):
+        # 3210 skips waiting: flagged as a transition problem.
+        report = reconstruct_lifecycles(healthy_spans())
+        assert any(
+            "3210" in p and "skips 'waiting'" in p
+            for p in report.illegal_transitions
+        )
+
+    def test_backward_transition_flagged(self):
+        spans = [
+            _span(1, "join", 0.0, 9.0, node="77"),
+            _span(2, "phase:waiting", 0.0, 3.0, parent=1, node="77"),
+            _span(3, "phase:copying", 3.0, 9.0, parent=1, node="77"),
+        ]
+        report = reconstruct_lifecycles(spans)
+        assert any(
+            "moves backward" in p for p in report.illegal_transitions
+        )
+
+    def test_unknown_phase_flagged(self):
+        spans = [
+            _span(1, "join", 0.0, 2.0, node="77"),
+            _span(2, "phase:zen", 0.0, 2.0, parent=1, node="77"),
+        ]
+        report = reconstruct_lifecycles(spans)
+        assert any("unknown phase" in p for p in report.illegal_transitions)
+
+    def test_overlapping_phases_flagged(self):
+        spans = [
+            _span(1, "join", 0.0, 9.0, node="77"),
+            _span(2, "phase:copying", 0.0, 5.0, parent=1, node="77"),
+            _span(3, "phase:waiting", 4.0, 9.0, parent=1, node="77"),
+        ]
+        report = reconstruct_lifecycles(spans)
+        assert any(
+            "inside the previous phase" in p
+            for p in report.illegal_transitions
+        )
+
+    def test_completed_with_open_phase_flagged(self):
+        spans = [
+            _span(1, "join", 0.0, 9.0, node="77"),
+            _span(2, "phase:copying", 0.0, None, parent=1, node="77"),
+        ]
+        report = reconstruct_lifecycles(spans)
+        assert any("never closed" in p for p in report.illegal_transitions)
+
+    def test_orphan_phase_span_ignored(self):
+        spans = healthy_spans() + [
+            _span(99, "phase:copying", 0.0, 1.0, parent=1234, node="zz"),
+        ]
+        report = reconstruct_lifecycles(spans)
+        assert len(report.lifecycles) == 2
+
+    def test_lifecycles_sorted_by_begin_time(self):
+        report = reconstruct_lifecycles(healthy_spans())
+        begins = [lc.began for lc in report.lifecycles]
+        assert begins == sorted(begins)
+
+
+class TestRealTraces:
+    def test_traced_workload_reconstructs_clean(self):
+        obs = Observability.tracing()
+        workload = make_workload(
+            base=4, num_digits=4, n=40, m=12, seed=5, obs=obs
+        )
+        workload.start_all_joins()
+        workload.run()
+        report = lifecycles_from_tracer(obs.tracer)
+        assert report.ok
+        assert len(report.completed()) == 12
+        for lc in report.completed():
+            phases = [p.phase for p in lc.phases]
+            # Every visited phase in protocol order, no repeats.
+            indexes = [JOIN_PHASE_ORDER.index(p) for p in phases]
+            assert indexes == sorted(set(indexes))

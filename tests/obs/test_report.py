@@ -1,0 +1,124 @@
+"""RunReport tests: golden-file comparisons against a committed
+fixture trace, determinism of the JSON form, and the HTML renderer.
+
+The fixture (``golden/small_run.jsonl``) is a full trace of a seeded
+10+3-node run; regenerate it -- and both golden outputs -- with::
+
+    PYTHONPATH=src python tests/obs/make_golden.py
+"""
+
+import json
+import os
+
+from repro.experiments.workloads import make_workload
+from repro.obs import Observability, RunReport
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+TRACE = os.path.join(GOLDEN_DIR, "small_run.jsonl")
+GOLDEN_TEXT = os.path.join(GOLDEN_DIR, "small_run_report.txt")
+GOLDEN_JSON = os.path.join(GOLDEN_DIR, "small_run_report.json")
+
+
+def read(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestGoldenFiles:
+    def test_text_matches_golden(self):
+        report = RunReport.from_file(TRACE)
+        assert report.render_text() + "\n" == read(GOLDEN_TEXT)
+
+    def test_json_matches_golden(self):
+        report = RunReport.from_file(TRACE)
+        assert report.to_json() == read(GOLDEN_JSON)
+
+    def test_json_identical_across_invocations(self):
+        # The acceptance bar: same trace, byte-identical JSON.
+        first = RunReport.from_file(TRACE).to_json()
+        second = RunReport.from_file(TRACE).to_json()
+        assert first == second
+
+    def test_json_is_canonical(self):
+        text = read(GOLDEN_JSON)
+        data = json.loads(text)
+        assert json.dumps(data, sort_keys=True, indent=2) + "\n" == text
+
+
+class TestReportContents:
+    def report(self):
+        return RunReport.from_file(TRACE)
+
+    def test_summary_counts(self):
+        data = self.report().to_json_dict()
+        assert data["summary"]["spans"] == 12
+        assert data["summary"]["events"] == 100
+        assert data["lifecycles"]["completed"] == 3
+
+    def test_message_census_balances(self):
+        census = self.report().message_census()
+        for row in census.values():
+            assert row["sent"] == row["delivered"] + row["dropped"]
+            assert row["bytes"] > 0
+
+    def test_theorem3_census(self):
+        data = self.report().theorem3_census()
+        assert data["bound"] == 4  # d + 1 with 3-digit IDs
+        assert data["passed"]
+        assert data["exceeding"] == []
+
+    def test_join_trees_have_critical_paths(self):
+        trees = self.report().join_tree_analytics()
+        assert len(trees) == 3
+        for tree in trees:
+            path = tree["critical_path"]
+            assert path["length"] >= 1
+            assert path["duration"] >= 0
+            assert path["hops"][0]["type"] == "CpRstMsg"
+
+    def test_no_causal_problems(self):
+        assert self.report().causal_problems == []
+
+
+class TestFromTracer:
+    def test_live_tracer_equals_file_round_trip(self, tmp_path):
+        from repro.obs import write_trace_jsonl
+
+        obs = Observability.tracing()
+        workload = make_workload(
+            base=3, num_digits=3, n=10, m=3, seed=11, obs=obs
+        )
+        workload.start_all_joins()
+        workload.run()
+        live = RunReport.from_tracer(obs.tracer)
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(obs.tracer, path)
+        assert RunReport.from_file(path).to_json() == live.to_json()
+
+    def test_fixture_is_reproducible(self):
+        # The committed fixture is exactly what the seeded workload
+        # produces today; if the protocol changes, regenerate goldens.
+        obs = Observability.tracing()
+        workload = make_workload(
+            base=3, num_digits=3, n=10, m=3, seed=11, obs=obs
+        )
+        workload.start_all_joins()
+        workload.run()
+        assert RunReport.from_tracer(obs.tracer).to_json() == read(
+            GOLDEN_JSON
+        )
+
+
+class TestHtml:
+    def test_self_contained_page(self):
+        html = RunReport.from_file(TRACE).render_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert html.count("<tr>") == 3  # one row per join
+        assert "phase:" not in html  # phases shown by bare name
+
+    def test_empty_trace_renders(self):
+        report = RunReport([], [])
+        assert "== run summary ==" in report.render_text()
+        assert report.to_json_dict()["theorem3"]["passed"] is True
+        assert "<table>" in report.render_html()

@@ -1,0 +1,69 @@
+"""NullTracer / Tracer surface parity.
+
+NullTracer is substituted for Tracer wherever observability is off, so
+its public surface must be *exactly* Tracer's: every public attribute
+present, every method signature identical.  These tests fail the
+moment someone extends Tracer without teaching NullTracer about it.
+"""
+
+import inspect
+
+from repro.obs.tracer import NullTracer, Tracer
+
+
+def public_surface(cls):
+    return {
+        name
+        for name in dir(cls)
+        if not name.startswith("_") or name in ("__len__",)
+    }
+
+
+class TestSurfaceParity:
+    def test_same_public_names(self):
+        assert public_surface(NullTracer) == public_surface(Tracer)
+
+    def test_no_extra_methods_on_null(self):
+        extras = {
+            name
+            for name in vars(NullTracer)
+            if not name.startswith("_")
+        } - public_surface(Tracer)
+        assert extras == set()
+
+    def test_identical_signatures(self):
+        for name in public_surface(Tracer):
+            original = getattr(Tracer, name)
+            if not callable(original):
+                continue
+            null = getattr(NullTracer, name)
+            assert inspect.signature(null) == inspect.signature(
+                original
+            ), f"signature of {name} drifted"
+
+    def test_recording_methods_overridden(self):
+        # The hot-path methods must be no-op overrides, not inherited
+        # recording implementations.
+        for name in ("start_span", "end_span", "event"):
+            assert name in vars(NullTracer), f"{name} not overridden"
+            assert getattr(NullTracer, name) is not getattr(Tracer, name)
+
+
+class TestNullBehavior:
+    def test_null_records_nothing(self):
+        tracer = NullTracer()
+        span = tracer.start_span("join", 0.0, node="11")
+        tracer.event("message.send", 1.0, span=span, type="CpRstMsg")
+        tracer.end_span(span, 2.0)
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+        assert tracer.events() == []
+        assert list(tracer.records()) == []
+        assert tracer.open_spans() == []
+
+    def test_enabled_flags(self):
+        assert Tracer.enabled is True
+        assert NullTracer.enabled is False
+
+    def test_null_is_a_tracer(self):
+        assert issubclass(NullTracer, Tracer)

@@ -67,3 +67,71 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_join_audit(self, capsys, tmp_path):
+        audit_json = str(tmp_path / "audit.json")
+        assert main(
+            ["join", "--n", "50", "--m", "15", "--base", "4",
+             "--digits", "4", "--audit", "--audit-json", audit_json]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "audit" in out and "PASS" in out
+        assert "Theorem 3 gate" in out
+        assert "Theorem 4/5 gate" in out
+        import json
+
+        with open(audit_json) as handle:
+            data = json.load(handle)
+        assert data["passed"] is True
+        assert data["final"]["consistent"] is True
+        assert len(data["samples"]) > 0
+
+    def test_join_messages_csv(self, tmp_path):
+        csv_path = str(tmp_path / "messages.csv")
+        assert main(
+            ["join", "--n", "30", "--m", "8", "--base", "4",
+             "--digits", "4", "--messages-csv", csv_path]
+        ) == 0
+        from repro.obs import read_message_type_csv
+
+        rows = read_message_type_csv(csv_path)
+        assert rows["CpRstMsg"]["sent"] > 0
+
+    def test_report_text_and_outputs(self, capsys, tmp_path):
+        import json
+        import os
+
+        trace = os.path.join(
+            os.path.dirname(__file__), "obs", "golden", "small_run.jsonl"
+        )
+        json_path = str(tmp_path / "report.json")
+        html_path = str(tmp_path / "report.html")
+        assert main(
+            ["report", trace, "--json", json_path, "--html", html_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== run summary ==" in out
+        assert "== theorem 3 ==" in out
+        with open(json_path) as handle:
+            data = json.load(handle)
+        assert data["lifecycles"]["completed"] == 3
+        with open(html_path) as handle:
+            assert handle.read().startswith("<!DOCTYPE html>")
+
+    def test_report_flags_stalled_trace(self, capsys, tmp_path):
+        # A trace whose join never completes must exit non-zero.
+        import json
+
+        trace = tmp_path / "stalled.jsonl"
+        records = [
+            {"kind": "span", "id": 1, "parent": None, "name": "join",
+             "start": 0.0, "end": None, "attrs": {"node": "11"}},
+            {"kind": "span", "id": 2, "parent": 1,
+             "name": "phase:copying", "start": 0.0, "end": None,
+             "attrs": {"node": "11"}},
+        ]
+        trace.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert main(["report", str(trace)]) == 1
+        assert "STALLED" in capsys.readouterr().out
