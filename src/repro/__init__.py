@@ -25,45 +25,70 @@ Quickstart::
     assert net.check_consistency().consistent    # Theorem 1
 """
 
-from repro.analysis import (
-    expected_join_noti,
-    expected_join_noti_upper_bound,
-    level_distribution,
-    theorem3_bound,
-)
-from repro.consistency import check_consistency, verify_reachability
-from repro.csettree import (
-    build_realized_tree,
-    build_template,
-    notification_set,
-)
-from repro.ids import IdSpace, NodeId
-from repro.obs import (
-    MetricsRegistry,
-    NullTracer,
-    Observability,
-    Tracer,
-)
-from repro.optimize import measure_stretch, optimize_tables
-from repro.protocol import (
-    JoinProtocolNetwork,
-    NodeStatus,
-    ProtocolNode,
-    SizingPolicy,
-    initialize_network,
-)
-from repro.protocol.leave import leave_sequentially
-from repro.recovery import fail_nodes, recover_from_failures
-from repro.routing import (
-    NeighborState,
-    NeighborTable,
-    build_consistent_tables,
-    format_table,
-    route,
-)
-from repro.sim import Simulator
+# Re-exports resolve lazily (PEP 562) so that importing any submodule
+# -- which executes this package __init__ -- never drags in the rest
+# of the library.  In particular the sans-io core (repro.core,
+# repro.protocol) must be importable without repro.sim or asyncio
+# appearing in sys.modules; tests/test_architecture.py enforces this.
+_EXPORTS = {
+    "expected_join_noti": "repro.analysis",
+    "expected_join_noti_upper_bound": "repro.analysis",
+    "level_distribution": "repro.analysis",
+    "theorem3_bound": "repro.analysis",
+    "check_consistency": "repro.consistency",
+    "verify_reachability": "repro.consistency",
+    "build_realized_tree": "repro.csettree",
+    "build_template": "repro.csettree",
+    "notification_set": "repro.csettree",
+    "IdSpace": "repro.ids",
+    "NodeId": "repro.ids",
+    "MetricsRegistry": "repro.obs",
+    "NullTracer": "repro.obs",
+    "Observability": "repro.obs",
+    "Tracer": "repro.obs",
+    "measure_stretch": "repro.optimize",
+    "optimize_tables": "repro.optimize",
+    "JoinProtocolNetwork": "repro.protocol",
+    "NodeStatus": "repro.protocol",
+    "ProtocolNode": "repro.protocol",
+    "SizingPolicy": "repro.protocol",
+    "initialize_network": "repro.protocol",
+    "leave_sequentially": "repro.protocol.leave",
+    "fail_nodes": "repro.recovery",
+    "recover_from_failures": "repro.recovery",
+    "NeighborState": "repro.routing",
+    "NeighborTable": "repro.routing",
+    "build_consistent_tables": "repro.routing",
+    "format_table": "repro.routing",
+    "route": "repro.routing",
+    "create_runtime": "repro.runtime",
+    "Simulator": "repro.sim",
+}
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Resolve a re-exported name or submodule on first use."""
+    import importlib
+
+    module_name = _EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(importlib.import_module(module_name), name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    try:
+        # `import repro; repro.protocol` keeps working without an
+        # explicit submodule import, as with eager package inits.
+        return importlib.import_module(f"{__name__}.{name}")
+    except ModuleNotFoundError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "IdSpace",
@@ -83,6 +108,7 @@ __all__ = [
     "build_realized_tree",
     "build_template",
     "check_consistency",
+    "create_runtime",
     "expected_join_noti",
     "expected_join_noti_upper_bound",
     "fail_nodes",

@@ -44,7 +44,7 @@ from repro.network.transport import Transport
 from repro.routing.entry import NeighborState
 from repro.routing.oracle import build_consistent_tables
 from repro.routing.table import NeighborTable, TableSnapshot
-from repro.sim.scheduler import Simulator
+from repro.runtime import create_runtime
 from repro.topology.attachment import ConstantLatencyModel, LatencyModel
 
 
@@ -337,11 +337,11 @@ class MulticastJoinNetwork:
         seed: int = 0,
     ):
         self.idspace = idspace
-        self.simulator = Simulator()
+        self.runtime = create_runtime("sim")
         self.stats = MessageStats()
         self.mstats = MulticastJoinStats()
         self.transport = Transport(
-            self.simulator,
+            self.runtime,
             latency_model if latency_model is not None else ConstantLatencyModel(),
             self.stats,
         )
@@ -381,11 +381,16 @@ class MulticastJoinNetwork:
         node = _MulticastNode(node_id, self.transport, self)
         self.nodes[node_id] = node
         self.joiner_ids.append(node_id)
-        self.simulator.schedule_at(at, node.begin_join, gateway)
+        self.runtime.schedule_at(at, node.begin_join, gateway)
+
+    @property
+    def simulator(self):
+        """Alias for :attr:`runtime` (historical name)."""
+        return self.runtime
 
     def run(self, max_events: Optional[int] = None) -> int:
-        """Run the simulation to quiescence (or the event cap)."""
-        return self.simulator.run(max_events=max_events)
+        """Run to quiescence (or the event cap)."""
+        return self.runtime.run(max_events=max_events)
 
     def tables(self) -> Dict[NodeId, NeighborTable]:
         """Current neighbor tables, keyed by node ID."""

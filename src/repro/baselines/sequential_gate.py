@@ -27,7 +27,7 @@ def join_sequentially(
     under zero-latency models).
     """
     for joiner in joiners:
-        network.start_join(joiner, at=network.simulator.now + gap)
+        network.start_join(joiner, at=network.runtime.now + gap)
         network.run()
         node = network.node(joiner)
         if not node.status.is_s_node:
@@ -35,4 +35,4 @@ def join_sequentially(
                 f"join of {joiner} did not complete "
                 f"(status {node.status})"
             )
-    return network.simulator.now
+    return network.runtime.now

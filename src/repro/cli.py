@@ -169,12 +169,23 @@ def _emit_audit(args: argparse.Namespace, auditor) -> bool:
     return report.passed
 
 
+def _build_runtime(args: argparse.Namespace):
+    """The runtime implied by ``--runtime`` (``None`` -> default sim)."""
+    kind = getattr(args, "runtime", None)
+    if kind is None or kind == "sim":
+        return None
+    from repro.runtime import create_runtime
+
+    return create_runtime(kind, time_scale=args.time_scale)
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     from repro.analysis.expected_cost import theorem3_bound
     from repro.experiments.workloads import make_workload
 
     if args.seeds > 1:
         return _cmd_join_multi(args)
+    runtime = _build_runtime(args)
     workload = make_workload(
         base=args.base,
         num_digits=args.digits,
@@ -182,11 +193,16 @@ def _cmd_join(args: argparse.Namespace) -> int:
         m=args.m,
         seed=args.seed,
         obs=_build_observability(args),
+        runtime=runtime,
     )
     net = workload.network
     auditor = net.attach_auditor() if args.audit else None
     workload.start_all_joins()
-    workload.run()
+    workload.run(wall_budget=args.wall_budget if runtime is not None else None)
+    if runtime is not None:
+        print(f"runtime            : {net.runtime.name} "
+              f"(time scale {args.time_scale}s/unit, "
+              f"{net.runtime.events_fired} events)")
     report = net.check_consistency()
     bound = theorem3_bound(args.digits)
     counts = net.theorem3_counts()
@@ -205,6 +221,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         rows = write_message_type_csv(net.stats.registry, args.messages_csv)
         print(f"messages csv       : {args.messages_csv} ({rows} types)")
     ok = report.consistent and net.all_in_system() and audit_ok
+    if runtime is not None:
+        runtime.close()
     return 0 if ok else 1
 
 
@@ -374,6 +392,22 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--audit-json", metavar="PATH",
         help="with --audit: write the audit report as JSON to PATH",
+    )
+    join.add_argument(
+        "--runtime", choices=("sim", "asyncio"), default="sim",
+        help="execution substrate: deterministic virtual-time simulator "
+             "(default) or wall-clock asyncio timers driving the "
+             "identical protocol core",
+    )
+    join.add_argument(
+        "--time-scale", type=float, default=0.001, metavar="SECONDS",
+        help="with --runtime asyncio: wall-clock seconds per protocol "
+             "time unit (default 0.001 = 1ms)",
+    )
+    join.add_argument(
+        "--wall-budget", type=float, default=120.0, metavar="SECONDS",
+        help="with --runtime asyncio: fail if the network has not "
+             "quiesced within this much real time",
     )
     join.add_argument(
         "--seeds", type=int, default=1,

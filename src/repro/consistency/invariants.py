@@ -88,14 +88,14 @@ def run_with_monitor(
     """Run the network to quiescence, checkpointing the reachability
     invariant every ``check_interval`` of virtual time."""
     report = MonitorReport()
-    simulator = network.simulator
+    runtime = network.runtime
     while report.checkpoints < max_checkpoints:
-        fired = simulator.run(until=simulator.now + check_interval)
+        fired = runtime.run(until=runtime.now + check_interval)
         check_s_node_reachability(
-            network, simulator.now, report, sample_pairs
+            network, runtime.now, report, sample_pairs
         )
-        if simulator.quiesced() and fired == 0:
+        if runtime.quiesced() and fired == 0:
             break
     # Drain whatever remains past the checkpoint budget.
-    simulator.run()
+    runtime.run()
     return report

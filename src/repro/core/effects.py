@@ -1,0 +1,173 @@
+"""The sans-io vocabulary: inputs a protocol machine consumes and
+effects it emits.
+
+A :class:`~repro.core.machine.JoinMachine` is a pure function of its
+inputs: feed it :class:`MessageReceived` / :class:`TimerFired` events
+and it returns a list of :class:`Effect` values -- messages to send,
+timers to arm or cancel, status transitions to report.  Nothing in
+this module performs IO, reads a clock, or touches an event loop; an
+*environment* (a runtime, a test harness, a model checker) interprets
+the effects however it likes.
+
+The design follows the sans-io school (see Zave's "How to Make Chord
+Correct" for why separating protocol logic from execution pays off in
+a DHT): the protocol core stays deterministic and replayable, and the
+same core runs under the virtual-time simulator, the asyncio runtime,
+or a hand-rolled test loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.ids.digits import NodeId
+from repro.network.message import Message
+from repro.protocol.status import NodeStatus
+
+
+class Timer:
+    """A timer the machine asked its environment to arm.
+
+    Identity is object identity: the environment hands the same
+    ``Timer`` back inside a :class:`TimerFired` input, and the machine
+    matches it against what it armed.  Satisfies the
+    :class:`~repro.runtime.interface.TimerHandle` contract
+    (``cancelled`` + ``cancel()``), so machine-internal code can treat
+    it exactly like a runtime timer handle.
+    """
+
+    __slots__ = ("action", "payload", "cancelled", "fired", "_on_cancel")
+
+    def __init__(
+        self,
+        action: Callable[..., None],
+        payload: Any = None,
+        on_cancel: Optional[Callable[["Timer"], None]] = None,
+    ):
+        #: The machine-internal callback to run when the timer fires.
+        self.action = action
+        self.payload = payload
+        self.cancelled = False
+        self.fired = False
+        self._on_cancel = on_cancel
+
+    @property
+    def name(self) -> str:
+        """Debug label: the armed callback's name."""
+        return getattr(self.action, "__name__", repr(self.action))
+
+    def cancel(self) -> None:
+        """Cancel the timer (idempotent; no-op once fired).
+
+        Notifies the owning machine so a :class:`CancelTimer` effect
+        reaches the environment.
+        """
+        if self.cancelled or self.fired:
+            return
+        self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "cancelled" if self.cancelled
+            else "fired" if self.fired
+            else "armed"
+        )
+        return f"Timer({self.name}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# inputs
+
+
+@dataclass(frozen=True)
+class MessageReceived:
+    """A protocol message was delivered to the machine's node."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class TimerFired:
+    """A previously armed timer's deadline elapsed."""
+
+    timer: Timer
+
+
+#: Anything a machine consumes.
+Input = (MessageReceived, TimerFired)
+
+
+# ---------------------------------------------------------------------------
+# effects
+
+
+@dataclass(frozen=True)
+class Send:
+    """Deliver ``message`` to ``dst``, reliably."""
+
+    dst: NodeId
+    message: Message
+
+
+@dataclass(frozen=True)
+class SendLossy:
+    """Deliver ``message`` to ``dst`` if it is alive; drop otherwise.
+
+    The recovery protocol's probe path: the machine tolerates the loss.
+    """
+
+    dst: NodeId
+    message: Message
+
+
+@dataclass(frozen=True)
+class StartTimer:
+    """Arm ``timer`` to fire ``delay`` time units after this effect.
+
+    The environment must eventually feed back ``TimerFired(timer)``
+    unless a :class:`CancelTimer` for the same object intervenes.
+    """
+
+    timer: Timer
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer:
+    """Disarm ``timer``; the environment must not fire it afterwards."""
+
+    timer: Timer
+
+
+@dataclass(frozen=True)
+class StatusChanged:
+    """The node entered join status ``status`` at machine time ``at``.
+
+    Informational (observability feeds on it); environments may ignore
+    it.
+    """
+
+    node_id: NodeId
+    status: NodeStatus
+    at: float
+
+
+#: Anything a machine emits.
+Effect = (Send, SendLossy, StartTimer, CancelTimer, StatusChanged)
+
+
+__all__ = [
+    "CancelTimer",
+    "Effect",
+    "Input",
+    "MessageReceived",
+    "Send",
+    "SendLossy",
+    "StartTimer",
+    "StatusChanged",
+    "Timer",
+    "TimerFired",
+]

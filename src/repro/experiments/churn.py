@@ -88,7 +88,7 @@ def run_churn(config: ChurnConfig) -> ChurnResult:
 
     checkpoint("bootstrap")
 
-    workload.start_all_joins(at=net.simulator.now)
+    workload.start_all_joins(at=net.runtime.now)
     workload.run()
     checkpoint(f"{config.m} concurrent joins")
 

@@ -18,6 +18,7 @@ from repro.ids.idspace import IdSpace
 from repro.obs.instrument import Observability
 from repro.protocol.join import JoinProtocolNetwork
 from repro.protocol.sizing import SizingPolicy
+from repro.runtime.interface import Runtime
 from repro.topology.attachment import (
     HostAttachment,
     LatencyModel,
@@ -54,9 +55,13 @@ class Workload:
         for joiner in self.joiner_ids:
             self.network.start_join(joiner, at=at)
 
-    def run(self) -> None:
-        """Run the underlying network to quiescence."""
-        self.network.run()
+    def run(self, wall_budget: Optional[float] = None) -> None:
+        """Run the underlying network to quiescence.
+
+        ``wall_budget`` (seconds) bounds wall-clock runtimes; see
+        :meth:`repro.protocol.join.JoinProtocolNetwork.run`.
+        """
+        self.network.run(wall_budget=wall_budget)
 
 
 def sample_ids(
@@ -94,12 +99,15 @@ def make_workload(
     topology_params: Optional[TransitStubParams] = None,
     sizing: SizingPolicy = SizingPolicy.FULL,
     obs: Optional[Observability] = None,
+    runtime: Optional["Runtime"] = None,
 ) -> Workload:
     """Build the paper's setup: an ``n``-node consistent network (via
     the oracle) and ``m`` joiners ready to start.
 
     Pass ``obs`` to instrument the run (phase spans, message events,
-    registry-backed stats); see :mod:`repro.obs`.
+    registry-backed stats); see :mod:`repro.obs`.  Pass ``runtime`` to
+    run the workload on a non-default execution substrate (e.g.
+    ``create_runtime("asyncio")``).
     """
     idspace = IdSpace(base, num_digits)
     rng = random.Random(f"workload-{seed}")
@@ -117,5 +125,6 @@ def make_workload(
         sizing=sizing,
         seed=seed,
         obs=obs,
+        runtime=runtime,
     )
     return Workload(idspace, network, initial_ids, joiner_ids)

@@ -3,15 +3,21 @@
 A :class:`NetworkNode` owns an ID, can send messages through the
 transport, and dispatches received messages to handlers by message
 type.  Subclasses register handlers with :meth:`handles`.
+
+Nodes read time and set timers through the transport's
+:class:`~repro.runtime.interface.Runtime` -- never through a simulator
+directly, so the same node code runs under virtual time and wall-clock
+runtimes alike.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Type
+from typing import Any, Callable, Dict, Type
 
 from repro.ids.digits import NodeId
 from repro.network.message import Message
 from repro.network.transport import Transport
+from repro.runtime.interface import TimerHandle
 
 Handler = Callable[[Message], None]
 
@@ -22,6 +28,10 @@ class NetworkNode:
     def __init__(self, node_id: NodeId, transport: Transport):
         self.node_id = node_id
         self.transport = transport
+        #: The runtime Clock/Timers this node lives on (shared with the
+        #: transport).  Read time via :attr:`now`, set timers via
+        #: :meth:`start_timer`.
+        self.runtime = transport.runtime
         self._handlers: Dict[Type[Message], Handler] = {}
         transport.register(self)
 
@@ -44,7 +54,23 @@ class NetworkNode:
 
     @property
     def now(self) -> float:
-        return self.transport.simulator.now
+        """Current time from the runtime clock (protocol units)."""
+        return self.runtime.now
+
+    def start_timer(
+        self,
+        delay: float,
+        action: Callable[..., None],
+        payload: Any = None,
+    ) -> TimerHandle:
+        """Arm a timer: run ``action`` ``delay`` time units from now.
+
+        Returns a :class:`~repro.runtime.interface.TimerHandle` whose
+        ``cancel()`` prevents the firing (cancel-before-fire is a
+        no-op on the protocol state; cancel-after-fire is a no-op on
+        the timer).
+        """
+        return self.runtime.schedule(delay, action, payload)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.node_id})"

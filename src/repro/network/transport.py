@@ -1,14 +1,23 @@
-"""Reliable message delivery over the simulator."""
+"""Reliable message delivery over a runtime.
+
+The transport is runtime-agnostic: it asks its
+:class:`~repro.runtime.interface.Runtime` for the clock and for
+deferred delivery (``schedule``), never for anything
+simulator-specific.  Under the virtual-time runtime this is exactly
+the pre-refactor discrete-event delivery; under the asyncio runtime
+the same code delivers over wall-clock timers.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.ids.digits import NodeId
 from repro.network.message import Message
 from repro.network.stats import MessageStats
 from repro.obs.tracer import Tracer
-from repro.sim.scheduler import Simulator
+from repro.runtime.interface import Runtime
 from repro.topology.attachment import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -31,12 +40,12 @@ class Transport:
 
     def __init__(
         self,
-        simulator: Simulator,
+        runtime: Runtime,
         latency_model: LatencyModel,
         stats: Optional[MessageStats] = None,
         tracer: Optional[Tracer] = None,
     ):
-        self.simulator = simulator
+        self.runtime = runtime
         self.latency_model = latency_model
         self.stats = stats if stats is not None else MessageStats()
         # A disabled tracer (NullTracer) is normalized to None so the
@@ -66,6 +75,22 @@ class Transport:
     def tracer(self) -> Optional[Tracer]:
         """The live tracer, or ``None`` when tracing is off."""
         return self._tracer
+
+    @property
+    def simulator(self) -> Runtime:
+        """Deprecated alias for :attr:`runtime`.
+
+        The transport is no longer welded to the discrete-event
+        simulator; reaching through ``transport.simulator`` was the
+        layering back-door that kept the protocol sim-only.  Kept as a
+        shim for one release.
+        """
+        warnings.warn(
+            "Transport.simulator is deprecated; use Transport.runtime",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.runtime
 
     def register(self, node: "NetworkNode") -> None:
         """Register ``node`` as reachable at its ID."""
@@ -121,7 +146,7 @@ class Transport:
                 delay = self.latency_model.latency(src, dst)
                 memo[(src, dst)] = delay
         if self._tracer is None:
-            self.simulator.schedule(delay, target.receive, message)
+            self.runtime.schedule(delay, target.receive, message)
         else:
             self._send_traced(dst, message, delay, target)
 
@@ -161,7 +186,7 @@ class Transport:
         src, dst_s = str(message.sender), str(dst)
         tracer.event(
             "message.send",
-            self.simulator.now,
+            self.runtime.now,
             type=name,
             src=src,
             dst=dst_s,
@@ -175,7 +200,7 @@ class Transport:
         def deliver(msg: Message = message) -> None:
             tracer.event(
                 "message.deliver",
-                self.simulator.now,
+                self.runtime.now,
                 type=name,
                 src=src,
                 dst=dst_s,
@@ -187,7 +212,7 @@ class Transport:
             finally:
                 self._cause = None
 
-        self.simulator.schedule(delay, deliver)
+        self.runtime.schedule(delay, deliver)
 
     def _drop(self, dst: NodeId, message: Message) -> None:
         """Account a dropped message (stats counter plus, when tracing,
@@ -197,7 +222,7 @@ class Transport:
             self._stamp(message)
             self._tracer.event(
                 "message.drop",
-                self.simulator.now,
+                self.runtime.now,
                 type=message.type_name,
                 src=str(message.sender),
                 dst=str(dst),

@@ -245,8 +245,8 @@ class LiveAuditor:
     # -- wiring ---------------------------------------------------------
 
     def attach(self) -> "LiveAuditor":
-        """Hook into the network's scheduler and phase notifications."""
-        self.network.simulator.add_event_listener(self.on_event)
+        """Hook into the network's runtime and phase notifications."""
+        self.network.runtime.add_event_listener(self.on_event)
         add_listener = getattr(self.network, "add_phase_listener", None)
         if add_listener is not None:
             add_listener(self.on_phase)
@@ -385,7 +385,7 @@ class LiveAuditor:
         if self.report.finalized:
             return self.report
         net = self.network
-        now = net.simulator.now
+        now = net.runtime.now
         self._check_theorem3(now)
         for node_id, (status, entered) in sorted(
             self._phase_entered.items(), key=lambda kv: str(kv[0])

@@ -99,7 +99,7 @@ def _naive_send(self: Transport, dst, message) -> None:
     delay = self.latency_model.latency(message.sender, dst)
     target = self._nodes[dst]
     if self._tracer is None:
-        self.simulator.schedule(delay, target.receive, message)
+        self.runtime.schedule(delay, target.receive, message)
     else:
         self._send_traced(dst, message, delay, target)
 

@@ -1,8 +1,9 @@
-"""High-level driver: a network of protocol nodes plus its simulator.
+"""High-level driver: a network of protocol nodes plus its runtime.
 
-:class:`JoinProtocolNetwork` owns the event simulator, the transport,
-and every :class:`~repro.protocol.node.ProtocolNode`.  It is the main
-entry point of the library::
+:class:`JoinProtocolNetwork` owns the runtime (virtual-time by
+default), the transport, and every
+:class:`~repro.protocol.node.ProtocolNode`.  It is the main entry
+point of the library::
 
     from repro import IdSpace, JoinProtocolNetwork
 
@@ -12,13 +13,18 @@ entry point of the library::
         net.start_join(joiner)          # random gateway, t = 0
     net.run()                           # to quiescence
     assert net.check_consistency().consistent
+
+Passing ``runtime=`` swaps the execution substrate without touching
+protocol code -- e.g. ``repro.runtime.create_runtime("asyncio")`` runs
+the identical protocol over wall-clock asyncio timers.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.trace import NullTraceLog, TraceLog
 from repro.ids.digits import NodeId
 from repro.ids.idspace import IdSpace
 from repro.network.stats import MessageStats
@@ -35,13 +41,13 @@ from repro.protocol.status import NodeStatus
 from repro.routing.oracle import build_consistent_tables
 from repro.routing.router import RouteResult, route
 from repro.routing.table import NeighborTable
-from repro.sim.scheduler import Simulator
-from repro.sim.trace import NullTraceLog, TraceLog
+from repro.runtime import create_runtime
+from repro.runtime.interface import Runtime
 from repro.topology.attachment import ConstantLatencyModel, LatencyModel
 
 
 class JoinProtocolNetwork:
-    """A simulated hypercube-routing network running the join protocol."""
+    """A hypercube-routing network running the join protocol."""
 
     def __init__(
         self,
@@ -51,9 +57,14 @@ class JoinProtocolNetwork:
         trace: Optional[TraceLog] = None,
         seed: int = 0,
         obs: Optional[Observability] = None,
+        runtime: Optional[Runtime] = None,
     ):
         self.idspace = idspace
-        self.simulator = Simulator()
+        #: Execution substrate: clock + timers + event loop.  Defaults
+        #: to the deterministic virtual-time runtime.
+        self.runtime: Runtime = (
+            runtime if runtime is not None else create_runtime("sim")
+        )
         self.obs = obs
         self._join_observer: Optional[JoinObserver] = None
         # Callbacks invoked as ``cb(node_id, status, now)`` on every
@@ -61,10 +72,10 @@ class JoinProtocolNetwork:
         self._phase_listeners: List[Callable[..., None]] = []
         if obs is not None:
             # Message accounting shares the run's registry, the queue
-            # probe samples the scheduler, and join phase transitions
+            # probe samples the runtime, and join phase transitions
             # become spans (no-ops under a NullTracer).
             self.stats = MessageStats(registry=obs.metrics)
-            instrument_scheduler(self.simulator, obs)
+            instrument_scheduler(self.runtime, obs)
             self._join_observer = JoinObserver(obs)
             self._phase_listeners.append(self._join_observer.on_phase)
         else:
@@ -73,7 +84,7 @@ class JoinProtocolNetwork:
             latency_model if latency_model is not None else ConstantLatencyModel()
         )
         self.transport = Transport(
-            self.simulator,
+            self.runtime,
             self.latency_model,
             self.stats,
             tracer=obs.tracer if obs is not None else None,
@@ -85,6 +96,11 @@ class JoinProtocolNetwork:
         self.initial_ids: List[NodeId] = []
         self.joiner_ids: List[NodeId] = []
         self._rng = random.Random(seed)
+
+    @property
+    def simulator(self) -> Runtime:
+        """Alias for :attr:`runtime` (historical name)."""
+        return self.runtime
 
     # ------------------------------------------------------------------
     # construction
@@ -100,6 +116,7 @@ class JoinProtocolNetwork:
         seed: int = 0,
         randomize_tables: bool = True,
         obs: Optional[Observability] = None,
+        runtime: Optional[Runtime] = None,
     ) -> "JoinProtocolNetwork":
         """Create a network whose initial members already have
         consistent tables (built from global knowledge).
@@ -116,6 +133,7 @@ class JoinProtocolNetwork:
             trace=trace,
             seed=seed,
             obs=obs,
+            runtime=runtime,
         )
         table_rng = random.Random(f"{seed}-oracle") if randomize_tables else None
         tables = build_consistent_tables(initial_ids, table_rng)
@@ -184,7 +202,7 @@ class JoinProtocolNetwork:
             node.on_phase = self._dispatch_phase
         self.nodes[node_id] = node
         self.joiner_ids.append(node_id)
-        self.simulator.schedule_at(at, node.begin_join, gateway)
+        self.runtime.schedule_at(at, node.begin_join, gateway)
         return node
 
     # ------------------------------------------------------------------
@@ -205,7 +223,7 @@ class JoinProtocolNetwork:
 
     def attach_auditor(self, config=None):
         """Attach a :class:`~repro.obs.audit.LiveAuditor` (created with
-        ``config``) to this network's scheduler and phase hooks.
+        ``config``) to this network's runtime and phase hooks.
 
         Call before starting joins; after :meth:`run`, call the
         returned auditor's ``finalize()`` for the quiescence gates.
@@ -220,7 +238,7 @@ class JoinProtocolNetwork:
     def start_leave(self, node_id: NodeId, at: float = 0.0) -> ProtocolNode:
         """Schedule ``node_id``'s voluntary departure at time ``at``."""
         node = self.nodes[node_id]
-        self.simulator.schedule_at(at, node.begin_leave)
+        self.runtime.schedule_at(at, node.begin_leave)
         return node
 
     def _on_node_departed(self, node_id: NodeId) -> None:
@@ -235,9 +253,24 @@ class JoinProtocolNetwork:
     # ------------------------------------------------------------------
     # running and inspection
 
-    def run(self, max_events: Optional[int] = None) -> int:
-        """Run the simulation to quiescence; returns events fired."""
-        return self.simulator.run(max_events=max_events)
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        wall_budget: Optional[float] = None,
+    ) -> int:
+        """Run the runtime to quiescence; returns events fired.
+
+        ``wall_budget`` (seconds of real time) only applies to
+        wall-clock runtimes, which raise
+        :class:`~repro.runtime.interface.WallClockBudgetExceeded` if
+        the network has not quiesced in time; the virtual-time runtime
+        does not accept it (virtual runs never wait).
+        """
+        if wall_budget is not None:
+            return self.runtime.run(
+                max_events=max_events, wall_budget=wall_budget
+            )
+        return self.runtime.run(max_events=max_events)
 
     def node(self, node_id: NodeId) -> ProtocolNode:
         """The live ProtocolNode for ``node_id``."""

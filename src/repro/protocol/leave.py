@@ -199,7 +199,7 @@ def leave_sequentially(network, leavers: Sequence[NodeId]) -> None:
     """Run each leave to completion before starting the next (the
     safe composition; see module docstring)."""
     for leaver in leavers:
-        network.start_leave(leaver, at=network.simulator.now)
+        network.start_leave(leaver, at=network.runtime.now)
         network.run()
         if not network.has_departed(leaver):
             raise RuntimeError(f"leave of {leaver} did not complete")

@@ -61,9 +61,9 @@ from repro.protocol.sizing import (
     join_noti_reply_payload,
 )
 from repro.protocol.status import NodeStatus
+from repro.core.trace import NullTraceLog, TraceLog
 from repro.routing.entry import NeighborState
 from repro.routing.table import NeighborTable, TableSnapshot
-from repro.sim.trace import NullTraceLog, TraceLog
 
 
 class ProtocolError(RuntimeError):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ids.digits import NodeId
+from repro.runtime.interface import TimerHandle
 from repro.recovery.messages import (
     AdvertiseMsg,
     PingMsg,
@@ -32,6 +33,7 @@ class RecoveryMixin:
     def _init_recovery(self) -> None:
         self._ping_outstanding: Set[NodeId] = set()
         self._detection_done = True
+        self._detection_timer: Optional[TimerHandle] = None
         self._suspected: Dict[Position, NodeId] = {}
         self._repair_pending: Set[Position] = set()
         self._repair_seen: Set[Tuple[NodeId, Tuple[int, ...]]] = set()
@@ -54,7 +56,10 @@ class RecoveryMixin:
         """Ping every distinct forward and reverse neighbor; whoever
         has not answered when ``timeout`` expires is declared dead and
         purged from reverse-neighbor records; its table entries become
-        *suspected* and await repair."""
+        *suspected* and await repair.
+
+        The timeout is an armed runtime timer; a sweep still in flight
+        can be called off with :meth:`cancel_failure_detection`."""
         self._detection_done = False
         self._repair_seen = set()
         targets = self.table.distinct_neighbors()
@@ -65,11 +70,29 @@ class RecoveryMixin:
             probe = PingMsg(self.node_id, self.now, token=DETECT)
             self._ping_outstanding.add(target)
             self.transport.send_lossy(target, probe)
-        self.transport.simulator.schedule(
+        self._detection_timer = self.start_timer(
             timeout, self._on_detection_timeout
         )
 
+    def cancel_failure_detection(self) -> bool:
+        """Call off an in-flight detection sweep (cancel-before-fire).
+
+        The armed timeout timer is cancelled and outstanding pings are
+        forgotten, so no node gets suspected by the aborted sweep.
+        Returns True iff a sweep was actually cancelled; after the
+        timeout has fired this is a no-op returning False.
+        """
+        timer = self._detection_timer
+        if timer is None or self._detection_done:
+            return False
+        timer.cancel()
+        self._detection_timer = None
+        self._ping_outstanding = set()
+        self._detection_done = True
+        return True
+
     def _on_detection_timeout(self) -> None:
+        self._detection_timer = None
         for dead in self._ping_outstanding:
             for position in self.table.positions_of(dead):
                 self._suspected[position] = dead

@@ -1,0 +1,73 @@
+"""Pluggable execution runtimes for the sans-io protocol core.
+
+The protocol stack (:mod:`repro.core`, :mod:`repro.protocol`,
+:mod:`repro.network`) never touches an event loop, a socket, or a
+clock directly; everything it needs from its execution environment is
+the small contract defined in :mod:`repro.runtime.interface` (a Clock,
+Timers, and -- for real-time runtimes -- a Mailbox).  Two adapters
+implement that contract:
+
+* :class:`~repro.runtime.virtual.VirtualTimeRuntime` -- the
+  discrete-event simulator (:mod:`repro.sim`) behind the runtime
+  interface.  Deterministic, virtual-time, the substrate of every
+  experiment and golden trace.
+* :class:`~repro.runtime.realtime.AsyncioRuntime` -- wall-clock
+  execution on an asyncio event loop: timers are ``call_later``
+  deadlines, deliveries drain through a FIFO :class:`Mailbox` in a
+  single dispatcher task, and ``run()`` blocks until the network
+  quiesces (or a wall-clock budget expires).
+
+The adapters are imported lazily by :func:`create_runtime` so that
+importing :mod:`repro.runtime` (as the protocol layer does for type
+contracts) never pulls in :mod:`repro.sim` or :mod:`asyncio`.
+"""
+
+from repro.runtime.interface import (
+    Clock,
+    Mailbox,
+    Runtime,
+    SchedulingError,
+    TimerHandle,
+    Timers,
+    WallClockBudgetExceeded,
+)
+
+#: Runtime kinds accepted by :func:`create_runtime` (and the CLI's
+#: ``--runtime`` flag).
+RUNTIME_KINDS = ("sim", "asyncio")
+
+
+def create_runtime(kind: str = "sim", **options) -> Runtime:
+    """Build a runtime adapter by name.
+
+    ``"sim"`` returns a fresh
+    :class:`~repro.runtime.virtual.VirtualTimeRuntime`; ``"asyncio"``
+    returns an :class:`~repro.runtime.realtime.AsyncioRuntime` (keyword
+    ``options`` such as ``time_scale`` are forwarded to the adapter).
+    The adapter modules are imported on first use, keeping this package
+    free of static :mod:`repro.sim` / :mod:`asyncio` dependencies.
+    """
+    if kind == "sim":
+        from repro.runtime.virtual import VirtualTimeRuntime
+
+        return VirtualTimeRuntime(**options)
+    if kind == "asyncio":
+        from repro.runtime.realtime import AsyncioRuntime
+
+        return AsyncioRuntime(**options)
+    raise ValueError(
+        f"unknown runtime kind {kind!r}; expected one of {RUNTIME_KINDS}"
+    )
+
+
+__all__ = [
+    "Clock",
+    "Mailbox",
+    "RUNTIME_KINDS",
+    "Runtime",
+    "SchedulingError",
+    "TimerHandle",
+    "Timers",
+    "WallClockBudgetExceeded",
+    "create_runtime",
+]

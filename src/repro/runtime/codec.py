@@ -1,0 +1,219 @@
+"""UDP-ready wire codec for protocol messages.
+
+The real-time runtime delivers messages in-process today, but the next
+step on the roadmap -- one UDP socket per node -- needs every protocol
+message to round-trip through bytes.  This module provides that wire
+format now, so the asyncio runtime is *UDP-ready*: a compact JSON
+envelope ``{"t": <type_name>, "f": {<slot>: <value>, ...}}`` encoded as
+UTF-8, with tagged encodings for the protocol's value types
+(:class:`~repro.ids.digits.NodeId`, :class:`~repro.routing.entry.NeighborState`,
+table entries, tuples, frozensets).
+
+Encoding is generic over ``__slots__`` so every current and future
+:class:`~repro.network.message.Message` subclass works without a
+per-type schema, provided its fields are built from the supported
+value types.  Decoding rebuilds the instance without calling
+``__init__`` (constructors differ per type), then restores each slot.
+
+The causal-stamping ids (``msg_id``/``parent_id``/``trace_id``) are
+part of the envelope, so distributed traces survive the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Type
+
+from repro.ids.digits import NodeId
+from repro.network.message import Message
+
+#: Modules whose Message subclasses belong to the wire protocol.
+MESSAGE_MODULES = (
+    "repro.protocol.messages",
+    "repro.protocol.leave",
+    "repro.recovery.messages",
+    "repro.optimize.messages",
+)
+
+#: Practical datagram ceiling (bytes); encode() warns past it via
+#: :class:`OversizedMessageError` only when asked to enforce it.
+MAX_DATAGRAM_BYTES = 65507
+
+
+class CodecError(ValueError):
+    """A value or message the codec cannot (de)serialize."""
+
+
+class OversizedMessageError(CodecError):
+    """An encoded message exceeds the UDP datagram ceiling."""
+
+
+def _walk_subclasses(cls: Type[Message]) -> Iterator[Type[Message]]:
+    for sub in cls.__subclasses__():
+        yield sub
+        yield from _walk_subclasses(sub)
+
+
+_registry: Optional[Dict[str, Type[Message]]] = None
+
+
+def message_registry(refresh: bool = False) -> Dict[str, Type[Message]]:
+    """All concrete wire message types, keyed by ``type_name``.
+
+    Imports :data:`MESSAGE_MODULES` (idempotent) and walks the
+    :class:`~repro.network.message.Message` subclass tree.  Classes
+    that do not declare their own ``type_name`` (abstract bases like
+    ``_TableMessage``) are skipped, and so is any class defined
+    outside :data:`MESSAGE_MODULES` -- ad-hoc subclasses (test fakes,
+    experiment probes) must not shadow the wire protocol's types.
+    """
+    global _registry
+    if _registry is not None and not refresh:
+        return _registry
+    import importlib
+
+    for module in MESSAGE_MODULES:
+        importlib.import_module(module)
+    registry: Dict[str, Type[Message]] = {}
+    for cls in _walk_subclasses(Message):
+        if "type_name" in cls.__dict__ and cls.__module__ in MESSAGE_MODULES:
+            registry[cls.type_name] = cls
+    _registry = registry
+    return registry
+
+
+def _all_slots(cls: type) -> List[str]:
+    """Instance slots across the MRO, base-class first."""
+    slots: List[str] = []
+    for klass in reversed(cls.__mro__):
+        slots.extend(klass.__dict__.get("__slots__", ()))
+    return slots
+
+
+# -- value encoding ---------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, NodeId):
+        return {"$id": [list(value.digits), value.base]}
+    # NeighborState / NodeStatus and other string-valued enums.
+    value_cls = type(value)
+    if hasattr(value_cls, "__members__") and hasattr(value, "value"):
+        return {"$en": [value_cls.__name__, value.value]}
+    if isinstance(value, tuple):
+        # Covers TableEntry (a NamedTuple) too: it decodes as a plain
+        # tuple, which is all the receiving handlers index into after
+        # snapshot_view(); NamedTuple field access is reconstructed
+        # below when the tuple type is registered.
+        if hasattr(value, "_fields"):
+            return {"$nt": [
+                type(value).__name__,
+                [_encode_value(v) for v in value],
+            ]}
+        return {"$tu": [_encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        encoded = [_encode_value(v) for v in value]
+        encoded.sort(key=repr)  # deterministic wire form
+        return {"$fs": encoded}
+    raise CodecError(
+        f"cannot encode value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _named_tuple_types() -> Dict[str, type]:
+    from repro.routing.table import TableEntry
+
+    return {"TableEntry": TableEntry}
+
+
+def _enum_types() -> Dict[str, type]:
+    from repro.protocol.status import NodeStatus
+    from repro.routing.entry import NeighborState
+
+    return {"NeighborState": NeighborState, "NodeStatus": NodeStatus}
+
+
+def _decode_value(value: Any) -> Any:
+    if not isinstance(value, dict):
+        return value
+    if "$id" in value:
+        digits, base = value["$id"]
+        return NodeId(tuple(digits), base)
+    if "$en" in value:
+        name, member = value["$en"]
+        try:
+            return _enum_types()[name](member)
+        except KeyError:
+            raise CodecError(f"unknown enum type on the wire: {name}")
+    if "$nt" in value:
+        name, items = value["$nt"]
+        try:
+            cls = _named_tuple_types()[name]
+        except KeyError:
+            raise CodecError(f"unknown named tuple on the wire: {name}")
+        return cls(*[_decode_value(v) for v in items])
+    if "$tu" in value:
+        return tuple(_decode_value(v) for v in value["$tu"])
+    if "$fs" in value:
+        return frozenset(_decode_value(v) for v in value["$fs"])
+    raise CodecError(f"unrecognized tagged value: {value!r}")
+
+
+# -- message encoding -------------------------------------------------------
+
+
+def encode_message(
+    message: Message, enforce_datagram_limit: bool = False
+) -> bytes:
+    """Serialize ``message`` to its UTF-8 wire form."""
+    fields = {
+        slot: _encode_value(getattr(message, slot))
+        for slot in _all_slots(type(message))
+    }
+    wire = json.dumps(
+        {"t": message.type_name, "f": fields},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    if enforce_datagram_limit and len(wire) > MAX_DATAGRAM_BYTES:
+        raise OversizedMessageError(
+            f"{message.type_name} encodes to {len(wire)} bytes "
+            f"(> {MAX_DATAGRAM_BYTES})"
+        )
+    return wire
+
+
+def decode_message(wire: bytes) -> Message:
+    """Rebuild a :class:`~repro.network.message.Message` from its wire
+    form (the inverse of :func:`encode_message`)."""
+    try:
+        envelope = json.loads(wire.decode("utf-8"))
+        type_name = envelope["t"]
+        fields = envelope["f"]
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise CodecError(f"malformed wire message: {exc}") from exc
+    try:
+        cls = message_registry()[type_name]
+    except KeyError:
+        raise CodecError(f"unknown message type on the wire: {type_name}")
+    message = cls.__new__(cls)
+    for slot in _all_slots(cls):
+        try:
+            value = fields[slot]
+        except KeyError:
+            raise CodecError(f"{type_name} wire form missing field {slot!r}")
+        object.__setattr__(message, slot, _decode_value(value))
+    return message
+
+
+__all__ = [
+    "CodecError",
+    "MAX_DATAGRAM_BYTES",
+    "MESSAGE_MODULES",
+    "OversizedMessageError",
+    "decode_message",
+    "encode_message",
+    "message_registry",
+]

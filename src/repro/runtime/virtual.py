@@ -1,0 +1,37 @@
+"""The discrete-event simulator as a runtime adapter.
+
+:class:`VirtualTimeRuntime` *is* the simulator -- it subclasses
+:class:`repro.sim.scheduler.Simulator` rather than wrapping it, so the
+hot path (``schedule`` inside ``Transport.send``, the ``run`` loop)
+stays the exact pre-refactor code with zero delegation overhead, and
+every trace it produces is bit-for-bit identical to the pre-refactor
+simulator's.  The subclass only pins down the runtime-contract extras:
+the ``name`` tag and the :class:`~repro.runtime.interface.Runtime`
+conformance.
+
+This module is the only place the runtime layer touches
+:mod:`repro.sim`; the protocol stack reaches it exclusively through
+:func:`repro.runtime.create_runtime`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.scheduler import Simulator
+
+
+class VirtualTimeRuntime(Simulator):
+    """Virtual-time runtime: deterministic discrete-event execution.
+
+    Satisfies the :class:`~repro.runtime.interface.Runtime` protocol:
+    ``now``/``schedule``/``schedule_at`` come straight from
+    :class:`~repro.sim.scheduler.Simulator`, ``schedule`` returns the
+    queue's :class:`~repro.sim.events.Event` (whose ``cancel`` gives
+    timers their cancel-before-fire semantics), and ``run`` drains to
+    quiescence under a virtual clock.
+    """
+
+    #: Runtime-contract tag (the CLI's ``--runtime sim``).
+    name = "sim"
+
+
+__all__ = ["VirtualTimeRuntime"]

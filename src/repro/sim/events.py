@@ -12,6 +12,11 @@ from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
 
+#: Sentinel stored in ``Event.queue`` once the event has been popped
+#: (fired); ``None`` means the event was never enqueued.
+_DONE = object()
+
+
 class Event:
     """A scheduled callback.
 
@@ -34,14 +39,22 @@ class Event:
         self.action = action
         self.payload = payload
         self.cancelled = False
-        self.queue: Optional["EventQueue"] = None
+        # None = never enqueued, an EventQueue = pending, _DONE = fired.
+        self.queue: Any = None
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when popped."""
-        if not self.cancelled:
-            self.cancelled = True
-            if self.queue is not None:
-                self.queue._live -= 1
+        """Mark the event so it is skipped when popped.
+
+        Idempotent, and a no-op once the event has left the queue
+        (fired): ``cancelled`` only reports cancels that landed in
+        time, per the :class:`~repro.runtime.interface.TimerHandle`
+        contract.
+        """
+        if self.cancelled or self.queue is _DONE:
+            return
+        self.cancelled = True
+        if self.queue is not None:
+            self.queue._live -= 1
 
     def fire(self) -> None:
         """Invoke the action unless the event was cancelled."""
@@ -94,7 +107,7 @@ class EventQueue:
             event = heappop(self._heap)
             if not event.cancelled:
                 self._live -= 1
-                event.queue = None  # a later cancel() must not re-count
+                event.queue = _DONE  # later cancel() is a no-op
                 return event
         return None
 

@@ -4,11 +4,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.runtime.interface import SchedulingError
 from repro.sim.events import Event, EventQueue
 
 
-class SimulationError(RuntimeError):
-    """Raised for scheduling mistakes (e.g. scheduling in the past)."""
+class SimulationError(SchedulingError):
+    """Raised for scheduling mistakes (e.g. scheduling in the past).
+
+    Subclasses the runtime contract's
+    :class:`~repro.runtime.interface.SchedulingError` so callers can
+    catch scheduling misuse uniformly across runtimes.
+    """
 
 
 class Simulator:
@@ -24,6 +30,9 @@ class Simulator:
     time advances only when events fire, so an empty queue means the
     simulated system has quiesced.
     """
+
+    #: Runtime-contract tag (see :mod:`repro.runtime.interface`).
+    name = "sim"
 
     def __init__(self) -> None:
         self._queue = EventQueue()

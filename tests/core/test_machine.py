@@ -1,0 +1,183 @@
+"""The sans-io surface: JoinMachine effects and the pure interpreter.
+
+Nothing in this file touches repro.sim or asyncio (the architecture
+lint enforces that for the modules under test; this suite shows the
+pure form actually *runs* the paper's protocol).
+"""
+
+import random
+
+import pytest
+
+from repro.consistency import check_consistency
+from repro.core import (
+    CancelTimer,
+    JoinMachine,
+    MessageReceived,
+    Send,
+    SendLossy,
+    StartTimer,
+    StatusChanged,
+    TimerFired,
+    run_effect_loop,
+)
+from repro.core.machine import MachineError
+from repro.ids.idspace import IdSpace
+from repro.protocol.messages import CpRstMsg
+from repro.protocol.status import NodeStatus
+from repro.routing import build_consistent_tables
+
+
+def make_machines(base=4, num_digits=3, n=8, m=2, seed=1):
+    """An n-node consistent (oracle) network of machines plus m
+    fresh joiner machines."""
+    space = IdSpace(base, num_digits)
+    rng = random.Random(seed)
+    ids = space.random_unique_ids(n + m, rng)
+    initial, joiners = ids[:n], ids[n:]
+    tables = build_consistent_tables(initial)
+    machines = {
+        nid: JoinMachine(
+            nid, status=NodeStatus.IN_SYSTEM, table=tables[nid]
+        )
+        for nid in initial
+    }
+    return machines, initial, joiners
+
+
+class TestEffectShapes:
+    def test_construction_is_pure(self):
+        machines, initial, joiners = make_machines()
+        for machine in machines.values():
+            assert machine.status is NodeStatus.IN_SYSTEM
+
+    def test_begin_join_emits_one_cprst(self):
+        machines, initial, joiners = make_machines()
+        joiner = JoinMachine(joiners[0])
+        effects = joiner.begin_join(initial[0])
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert len(sends) == 1
+        assert sends[0].dst == initial[0]
+        assert isinstance(sends[0].message, CpRstMsg)
+        assert sends[0].message.sender == joiners[0]
+        # No timers at join start, and any status effect is our own.
+        assert not any(isinstance(e, StartTimer) for e in effects)
+        for e in effects:
+            if isinstance(e, StatusChanged):
+                assert e.node_id == joiners[0]
+
+    def test_time_cannot_run_backwards(self):
+        machines, initial, joiners = make_machines()
+        joiner = JoinMachine(joiners[0])
+        joiner.begin_join(initial[0], now=5.0)
+        with pytest.raises(MachineError, match="backwards"):
+            joiner.begin_join(initial[0], now=1.0)
+
+    def test_non_input_rejected(self):
+        machines, initial, joiners = make_machines()
+        with pytest.raises(MachineError, match="not a machine input"):
+            machines[initial[0]].handle("not an input")
+
+
+class TestEffectLoop:
+    def test_concurrent_joins_reach_consistency(self):
+        machines, initial, joiners = make_machines(n=8, m=3, seed=2)
+        gateway = initial[0]
+        seeds = []
+        for joiner in joiners:
+            machines[joiner] = JoinMachine(joiner)
+            seeds.append((joiner, machines[joiner].begin_join(gateway)))
+        steps = run_effect_loop(machines, seeds)
+        assert steps > 0
+        assert all(
+            m.status is NodeStatus.IN_SYSTEM for m in machines.values()
+        )  # Theorem 2
+        tables = {nid: m.table for nid, m in machines.items()}
+        report = check_consistency(tables)
+        assert report.consistent, report.violations[:5]  # Theorem 1
+
+    def test_loop_is_deterministic(self):
+        def run_once():
+            machines, initial, joiners = make_machines(n=8, m=3, seed=4)
+            gateway = initial[0]
+            seeds = []
+            for joiner in joiners:
+                machines[joiner] = JoinMachine(joiner)
+                seeds.append(
+                    (joiner, machines[joiner].begin_join(gateway))
+                )
+            steps = run_effect_loop(machines, seeds)
+            tables = {
+                str(nid): sorted(
+                    str(n) for n in m.table.distinct_neighbors()
+                )
+                for nid, m in machines.items()
+            }
+            return steps, tables
+
+        assert run_once() == run_once()
+
+    def test_leave_through_the_machine(self):
+        machines, initial, joiners = make_machines(n=8, m=0, seed=6)
+        leaver = initial[-1]
+        effects = machines[leaver].begin_leave()
+        run_effect_loop(machines, [(leaver, effects)])
+        assert machines[leaver].departed
+        for nid, machine in machines.items():
+            if nid == leaver:
+                continue
+            assert leaver not in machine.table.distinct_neighbors()
+
+
+class TestFailureDetectionEffects:
+    def test_sweep_arms_a_timer_and_pings_neighbors(self):
+        machines, initial, joiners = make_machines(n=8, m=0, seed=7)
+        machine = machines[initial[0]]
+        effects = machine.begin_failure_detection(30.0)
+        timers = [e for e in effects if isinstance(e, StartTimer)]
+        assert len(timers) == 1 and timers[0].delay == 30.0
+        pings = {e.dst for e in effects if isinstance(e, SendLossy)}
+        assert pings  # every distinct neighbor probed, lossily
+        assert initial[0] not in pings
+
+    def test_cancel_emits_canceltimer(self):
+        machines, initial, joiners = make_machines(n=8, m=0, seed=7)
+        machine = machines[initial[0]]
+        effects = machine.begin_failure_detection(30.0)
+        (start,) = [e for e in effects if isinstance(e, StartTimer)]
+        cancel_effects = machine.cancel_failure_detection()
+        cancels = [
+            e for e in cancel_effects if isinstance(e, CancelTimer)
+        ]
+        assert len(cancels) == 1
+        assert cancels[0].timer is start.timer
+        assert start.timer.cancelled
+
+    def test_cancelled_timer_cannot_be_delivered(self):
+        machines, initial, joiners = make_machines(n=8, m=0, seed=7)
+        machine = machines[initial[0]]
+        effects = machine.begin_failure_detection(30.0)
+        (start,) = [e for e in effects if isinstance(e, StartTimer)]
+        machine.cancel_failure_detection()
+        with pytest.raises(MachineError, match="cancelled timer"):
+            machine.handle(TimerFired(start.timer))
+
+    def test_timer_fires_once_only(self):
+        machines, initial, joiners = make_machines(n=8, m=0, seed=7)
+        machine = machines[initial[0]]
+        effects = machine.begin_failure_detection(30.0)
+        (start,) = [e for e in effects if isinstance(e, StartTimer)]
+        machine.handle(TimerFired(start.timer), now=30.0)
+        with pytest.raises(MachineError, match="twice"):
+            machine.handle(TimerFired(start.timer))
+
+    def test_unanswered_sweep_suspects_every_neighbor(self):
+        """Fire the timeout without delivering any pong: every pinged
+        position must become suspected (the environment decides who is
+        dead; the machine only observes silence)."""
+        machines, initial, joiners = make_machines(n=8, m=0, seed=8)
+        machine = machines[initial[0]]
+        effects = machine.begin_failure_detection(30.0)
+        (start,) = [e for e in effects if isinstance(e, StartTimer)]
+        machine.handle(TimerFired(start.timer), now=30.0)
+        assert machine.node.suspected_positions

@@ -1,0 +1,187 @@
+"""Architecture lint: the protocol core must stay sans-io.
+
+The refactor's load-bearing guarantee is that :mod:`repro.core` and
+:mod:`repro.protocol` contain pure protocol logic -- runnable under the
+virtual-time simulator, the asyncio runtime, or the effect interpreter
+alike -- which holds only if neither can reach :mod:`repro.sim` (or
+:mod:`asyncio`) through module-level imports.  This test walks the
+import graph statically (AST, so nothing needs importing to check) and
+fails on any path from a protected root into a forbidden module.
+
+``TYPE_CHECKING`` blocks and imports inside function bodies are
+exempt: they are not executed at import time and are the sanctioned
+escape hatch for annotations and lazy (runtime-selected) dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import subprocess
+import sys
+from typing import Dict, Iterator, Optional, Set
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: Packages whose import closure must stay clean.
+PROTECTED_ROOTS = ("repro.core", "repro.protocol")
+
+#: Module prefixes the closure must not touch.
+FORBIDDEN = ("repro.sim", "asyncio")
+
+
+def _module_file(name: str) -> Optional[pathlib.Path]:
+    """The source file for ``name``, or None for non-local modules."""
+    base = SRC.joinpath(*name.split("."))
+    package_init = base / "__init__.py"
+    if package_init.exists():
+        return package_init
+    module_file = base.with_suffix(".py")
+    return module_file if module_file.exists() else None
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def _module_level_imports(path: pathlib.Path) -> Iterator[str]:
+    """Names imported when the module is executed (import time).
+
+    Recurses into module-level ``if``/``try``/``with`` blocks, skips
+    ``if TYPE_CHECKING:`` bodies and everything inside function or
+    class-method bodies (those run later, not at import).
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+
+    def walk(body) -> Iterator[str]:
+        for node in body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield alias.name
+            elif isinstance(node, ast.ImportFrom):
+                # The repo uses absolute imports throughout; a relative
+                # import would be a style break worth failing on.
+                assert node.level == 0, (
+                    f"{path}: relative import at line {node.lineno}"
+                )
+                if node.module is not None:
+                    yield node.module
+            elif isinstance(node, ast.If):
+                if not _is_type_checking(node.test):
+                    yield from walk(node.body)
+                yield from walk(node.orelse)
+            elif isinstance(node, ast.Try):
+                for sub in (node.body, node.orelse, node.finalbody):
+                    yield from walk(sub)
+                for handler in node.handlers:
+                    yield from walk(handler.body)
+            elif isinstance(node, (ast.With, ast.ClassDef)):
+                yield from walk(node.body)
+
+    yield from walk(tree.body)
+
+
+def _expand(name: str) -> Iterator[str]:
+    """A module plus every ancestor package (their __init__ runs too)."""
+    parts = name.split(".")
+    for i in range(1, len(parts) + 1):
+        yield ".".join(parts[:i])
+
+
+def _submodules(package: str) -> Iterator[str]:
+    """Every module under ``package`` (the roots are whole packages)."""
+    base = SRC.joinpath(*package.split("."))
+    for path in sorted(base.rglob("*.py")):
+        relative = path.relative_to(SRC).with_suffix("")
+        parts = list(relative.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        yield ".".join(parts)
+
+
+def import_closure(roots) -> Dict[str, Set[str]]:
+    """BFS the static import graph from ``roots``.
+
+    Returns ``{module: imported_names}`` for every reachable local
+    module; non-local imports appear in the value sets but are not
+    expanded.
+    """
+    queue = []
+    for root in roots:
+        queue.extend(_submodules(root))
+    closure: Dict[str, Set[str]] = {}
+    while queue:
+        module = queue.pop()
+        if module in closure:
+            continue
+        path = _module_file(module)
+        if path is None:
+            continue  # stdlib or third-party: recorded by the importer
+        imports = set(_module_level_imports(path))
+        closure[module] = imports
+        for imported in imports:
+            for expanded in _expand(imported):
+                if expanded not in closure and _module_file(expanded):
+                    queue.append(expanded)
+    return closure
+
+
+class TestSansIoCore:
+    def test_core_and_protocol_never_import_sim_or_asyncio(self):
+        closure = import_closure(PROTECTED_ROOTS)
+        offenders = []
+        for module, imports in sorted(closure.items()):
+            for imported in sorted(imports):
+                if any(
+                    imported == bad or imported.startswith(bad + ".")
+                    for bad in FORBIDDEN
+                ):
+                    offenders.append(f"{module} imports {imported}")
+        assert not offenders, (
+            "sans-io violation -- protocol core reaches an execution "
+            "substrate at import time:\n  " + "\n  ".join(offenders)
+        )
+
+    def test_closure_is_nontrivial(self):
+        """Guard the lint itself: the walk must actually see the core."""
+        closure = import_closure(PROTECTED_ROOTS)
+        for expected in (
+            "repro.core.machine",
+            "repro.protocol.node",
+            "repro.network.transport",
+            "repro.runtime.interface",
+        ):
+            assert expected in closure, expected
+
+    def test_fresh_import_loads_no_sim(self):
+        """Runtime confirmation of the static lint: importing the pure
+        core in a fresh interpreter must not pull in repro.sim."""
+        code = (
+            "import sys; import repro.core.machine; "
+            "bad = [m for m in sys.modules if m.startswith('repro.sim')]; "
+            "assert not bad, bad"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={"PYTHONPATH": str(SRC)},
+        )
+
+    def test_transport_simulator_shim_warns(self):
+        """The one-release deprecation shim: reaching through
+        ``transport.simulator`` still works but warns."""
+        import warnings
+
+        from repro.network.transport import Transport
+        from repro.runtime import create_runtime
+        from repro.topology.attachment import ConstantLatencyModel
+
+        transport = Transport(create_runtime("sim"), ConstantLatencyModel())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert transport.simulator is transport.runtime
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
