@@ -21,6 +21,14 @@ Commands map one-to-one onto the paper's artifacts:
   ``--jobs N`` parallelizes across processes (results are identical
   to the serial run for any N).
 * ``churn``     -- joins + leaves + crashes + recovery + optimization.
+* ``node``      -- one protocol node as a daemon over real UDP
+  (:mod:`repro.net.daemon`).
+* ``rendezvous`` -- the bootstrap directory service
+  (:mod:`repro.net.rendezvous`).
+* ``cluster``   -- boot a local multi-process UDP cluster, drive
+  concurrent joins, verify Definition 3.8 / Theorem 3 over the live
+  tables (:mod:`repro.net.cluster`); ``--report out.json`` archives
+  the verification report.
 """
 
 from __future__ import annotations
@@ -326,6 +334,89 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0 if result.all_consistent else 1
 
 
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.net.daemon import NodeDaemonConfig, run_node_daemon
+    from repro.net.wire import parse_hostport
+
+    try:
+        config = NodeDaemonConfig(
+            listen=parse_hostport(args.listen),
+            base=args.base,
+            num_digits=args.num_digits,
+            node_id=args.id,
+            rendezvous=(
+                parse_hostport(args.rendezvous) if args.rendezvous else None
+            ),
+            bootstrap=(
+                parse_hostport(args.bootstrap) if args.bootstrap else None
+            ),
+            seed_node=args.seed_node,
+            time_scale=args.time_scale,
+            wall_budget=args.wall_budget,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+            fault_seed=args.fault_seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_node_daemon(config)
+
+
+def _cmd_rendezvous(args: argparse.Namespace) -> int:
+    from repro.net.rendezvous import RendezvousServer
+    from repro.net.wire import parse_hostport
+
+    server = RendezvousServer(parse_hostport(args.listen), ttl=args.ttl)
+    host, port = server.open()
+    print(
+        f"REPRO-NET READY kind=rendezvous host={host} port={port}",
+        flush=True,
+    )
+    try:
+        server.serve()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.net.cluster import (
+        ClusterConfig,
+        ClusterError,
+        run_cluster,
+        write_report,
+    )
+
+    try:
+        config = ClusterConfig(
+            nodes=args.nodes,
+            joins=args.joins,
+            base=args.base,
+            num_digits=args.num_digits,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            fault_seed=args.fault_seed,
+            time_scale=args.time_scale,
+            converge_timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_cluster(config)
+    except ClusterError as exc:
+        print(f"cluster failed: {exc}", file=sys.stderr)
+        return 1
+    if args.report:
+        write_report(report, args.report)
+        print(f"report written to {args.report}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
@@ -451,6 +542,64 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--failures", type=int, default=20)
     churn.add_argument("--seed", type=int, default=0)
     churn.set_defaults(func=_cmd_churn)
+
+    node = sub.add_parser(
+        "node", help="run one protocol node daemon over UDP"
+    )
+    node.add_argument("--listen", required=True, metavar="HOST:PORT",
+                      help="UDP address to bind (port 0 = kernel-assigned)")
+    node.add_argument("--id", default=None,
+                      help="node ID digit string (default: hash of address)")
+    node.add_argument("--rendezvous", default=None, metavar="HOST:PORT",
+                      help="rendezvous service to announce to / join via")
+    node.add_argument("--bootstrap", default=None, metavar="HOST:PORT",
+                      help="known member to join via (bypasses rendezvous "
+                           "gateway selection)")
+    node.add_argument("--seed-node", action="store_true",
+                      help="start a new network as its first member")
+    node.add_argument("--base", type=int, default=16)
+    node.add_argument("--num-digits", type=int, default=8)
+    node.add_argument("--time-scale", type=float, default=0.001,
+                      help="seconds per protocol time unit")
+    node.add_argument("--wall-budget", type=float, default=None,
+                      help="exit after this many wall-clock seconds")
+    node.add_argument("--loss", type=float, default=0.0,
+                      help="inject datagram loss probability")
+    node.add_argument("--duplicate", type=float, default=0.0,
+                      help="inject datagram duplication probability")
+    node.add_argument("--reorder", type=float, default=0.0,
+                      help="inject datagram reordering probability")
+    node.add_argument("--fault-seed", type=int, default=0)
+    node.set_defaults(func=_cmd_node)
+
+    rendezvous = sub.add_parser(
+        "rendezvous", help="run the bootstrap directory service"
+    )
+    rendezvous.add_argument("--listen", required=True, metavar="HOST:PORT")
+    rendezvous.add_argument("--ttl", type=float, default=60.0,
+                            help="registration lifetime in seconds")
+    rendezvous.set_defaults(func=_cmd_rendezvous)
+
+    cluster = sub.add_parser(
+        "cluster", help="boot a local multi-process UDP cluster and "
+                        "verify concurrent joins"
+    )
+    cluster.add_argument("--nodes", type=int, default=5,
+                         help="total node daemons (including the seed)")
+    cluster.add_argument("--joins", type=int, default=3,
+                         help="number of concurrent joins at the end")
+    cluster.add_argument("--base", type=int, default=4)
+    cluster.add_argument("--num-digits", type=int, default=4)
+    cluster.add_argument("--loss", type=float, default=0.0,
+                         help="per-daemon datagram loss probability")
+    cluster.add_argument("--duplicate", type=float, default=0.0)
+    cluster.add_argument("--fault-seed", type=int, default=1)
+    cluster.add_argument("--time-scale", type=float, default=0.001)
+    cluster.add_argument("--timeout", type=float, default=60.0,
+                         help="wall-clock convergence budget in seconds")
+    cluster.add_argument("--report", default=None, metavar="OUT.json",
+                         help="write the verification report as JSON")
+    cluster.set_defaults(func=_cmd_cluster)
 
     return parser
 

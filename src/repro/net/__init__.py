@@ -1,0 +1,44 @@
+"""Deployment tier: the protocol over real UDP sockets.
+
+The simulator tier proves the protocol correct under a controlled
+clock; this package runs the *same* protocol core as real processes
+exchanging real datagrams:
+
+* :mod:`repro.net.wire` -- datagram framing over the
+  :mod:`repro.runtime.codec` tagged-JSON message format.
+* :mod:`repro.net.datagram` -- :class:`~repro.net.datagram.DatagramTransport`,
+  the UDP sibling of the in-memory transport (ARQ reliability,
+  address learning, fault injection).
+* :mod:`repro.net.faults` -- seeded loss/duplication/reordering.
+* :mod:`repro.net.daemon` -- ``repro node``, one protocol node per
+  OS process with a UDP control protocol.
+* :mod:`repro.net.rendezvous` -- ``repro rendezvous``, the bootstrap
+  directory.
+* :mod:`repro.net.control` -- blocking control-protocol client.
+* :mod:`repro.net.cluster` -- ``repro cluster``, the multi-process
+  join experiment with live Definition 3.8 / Theorem 3 verification.
+"""
+
+from repro.net.cluster import ClusterConfig, ClusterError, run_cluster
+from repro.net.control import ControlClient, ControlError
+from repro.net.daemon import NodeDaemon, NodeDaemonConfig
+from repro.net.datagram import DatagramTransport
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.rendezvous import RendezvousServer
+from repro.net.wire import parse_hostport, format_hostport
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ControlClient",
+    "ControlError",
+    "DatagramTransport",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeDaemon",
+    "NodeDaemonConfig",
+    "RendezvousServer",
+    "format_hostport",
+    "parse_hostport",
+    "run_cluster",
+]

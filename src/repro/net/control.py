@@ -1,0 +1,95 @@
+"""Synchronous control-protocol client.
+
+The cluster harness, the CLI and the tests live *outside* any runtime
+loop; they need plain blocking request/response against node daemons
+and the rendezvous service.  :class:`ControlClient` is that: one UDP
+socket, a request id counter, per-request timeout with retries
+(control requests are idempotent reads or idempotent commands, so
+retrying is safe), and response matching by request id.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.net.wire import (
+    Address,
+    RSP,
+    ctl_frame,
+    decode_frame,
+    encode_frame,
+)
+from repro.runtime.codec import CodecError
+
+
+class ControlError(RuntimeError):
+    """A control request got no response within its retry budget."""
+
+
+class ControlClient:
+    """Blocking UDP control requests with retries."""
+
+    def __init__(self, timeout: float = 1.0, retries: int = 5):
+        self.timeout = timeout
+        self.retries = retries
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._next_rid = 1
+
+    def close(self) -> None:
+        """Release the client socket."""
+        self._sock.close()
+
+    def __enter__(self) -> "ControlClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self,
+        addr: Address,
+        op: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Send ``op`` to ``addr``; returns the response body or raises
+        :class:`ControlError` after the retry budget is spent."""
+        rid = self._next_rid
+        self._next_rid = rid + 1
+        data = encode_frame(ctl_frame(rid, op, body))
+        per_try = timeout if timeout is not None else self.timeout
+        for _ in range(self.retries + 1):
+            self._sock.sendto(data, addr)
+            self._sock.settimeout(per_try)
+            try:
+                while True:
+                    raw, _src = self._sock.recvfrom(65535)
+                    try:
+                        frame = decode_frame(raw)
+                    except CodecError:
+                        continue
+                    if frame.get("k") == RSP and frame.get("r") == rid:
+                        return frame.get("b") or {}
+                    # A stale response to an earlier (retried) request:
+                    # keep listening within this try's window.
+            except socket.timeout:
+                continue
+        raise ControlError(f"no response to {op!r} from {addr}")
+
+    def try_request(
+        self,
+        addr: Address,
+        op: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Like :meth:`request` but returns ``None`` instead of raising."""
+        try:
+            return self.request(addr, op, body, timeout=timeout)
+        except ControlError:
+            return None
+
+
+__all__ = ["ControlClient", "ControlError"]

@@ -1,0 +1,385 @@
+"""The node daemon: one protocol node in one OS process.
+
+``repro node --listen HOST:PORT --rendezvous HOST:PORT`` runs a single
+:class:`~repro.protocol.node.ProtocolNode` on an
+:class:`~repro.runtime.realtime.AsyncioRuntime` over the UDP
+:class:`~repro.net.datagram.DatagramTransport` -- the identical state
+machine every simulation runs, now with real packets.
+
+Lifecycle:
+
+1. Bind the socket, derive the node ID (``--id``, or a hash of the
+   bound address so unconfigured daemons get distinct IDs).
+2. Seed daemons (``--seed-node``) start *in_system* with the
+   Section 6.1 single-node table.  Everyone else finds a gateway --
+   an explicit ``--bootstrap`` peer (asked for its ID with a control
+   ``hello``), or an S-node handed out by the rendezvous service --
+   and runs the join protocol against it.
+3. A heartbeat timer re-announces to the rendezvous (carrying the
+   current S-node bit, so only *in_system* nodes are handed out as
+   gateways) and keeps the runtime loop alive between messages.
+4. The same socket serves the control protocol: ``hello`` / ``status``
+   / ``table`` / ``leave`` / ``stop``.  ``table`` returns the live
+   neighbor table in wire form, which is how the cluster harness runs
+   the Definition 3.8 checker against a running deployment.
+
+On startup the daemon prints one machine-readable line::
+
+    REPRO-NET READY kind=node id=<id> host=<host> port=<port>
+
+which is what the cluster harness (and any supervisor) waits for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.ids.idspace import IdSpace
+from repro.net.datagram import DatagramTransport
+from repro.net.faults import FaultPlan
+from repro.net.wire import (
+    Address,
+    node_id_from_wire,
+    node_id_to_wire,
+    table_to_wire,
+)
+from repro.protocol.network_init import single_node_table
+from repro.protocol.node import ProtocolNode
+from repro.protocol.status import NodeStatus
+from repro.runtime.realtime import AsyncioRuntime
+from repro.runtime.interface import WallClockBudgetExceeded
+
+#: Exit codes (the cluster harness keys on these).
+EXIT_OK = 0
+EXIT_NO_GATEWAY = 3
+EXIT_BUDGET = 4
+
+#: Protocol-time pause between gateway-discovery retries.
+DISCOVERY_RETRY_DELAY = 100.0
+MAX_DISCOVERY_ATTEMPTS = 20
+
+#: Grace (protocol units) between a stop/depart trigger and socket
+#: teardown, so final acks and control responses drain first.
+SHUTDOWN_GRACE = 50.0
+
+
+class NodeDaemonConfig:
+    """Everything ``repro node`` parses off its command line."""
+
+    def __init__(
+        self,
+        listen: Address,
+        base: int = 16,
+        num_digits: int = 8,
+        node_id: Optional[str] = None,
+        rendezvous: Optional[Address] = None,
+        bootstrap: Optional[Address] = None,
+        seed_node: bool = False,
+        time_scale: float = 0.001,
+        heartbeat: float = 500.0,
+        wall_budget: Optional[float] = None,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        fault_seed: int = 0,
+    ):
+        if not seed_node and rendezvous is None and bootstrap is None:
+            raise ValueError(
+                "a joining daemon needs --rendezvous or --bootstrap "
+                "(or pass --seed-node to start a new network)"
+            )
+        self.listen = listen
+        self.base = base
+        self.num_digits = num_digits
+        self.node_id = node_id
+        self.rendezvous = rendezvous
+        self.bootstrap = bootstrap
+        self.seed_node = seed_node
+        self.time_scale = time_scale
+        self.heartbeat = heartbeat
+        self.wall_budget = wall_budget
+        self.loss = loss
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.fault_seed = fault_seed
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The configured fault injection, or ``None`` when clean."""
+        if not (self.loss or self.duplicate or self.reorder):
+            return None
+        return FaultPlan(
+            loss=self.loss,
+            duplicate=self.duplicate,
+            reorder=self.reorder,
+            seed=self.fault_seed,
+        )
+
+
+class NodeDaemon:
+    """One deployable protocol node."""
+
+    def __init__(self, config: NodeDaemonConfig):
+        self.config = config
+        self.idspace = IdSpace(config.base, config.num_digits)
+        self.runtime = AsyncioRuntime(time_scale=config.time_scale)
+        self.transport = DatagramTransport(
+            self.runtime,
+            config.listen,
+            faults=config.fault_plan(),
+            rendezvous=config.rendezvous,
+        )
+        self.transport.on_control = self._on_control
+        self.node: Optional[ProtocolNode] = None
+        self.exit_code = EXIT_OK
+        self._stopping = False
+        self._departed = False
+        self._heartbeat_timer = None
+        self._gateway_attempts = 0
+
+    # -- startup --------------------------------------------------------
+
+    def start(self) -> Address:
+        """Bind, build the protocol node, and (for joiners) begin
+        gateway discovery.  Returns the bound address."""
+        config = self.config
+        addr = self.transport.open()
+        if config.node_id is not None:
+            node_id = self.idspace.from_string(config.node_id)
+        else:
+            node_id = self.idspace.hash_name(f"{addr[0]}:{addr[1]}")
+        self.node_id = node_id
+        if config.seed_node:
+            self.node = ProtocolNode(
+                node_id,
+                self.transport,
+                status=NodeStatus.IN_SYSTEM,
+                table=single_node_table(node_id),
+            )
+        else:
+            self.node = ProtocolNode(
+                node_id, self.transport, status=NodeStatus.COPYING
+            )
+        self.node.on_phase = self._on_phase
+        self.node.on_departed = self._on_departed
+        self._announce()
+        self._heartbeat_timer = self.runtime.schedule(
+            self.config.heartbeat, self._heartbeat
+        )
+        if not config.seed_node:
+            self.runtime.schedule(0.0, self._find_gateway)
+        return addr
+
+    def ready_line(self) -> str:
+        """The machine-readable startup line supervisors wait for."""
+        host, port = self.transport.local_addr
+        return (
+            f"REPRO-NET READY kind=node id={self.node_id} "
+            f"host={host} port={port}"
+        )
+
+    def run(self) -> int:
+        """Drive the runtime until shutdown; returns the exit code."""
+        try:
+            self.runtime.run(wall_budget=self.config.wall_budget)
+        except WallClockBudgetExceeded:
+            self.exit_code = EXIT_BUDGET
+        finally:
+            self.transport.close()
+            self.runtime.close()
+        return self.exit_code
+
+    # -- gateway discovery ----------------------------------------------
+
+    def _find_gateway(self) -> None:
+        if self._stopping or self.node is None:
+            return
+        if self.node.status is not NodeStatus.COPYING:
+            return  # join already under way
+        self._gateway_attempts += 1
+        if self._gateway_attempts > MAX_DISCOVERY_ATTEMPTS:
+            self.exit_code = EXIT_NO_GATEWAY
+            self._shutdown()
+            return
+        if self.config.bootstrap is not None:
+            self.transport.control_request(
+                self.config.bootstrap, "hello", None, self._on_hello_reply
+            )
+        else:
+            self.transport.control_request(
+                self.config.rendezvous,
+                "announce",
+                self._announce_body(),
+                self._on_peers_reply,
+            )
+
+    def _on_hello_reply(self, body: Optional[Dict[str, Any]]) -> None:
+        if self._join_started():
+            return
+        if body and body.get("id") is not None:
+            gateway = node_id_from_wire(body["id"])
+            self.transport.add_peer(gateway, self.config.bootstrap)
+            self._begin_join(gateway)
+        else:
+            self._retry_discovery()
+
+    def _on_peers_reply(self, body: Optional[Dict[str, Any]]) -> None:
+        if self._join_started():
+            return
+        peers = (body or {}).get("peers") or []
+        if not peers:
+            self._retry_discovery()
+            return
+        # Deterministic per-node gateway choice over the offered list.
+        rng = random.Random(str(self.node_id))
+        id_wire, addr = rng.choice(peers)
+        gateway = node_id_from_wire(id_wire)
+        self.transport.add_peer(gateway, (addr[0], addr[1]))
+        self._begin_join(gateway)
+
+    def _join_started(self) -> bool:
+        return (
+            self._stopping
+            or self.node is None
+            or self.node.status is not NodeStatus.COPYING
+            or self.node.join_began_at is not None
+        )
+
+    def _begin_join(self, gateway) -> None:
+        if gateway == self.node_id:
+            self._retry_discovery()
+            return
+        self.node.begin_join(gateway)
+
+    def _retry_discovery(self) -> None:
+        if not self._stopping:
+            self.runtime.schedule(DISCOVERY_RETRY_DELAY, self._find_gateway)
+
+    # -- heartbeat / rendezvous -----------------------------------------
+
+    def _announce_body(self) -> Dict[str, Any]:
+        return {
+            "id": node_id_to_wire(self.node_id),
+            "s": bool(self.node is not None and self.node.status.is_s_node),
+        }
+
+    def _announce(self) -> None:
+        if self.config.rendezvous is not None and not self._departed:
+            self.transport.control_request(
+                self.config.rendezvous, "announce", self._announce_body()
+            )
+
+    def _heartbeat(self) -> None:
+        self._heartbeat_timer = None
+        if self._stopping:
+            return
+        self._announce()
+        self._heartbeat_timer = self.runtime.schedule(
+            self.config.heartbeat, self._heartbeat
+        )
+
+    # -- protocol event hooks -------------------------------------------
+
+    def _on_phase(self, node_id, status, now) -> None:
+        if status is NodeStatus.IN_SYSTEM:
+            # Become visible as a gateway the moment we are one.
+            self._announce()
+
+    def _on_departed(self, node_id) -> None:
+        """The leave protocol completed: deregister and wind down."""
+        self._departed = True
+        self.node = None
+        self.transport.unregister(node_id)
+        if self.config.rendezvous is not None:
+            self.transport.control_request(
+                self.config.rendezvous, "remove",
+                {"id": node_id_to_wire(node_id)},
+            )
+        self._shutdown()
+
+    # -- control protocol -----------------------------------------------
+
+    def _on_control(
+        self, op: str, body: Dict[str, Any], addr: Address
+    ) -> Optional[Dict[str, Any]]:
+        node = self.node
+        if op == "hello":
+            return {
+                "id": node_id_to_wire(self.node_id),
+                "s": bool(node is not None and node.status.is_s_node),
+            }
+        if op == "status":
+            return self._status_body()
+        if op == "table":
+            if node is None:
+                return {"error": "departed"}
+            return {
+                "id": node_id_to_wire(self.node_id),
+                "status": node.status.value,
+                "table": table_to_wire(node.table),
+            }
+        if op == "leave":
+            if node is None or node.status is not NodeStatus.IN_SYSTEM:
+                return {"ok": False, "error": "not in_system"}
+            self.runtime.schedule(0.0, node.begin_leave)
+            return {"ok": True}
+        if op == "stop":
+            self.runtime.schedule(SHUTDOWN_GRACE, self._shutdown)
+            self._stopping = True
+            return {"ok": True}
+        return {"error": f"unknown op: {op}"}
+
+    def _status_body(self) -> Dict[str, Any]:
+        node = self.node
+        stats = self.transport.stats
+        body: Dict[str, Any] = {
+            "id": node_id_to_wire(self.node_id),
+            "now": self.runtime.now,
+            "events": self.runtime.events_fired,
+            "net": dict(self.transport.counters),
+            "peers_known": len(self.transport.peers),
+        }
+        if node is None:
+            body["status"] = "departed"
+            body["s"] = False
+        else:
+            body["status"] = node.status.value
+            body["s"] = bool(node.status.is_s_node)
+            body["table_filled"] = node.table.filled_count()
+            body["theorem3"] = (
+                stats.sent_by(self.node_id, "CpRstMsg")
+                + stats.sent_by(self.node_id, "JoinWaitMsg")
+            )
+            body["join_noti_sent"] = stats.sent_by(
+                self.node_id, "JoinNotiMsg"
+            )
+        return body
+
+    # -- shutdown -------------------------------------------------------
+
+    def _shutdown(self) -> None:
+        self._stopping = True
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self.transport.close()
+        self.runtime.kick()
+
+
+def run_node_daemon(config: NodeDaemonConfig) -> int:
+    """Entry point for ``repro node``: start, print the READY line,
+    serve until shutdown."""
+    daemon = NodeDaemon(config)
+    daemon.start()
+    print(daemon.ready_line(), flush=True)
+    return daemon.run()
+
+
+__all__ = [
+    "EXIT_BUDGET",
+    "EXIT_NO_GATEWAY",
+    "EXIT_OK",
+    "NodeDaemon",
+    "NodeDaemonConfig",
+    "run_node_daemon",
+]

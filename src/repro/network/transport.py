@@ -10,7 +10,6 @@ the same code delivers over wall-clock timers.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.ids.digits import NodeId
@@ -75,22 +74,6 @@ class Transport:
     def tracer(self) -> Optional[Tracer]:
         """The live tracer, or ``None`` when tracing is off."""
         return self._tracer
-
-    @property
-    def simulator(self) -> Runtime:
-        """Deprecated alias for :attr:`runtime`.
-
-        The transport is no longer welded to the discrete-event
-        simulator; reaching through ``transport.simulator`` was the
-        layering back-door that kept the protocol sim-only.  Kept as a
-        shim for one release.
-        """
-        warnings.warn(
-            "Transport.simulator is deprecated; use Transport.runtime",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.runtime
 
     def register(self, node: "NetworkNode") -> None:
         """Register ``node`` as reachable at its ID."""

@@ -48,6 +48,32 @@ class OversizedMessageError(CodecError):
     """An encoded message exceeds the UDP datagram ceiling."""
 
 
+class MalformedWireError(CodecError):
+    """Bytes that do not parse as a wire envelope: invalid UTF-8 or
+    JSON (e.g. a truncated datagram), a non-object envelope, or an
+    envelope missing its ``t``/``f`` keys or a declared slot."""
+
+
+class UnknownMessageTypeError(CodecError):
+    """A wire envelope names a message type the registry does not
+    know.  Distinct from :class:`MalformedWireError`: the bytes parsed
+    fine, but the peer speaks a newer (or foreign) protocol."""
+
+    def __init__(self, type_name: str):
+        super().__init__(f"unknown message type on the wire: {type_name}")
+        self.type_name = type_name
+
+
+class UnknownWireTagError(CodecError):
+    """A tagged value (``$id``/``$en``/``$nt``/...) the decoder does
+    not recognize: either the tag itself is unknown or it names an
+    enum / named-tuple type this build does not define."""
+
+    def __init__(self, tag: str, detail: str):
+        super().__init__(f"unknown wire tag {tag!r}: {detail}")
+        self.tag = tag
+
+
 def _walk_subclasses(cls: Type[Message]) -> Iterator[Type[Message]]:
     for sub in cls.__subclasses__():
         yield sub
@@ -94,6 +120,7 @@ def _all_slots(cls: type) -> List[str]:
 
 
 def _encode_value(value: Any) -> Any:
+    """Encode one protocol value into its JSON-ready tagged form."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, NodeId):
@@ -136,6 +163,8 @@ def _enum_types() -> Dict[str, type]:
 
 
 def _decode_value(value: Any) -> Any:
+    """Decode one JSON value, expanding codec tags back into protocol
+    objects (raises :class:`UnknownWireTagError` on unknown tags)."""
     if not isinstance(value, dict):
         return value
     if "$id" in value:
@@ -146,34 +175,84 @@ def _decode_value(value: Any) -> Any:
         try:
             return _enum_types()[name](member)
         except KeyError:
-            raise CodecError(f"unknown enum type on the wire: {name}")
+            raise UnknownWireTagError("$en", f"no such enum type: {name}")
     if "$nt" in value:
         name, items = value["$nt"]
         try:
             cls = _named_tuple_types()[name]
         except KeyError:
-            raise CodecError(f"unknown named tuple on the wire: {name}")
+            raise UnknownWireTagError(
+                "$nt", f"no such named tuple type: {name}"
+            )
         return cls(*[_decode_value(v) for v in items])
     if "$tu" in value:
         return tuple(_decode_value(v) for v in value["$tu"])
     if "$fs" in value:
         return frozenset(_decode_value(v) for v in value["$fs"])
-    raise CodecError(f"unrecognized tagged value: {value!r}")
+    tags = ", ".join(sorted(k for k in value if k.startswith("$")))
+    raise UnknownWireTagError(tags or "<none>", f"in value {value!r}")
+
+
+#: Public aliases of the value (de)serializers, for layers (the
+#: real-wire control protocol) that carry protocol values -- NodeIds,
+#: table entries -- outside a Message envelope.
+encode_value = _encode_value
+decode_value = _decode_value
 
 
 # -- message encoding -------------------------------------------------------
+
+
+def message_to_obj(message: Message) -> Dict[str, Any]:
+    """The JSON-ready envelope ``{"t": ..., "f": {...}}`` for
+    ``message`` (the dict the byte form serializes).  Layers that nest
+    protocol messages inside a larger datagram -- the real-wire frame
+    format of :mod:`repro.net.wire` -- embed this object directly
+    instead of double-encoding JSON text."""
+    fields = {
+        slot: _encode_value(getattr(message, slot))
+        for slot in _all_slots(type(message))
+    }
+    return {"t": message.type_name, "f": fields}
+
+
+def message_from_obj(envelope: Any) -> Message:
+    """Rebuild a message from its envelope object (the inverse of
+    :func:`message_to_obj`)."""
+    if not isinstance(envelope, dict):
+        raise MalformedWireError(
+            f"message envelope must be an object, got "
+            f"{type(envelope).__name__}"
+        )
+    try:
+        type_name = envelope["t"]
+        fields = envelope["f"]
+    except KeyError as exc:
+        raise MalformedWireError(
+            f"message envelope missing key {exc.args[0]!r}"
+        ) from exc
+    try:
+        cls = message_registry()[type_name]
+    except KeyError:
+        raise UnknownMessageTypeError(type_name) from None
+    message = cls.__new__(cls)
+    for slot in _all_slots(cls):
+        try:
+            value = fields[slot]
+        except (KeyError, TypeError):
+            raise MalformedWireError(
+                f"{type_name} wire form missing field {slot!r}"
+            ) from None
+        object.__setattr__(message, slot, _decode_value(value))
+    return message
 
 
 def encode_message(
     message: Message, enforce_datagram_limit: bool = False
 ) -> bytes:
     """Serialize ``message`` to its UTF-8 wire form."""
-    fields = {
-        slot: _encode_value(getattr(message, slot))
-        for slot in _all_slots(type(message))
-    }
     wire = json.dumps(
-        {"t": message.type_name, "f": fields},
+        message_to_obj(message),
         separators=(",", ":"),
         sort_keys=True,
     ).encode("utf-8")
@@ -187,33 +266,34 @@ def encode_message(
 
 def decode_message(wire: bytes) -> Message:
     """Rebuild a :class:`~repro.network.message.Message` from its wire
-    form (the inverse of :func:`encode_message`)."""
+    form (the inverse of :func:`encode_message`).
+
+    Raises :class:`MalformedWireError` for bytes that do not parse
+    (truncated datagrams included), :class:`UnknownMessageTypeError`
+    for a well-formed envelope naming an unregistered type, and
+    :class:`UnknownWireTagError` for unrecognized tagged values."""
     try:
         envelope = json.loads(wire.decode("utf-8"))
-        type_name = envelope["t"]
-        fields = envelope["f"]
-    except (ValueError, KeyError, UnicodeDecodeError) as exc:
-        raise CodecError(f"malformed wire message: {exc}") from exc
-    try:
-        cls = message_registry()[type_name]
-    except KeyError:
-        raise CodecError(f"unknown message type on the wire: {type_name}")
-    message = cls.__new__(cls)
-    for slot in _all_slots(cls):
-        try:
-            value = fields[slot]
-        except KeyError:
-            raise CodecError(f"{type_name} wire form missing field {slot!r}")
-        object.__setattr__(message, slot, _decode_value(value))
-    return message
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise MalformedWireError(
+            f"undecodable wire message ({len(wire)} bytes): {exc}"
+        ) from exc
+    return message_from_obj(envelope)
 
 
 __all__ = [
     "CodecError",
     "MAX_DATAGRAM_BYTES",
     "MESSAGE_MODULES",
+    "MalformedWireError",
     "OversizedMessageError",
+    "UnknownMessageTypeError",
+    "UnknownWireTagError",
     "decode_message",
+    "decode_value",
     "encode_message",
+    "encode_value",
+    "message_from_obj",
     "message_registry",
+    "message_to_obj",
 ]

@@ -29,8 +29,10 @@ Design notes:
   microseconds after construction must not crash).  Negative relative
   delays are still programming errors and raise.
 
-Messages travel in-process today; the UDP-ready wire format for the
-next step (one socket per node) lives in :mod:`repro.runtime.codec`.
+Messages cross real sockets through
+:class:`~repro.net.datagram.DatagramTransport` (one UDP socket per
+node, framed in the :mod:`repro.runtime.codec` wire format) -- or stay
+in-process through the in-memory transport, interchangeably.
 """
 
 from __future__ import annotations
@@ -120,6 +122,26 @@ class AsyncioRuntime:
     def now(self) -> float:
         """Wall-clock time since construction, in protocol units."""
         return (self._loop.time() - self._epoch) / self.time_scale
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The private event loop, for I/O adapters that must live on
+        it (the UDP :class:`~repro.net.datagram.DatagramTransport`
+        creates its socket endpoint here so datagram callbacks and the
+        dispatcher never race)."""
+        return self._loop
+
+    def kick(self) -> None:
+        """Wake the dispatcher so it re-examines quiescence.
+
+        Loop callbacks that retire pending work *outside* a scheduled
+        action -- e.g. a datagram handler cancelling a retransmission
+        timer when an ack lands -- must call this, otherwise a ``run()``
+        blocked on "outstanding > 0, mailbox empty" would sleep through
+        the transition to quiescence.
+        """
+        if self._wakeup is not None:
+            self._wakeup.set()
 
     # -- Timers ---------------------------------------------------------
 

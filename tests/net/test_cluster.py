@@ -1,0 +1,57 @@
+"""Cluster harness smoke tests: real OS processes over real UDP.
+
+These boot actual ``python -m repro node`` / ``repro rendezvous``
+subprocesses -- the same path the CI ``cluster-smoke`` job and the
+``repro cluster`` CLI take -- so they are the slowest tests in the
+suite (a few seconds each).
+"""
+
+import pytest
+
+from repro.net.cluster import ClusterConfig, run_cluster
+
+
+def quiet(_message):
+    """Swallow harness progress lines in test output."""
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=1, joins=1)
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=4, joins=4)
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=4, joins=0)
+
+
+class TestClusterSmoke:
+    def test_multiprocess_concurrent_joins(self):
+        report = run_cluster(
+            ClusterConfig(
+                nodes=4, joins=2, base=4, num_digits=4,
+                converge_timeout=30.0,
+            ),
+            log=quiet,
+        )
+        assert report["ok"], report
+        assert report["consistency"]["consistent"]
+        assert report["all_in_system"]
+        assert report["theorem3"]["ok"]
+        bound = report["theorem3"]["bound"]
+        assert bound == 5  # d + 1 with d = 4
+        assert all(
+            entry["count"] <= bound
+            for entry in report["theorem3"]["per_node"]
+        )
+
+    def test_multiprocess_joins_with_loss(self):
+        report = run_cluster(
+            ClusterConfig(
+                nodes=3, joins=1, base=4, num_digits=4,
+                loss=0.05, fault_seed=3, converge_timeout=45.0,
+            ),
+            log=quiet,
+        )
+        assert report["ok"], report
+        assert report["loss"] == 0.05

@@ -1,0 +1,187 @@
+"""DatagramTransport tests: the protocol over real loopback UDP.
+
+These run the unmodified :class:`~repro.protocol.node.ProtocolNode`
+state machine over kernel sockets -- including the wire-adversity
+acceptance scenario: a ``JoinNotiMsg`` dropped at the UDP layer must
+be recovered by the retransmission (recovery) timer, and the network
+must still converge to Definition 3.8 consistency.
+"""
+
+import pytest
+
+from repro.consistency.checker import check_consistency
+from repro.ids.idspace import IdSpace
+from repro.net.datagram import DatagramTransport
+from repro.net.faults import FaultPlan
+from repro.protocol.messages import JoinWaitMsg
+from repro.protocol.status import NodeStatus
+from repro.runtime.realtime import AsyncioRuntime
+
+from tests.net.conftest import TEST_TIME_SCALE, LoopbackNet
+
+SPACE = IdSpace(4, 4)
+
+
+class TestTransportBasics:
+    def test_open_resolves_port_zero(self):
+        runtime = AsyncioRuntime(time_scale=TEST_TIME_SCALE)
+        transport = DatagramTransport(runtime, ("127.0.0.1", 0))
+        try:
+            host, port = transport.open()
+            assert host == "127.0.0.1"
+            assert port != 0
+        finally:
+            transport.close()
+            runtime.close()
+
+    def test_one_node_per_transport(self):
+        with LoopbackNet(1) as net:
+            transport = net.transports[0]
+            with pytest.raises(ValueError):
+                transport.register(net.nodes[0])
+
+    def test_raw_message_crosses_the_wire(self):
+        with LoopbackNet(2) as net:
+            received = []
+            net.nodes[1].handles(JoinWaitMsg, received.append)
+            message = JoinWaitMsg(net.ids[0])
+            net.runtime.schedule(
+                0.0, lambda: net.transports[0].send(net.ids[1], message)
+            )
+            net.run(wall_budget=10.0)
+            assert len(received) == 1
+            assert received[0].sender == net.ids[0]
+            assert net.transports[0].counters["acks_received"] == 1
+
+    def test_malformed_datagram_is_counted_not_fatal(self):
+        with LoopbackNet(2) as net:
+            target = net.transports[1]
+            sock_addr = target.local_addr
+
+            def blast():
+                net.transports[0]._endpoint.sendto(b"garbage", sock_addr)
+
+            net.runtime.schedule(0.0, blast)
+            # A follow-up real message proves the endpoint survived.
+            message = JoinWaitMsg(net.ids[0])
+            received = []
+            net.nodes[1].handles(JoinWaitMsg, received.append)
+            net.runtime.schedule(
+                5.0, lambda: net.transports[0].send(net.ids[1], message)
+            )
+            net.run(wall_budget=10.0)
+            assert target.counters["malformed"] == 1
+            assert len(received) == 1
+
+
+class TestJoinsOverUdp:
+    def test_single_join_over_loopback(self):
+        with LoopbackNet(2) as net:
+            net.join(1)
+            net.run(wall_budget=20.0)
+            assert net.nodes[1].status is NodeStatus.IN_SYSTEM
+            assert check_consistency(net.tables()).consistent
+
+    def test_concurrent_joins_over_loopback(self):
+        with LoopbackNet(5) as net:
+            for index in range(1, 5):
+                net.join(index)
+            net.run(wall_budget=40.0)
+            assert all(
+                node.status is NodeStatus.IN_SYSTEM for node in net.nodes
+            )
+            assert check_consistency(net.tables()).consistent
+
+
+class TestWireAdversity:
+    """The acceptance scenario: loss at the UDP layer, recovery by
+    retransmission timer, convergence to Definition 3.8."""
+
+    def test_dropped_join_noti_recovers_via_retransmit_timer(self):
+        # Node 2 joins with its first outgoing JoinNotiMsg eaten by
+        # the wire; node 1 joins cleanly first to give it someone to
+        # notify.
+        plan = FaultPlan(drop_first={"JoinNotiMsg": 1})
+        with LoopbackNet(3, fault_plans={2: plan}) as net:
+            net.join(1)
+            net.run(wall_budget=20.0)
+            net.join(2)
+            net.run(wall_budget=30.0)
+
+            joiner = net.transports[2]
+            assert joiner.faults.dropped >= 1, "the drop must have happened"
+            assert joiner.counters["retransmits"] >= 1, (
+                "recovery timer must have fired and retransmitted"
+            )
+            assert joiner.counters["gave_up"] == 0
+            assert all(
+                node.status is NodeStatus.IN_SYSTEM for node in net.nodes
+            )
+            report = check_consistency(net.tables())
+            assert report.consistent, report.violations
+
+    def test_random_loss_still_converges(self):
+        plans = {
+            index: FaultPlan(loss=0.10, seed=index + 1)
+            for index in range(4)
+        }
+        with LoopbackNet(4, fault_plans=plans) as net:
+            for index in range(1, 4):
+                net.join(index)
+            net.run(wall_budget=60.0)
+            assert all(
+                node.status is NodeStatus.IN_SYSTEM for node in net.nodes
+            )
+            assert check_consistency(net.tables()).consistent
+            total_dropped = sum(
+                t.faults.dropped for t in net.transports
+            )
+            assert total_dropped > 0, "loss plan should have bitten"
+
+    def test_duplicates_are_suppressed(self):
+        plans = {0: FaultPlan(duplicate=1.0)}
+        with LoopbackNet(2, fault_plans=plans) as net:
+            received = []
+            net.nodes[1].handles(JoinWaitMsg, received.append)
+            message = JoinWaitMsg(net.ids[0])
+            net.runtime.schedule(
+                0.0, lambda: net.transports[0].send(net.ids[1], message)
+            )
+            net.run(wall_budget=10.0)
+            assert len(received) == 1, "duplicate delivered twice"
+            assert (
+                net.transports[1].counters["duplicates_suppressed"] >= 1
+            )
+
+
+class TestAddressLearning:
+    def test_receiver_learns_sender_address_from_datagram(self):
+        with LoopbackNet(2) as net:
+            # Receiver does NOT know the sender a priori.
+            del net.transports[1].peers[net.ids[0]]
+            received = []
+            net.nodes[1].handles(JoinWaitMsg, received.append)
+            net.runtime.schedule(
+                0.0,
+                lambda: net.transports[0].send(
+                    net.ids[1], JoinWaitMsg(net.ids[0])
+                ),
+            )
+            net.run(wall_budget=10.0)
+            assert len(received) == 1
+            assert (
+                net.transports[1].peers[net.ids[0]]
+                == net.transports[0].local_addr
+            )
+
+    def test_send_without_address_or_rendezvous_drops(self):
+        with LoopbackNet(2) as net:
+            sender = net.transports[0]
+            del sender.peers[net.ids[1]]
+            net.runtime.schedule(
+                0.0,
+                lambda: sender.send(net.ids[1], JoinWaitMsg(net.ids[0])),
+            )
+            net.run(wall_budget=10.0)
+            assert sender.counters["resolve_failures"] == 1
+            assert sender.stats.total_dropped == 1

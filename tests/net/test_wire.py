@@ -1,0 +1,123 @@
+"""Frame format tests: framing, addresses, table snapshots."""
+
+import json
+
+import pytest
+
+from repro.ids.idspace import IdSpace
+from repro.net.wire import (
+    ACK,
+    CTL,
+    MSG,
+    RSP,
+    ack_frame,
+    ctl_frame,
+    decode_frame,
+    encode_frame,
+    format_hostport,
+    frame_message,
+    msg_frame,
+    node_id_from_wire,
+    node_id_to_wire,
+    parse_hostport,
+    rsp_frame,
+    table_from_wire,
+    table_to_wire,
+)
+from repro.protocol.messages import JoinWaitMsg
+from repro.protocol.network_init import single_node_table
+from repro.routing.entry import NeighborState
+from repro.runtime.codec import (
+    MAX_DATAGRAM_BYTES,
+    MalformedWireError,
+    OversizedMessageError,
+)
+
+SPACE = IdSpace(4, 4)
+
+
+class TestFraming:
+    def test_message_frame_round_trip(self):
+        sender = SPACE.from_string("0123")
+        message = JoinWaitMsg(sender)
+        frame = decode_frame(encode_frame(msg_frame(9, message)))
+        assert frame["k"] == MSG
+        assert frame["s"] == 9
+        decoded = frame_message(frame)
+        assert type(decoded) is JoinWaitMsg
+        assert decoded.sender == sender
+
+    def test_ack_frame_round_trip(self):
+        frame = decode_frame(encode_frame(ack_frame(42)))
+        assert frame == {"k": ACK, "s": 42}
+
+    def test_control_frames_round_trip(self):
+        ctl = decode_frame(encode_frame(ctl_frame(3, "status")))
+        assert (ctl["k"], ctl["r"], ctl["op"], ctl["b"]) == (
+            CTL, 3, "status", {},
+        )
+        rsp = decode_frame(encode_frame(rsp_frame(3, {"ok": True})))
+        assert (rsp["k"], rsp["r"], rsp["b"]) == (RSP, 3, {"ok": True})
+
+    def test_oversized_frame_refused(self):
+        frame = {"k": MSG, "s": 1, "m": "x" * MAX_DATAGRAM_BYTES}
+        with pytest.raises(OversizedMessageError):
+            encode_frame(frame)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(MalformedWireError):
+            decode_frame(b"\xff\xfe not json")
+        with pytest.raises(MalformedWireError):
+            decode_frame(b"[1,2,3]")
+        with pytest.raises(MalformedWireError):
+            decode_frame(json.dumps({"k": "z"}).encode())
+
+
+class TestAddresses:
+    def test_parse_and_format(self):
+        assert parse_hostport("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert parse_hostport(":0") == ("127.0.0.1", 0)
+        assert format_hostport(("10.0.0.1", 9000)) == "10.0.0.1:9000"
+
+    def test_bad_hostport_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hostport("no-port-here")
+        with pytest.raises(ValueError):
+            parse_hostport("host:notaport")
+
+
+class TestProtocolValues:
+    def test_node_id_round_trip(self):
+        node_id = SPACE.from_string("3210")
+        wire = node_id_to_wire(node_id)
+        json.dumps(wire)  # must be JSON-ready
+        assert node_id_from_wire(wire) == node_id
+
+    def test_node_id_type_enforced(self):
+        with pytest.raises(MalformedWireError):
+            node_id_from_wire({"$en": ["NeighborState", "S"]})
+
+    def test_table_round_trip(self):
+        owner = SPACE.from_string("0123")
+        table = single_node_table(owner)
+        table.set_entry(
+            0, 2, SPACE.from_string("3332"), NeighborState.T
+        )
+        wire = table_to_wire(table)
+        json.dumps(wire)  # must be JSON-ready
+        rebuilt = table_from_wire(wire)
+        assert rebuilt.owner == owner
+        assert {
+            (e.level, e.digit, e.node, e.state)
+            for e in rebuilt.snapshot()
+        } == {
+            (e.level, e.digit, e.node, e.state)
+            for e in table.snapshot()
+        }
+
+    def test_bad_table_snapshot_rejected(self):
+        with pytest.raises(MalformedWireError):
+            table_from_wire({"entries": []})  # no owner
+        owner = node_id_to_wire(SPACE.from_string("0123"))
+        with pytest.raises(MalformedWireError):
+            table_from_wire({"owner": owner, "entries": [[0, 1]]})

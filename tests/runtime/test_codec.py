@@ -13,11 +13,18 @@ from repro.network.message import Message
 from repro.runtime.codec import (
     MAX_DATAGRAM_BYTES,
     CodecError,
+    MalformedWireError,
     OversizedMessageError,
+    UnknownMessageTypeError,
+    UnknownWireTagError,
     _all_slots,
     decode_message,
+    decode_value,
     encode_message,
+    encode_value,
+    message_from_obj,
     message_registry,
+    message_to_obj,
 )
 from tests.conftest import (
     assert_network_correct,
@@ -131,21 +138,40 @@ class TestDatagramLimit:
 
 
 class TestMalformedWire:
+    """Every decode failure mode maps to a precise CodecError subclass
+    (the real-wire transport keys its accounting on these)."""
+
     def test_unknown_type_rejected(self):
         wire = json.dumps({"t": "NoSuchMsg", "f": {}}).encode()
-        with pytest.raises(CodecError, match="unknown message type"):
+        with pytest.raises(UnknownMessageTypeError) as excinfo:
             decode_message(wire)
+        assert excinfo.value.type_name == "NoSuchMsg"
 
     def test_not_json_rejected(self):
-        with pytest.raises(CodecError, match="malformed"):
+        with pytest.raises(MalformedWireError, match="undecodable"):
             decode_message(b"\xff not json")
+
+    def test_truncated_payload_rejected(self):
+        space, ids = make_ids(4, 3, 1, seed=9)
+        wire = encode_message(message_registry()["CpRstMsg"](ids[0]))
+        for cut in (1, len(wire) // 2, len(wire) - 1):
+            with pytest.raises(MalformedWireError, match="undecodable"):
+                decode_message(wire[:cut])
+
+    def test_non_object_envelope_rejected(self):
+        with pytest.raises(MalformedWireError, match="must be an object"):
+            decode_message(b'["t", "f"]')
+
+    def test_envelope_missing_keys_rejected(self):
+        with pytest.raises(MalformedWireError, match="missing key 'f'"):
+            decode_message(b'{"t": "CpRstMsg"}')
 
     def test_missing_field_rejected(self):
         space, ids = make_ids(4, 3, 1, seed=3)
         wire = encode_message(message_registry()["PingMsg"](ids[0], 1.0, 0))
         envelope = json.loads(wire)
         del envelope["f"]["sender"]
-        with pytest.raises(CodecError, match="missing field"):
+        with pytest.raises(MalformedWireError, match="missing field"):
             decode_message(json.dumps(envelope).encode())
 
     def test_unknown_tagged_value_rejected(self):
@@ -155,10 +181,55 @@ class TestMalformedWire:
                 "parent_id": None, "trace_id": None,
             }}
         ).encode()
-        with pytest.raises(CodecError, match="unrecognized tagged value"):
+        with pytest.raises(UnknownWireTagError, match=r"\$nope"):
             decode_message(wire)
+
+    def test_unknown_enum_type_rejected(self):
+        with pytest.raises(UnknownWireTagError) as excinfo:
+            decode_value({"$en": ["NoSuchEnum", "S"]})
+        assert excinfo.value.tag == "$en"
+
+    def test_unknown_named_tuple_rejected(self):
+        with pytest.raises(UnknownWireTagError) as excinfo:
+            decode_value({"$nt": ["NoSuchTuple", []]})
+        assert excinfo.value.tag == "$nt"
+
+    def test_every_error_is_a_codec_error(self):
+        for exc_type in (
+            MalformedWireError,
+            OversizedMessageError,
+            UnknownMessageTypeError,
+            UnknownWireTagError,
+        ):
+            assert issubclass(exc_type, CodecError)
 
     def test_unencodable_value_rejected(self):
         space, ids = make_ids(4, 3, 1, seed=4)
         with pytest.raises(CodecError, match="cannot encode"):
             encode_message(_BlobMsg(ids[0], object()))
+
+
+class TestObjLevelApi:
+    """The dict-level envelope API used by the real-wire frame format."""
+
+    def test_obj_round_trip(self):
+        space, ids = make_ids(4, 3, 2, seed=5)
+        message = message_registry()["RvNghNotiMsg"](
+            ids[0], 1, 2, decode_value({"$en": ["NeighborState", "T"]})
+        )
+        obj = message_to_obj(message)
+        clone = message_from_obj(obj)
+        assert _slot_values(clone) == _slot_values(message)
+
+    def test_obj_matches_byte_form(self):
+        space, ids = make_ids(4, 3, 1, seed=6)
+        message = message_registry()["CpRstMsg"](ids[0])
+        assert json.loads(encode_message(message)) == message_to_obj(message)
+
+    def test_value_round_trip(self):
+        space, ids = make_ids(4, 3, 2, seed=7)
+        values = [ids[0], (ids[0], 3, "x"), frozenset([1, 2]), None, 1.5]
+        for value in values:
+            assert decode_value(
+                json.loads(json.dumps(encode_value(value)))
+            ) == value

@@ -169,19 +169,14 @@ class TestSansIoCore:
             env={"PYTHONPATH": str(SRC)},
         )
 
-    def test_transport_simulator_shim_warns(self):
-        """The one-release deprecation shim: reaching through
-        ``transport.simulator`` still works but warns."""
-        import warnings
-
+    def test_transport_simulator_shim_removed(self):
+        """The PR-4 ``transport.simulator`` deprecation shim lasted its
+        promised one release and is gone; ``runtime`` is the only
+        spelling."""
         from repro.network.transport import Transport
         from repro.runtime import create_runtime
         from repro.topology.attachment import ConstantLatencyModel
 
         transport = Transport(create_runtime("sim"), ConstantLatencyModel())
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert transport.simulator is transport.runtime
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
+        assert not hasattr(transport, "simulator")
+        assert transport.runtime is not None

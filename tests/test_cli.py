@@ -135,3 +135,42 @@ class TestCli:
         )
         assert main(["report", str(trace)]) == 1
         assert "STALLED" in capsys.readouterr().out
+
+
+class TestNetCli:
+    """Parser and validation paths of the deployment commands (the
+    live multi-process path is covered by tests/net/test_cluster.py)."""
+
+    def test_node_parser(self):
+        args = build_parser().parse_args([
+            "node", "--listen", "127.0.0.1:0",
+            "--rendezvous", "127.0.0.1:9000",
+            "--base", "4", "--num-digits", "4", "--loss", "0.05",
+        ])
+        assert args.listen == "127.0.0.1:0"
+        assert args.loss == 0.05
+        assert not args.seed_node
+
+    def test_node_requires_a_join_path(self, capsys):
+        # No --seed-node, no --rendezvous, no --bootstrap: refused.
+        assert main(["node", "--listen", "127.0.0.1:0"]) == 2
+        assert "rendezvous" in capsys.readouterr().err
+
+    def test_cluster_parser(self):
+        args = build_parser().parse_args([
+            "cluster", "--nodes", "8", "--joins", "4",
+            "--loss", "0.05", "--report", "out.json",
+        ])
+        assert (args.nodes, args.joins) == (8, 4)
+        assert args.report == "out.json"
+
+    def test_cluster_rejects_bad_shape(self, capsys):
+        assert main(["cluster", "--nodes", "2", "--joins", "2"]) == 2
+        assert "joins" in capsys.readouterr().err
+
+    def test_rendezvous_parser(self):
+        args = build_parser().parse_args(
+            ["rendezvous", "--listen", ":0", "--ttl", "30"]
+        )
+        assert args.listen == ":0"
+        assert args.ttl == 30.0
