@@ -12,17 +12,33 @@ Definition 3.8 mid-run) is measured as a *separate* gate: auditing
 runs a consistency check every sample interval, so it is allowed real
 overhead -- but a bounded amount, so it stays usable on every CI run.
 
+The deployment tier gets its own gate: the same loopback-UDP join
+workload with distributed telemetry on (causal stamping, per-daemon
+tracer/metrics, phase observer) versus off must stay within 10% --
+stamping three ids onto every datagram and appending trace records
+must never dominate a real wire send.
+
 Timing uses min-of-rounds (the standard way to suppress scheduler and
 allocator noise) over alternating baseline/instrumented runs.
 """
 
 import json
 import pathlib
+import random
 import time
 
 from benchmarks.conftest import fresh_network, run_concurrent, sampled_workload
+from repro.ids.idspace import IdSpace
+from repro.net.datagram import DatagramTransport
+from repro.net.faults import FaultPlan
 from repro.obs import Observability
+from repro.obs.instrument import JoinObserver
+from repro.obs.remote import RemoteTelemetry
 from repro.protocol.join import JoinProtocolNetwork
+from repro.protocol.network_init import single_node_table
+from repro.protocol.node import ProtocolNode
+from repro.protocol.status import NodeStatus
+from repro.runtime.realtime import AsyncioRuntime
 from repro.topology.attachment import UniformLatencyModel
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -39,6 +55,20 @@ ROUNDS = 9
 #: runs, not being free; the gate only guards against it becoming so
 #: slow that ``join --audit`` stops being a routine CI smoke.
 AUDIT_THRESHOLD_PCT = 300.0
+
+#: Loopback-UDP workload: sequential joins (quiescence between each,
+#: so both variants replay byte-identical message sequences).
+WIRE_NODES, WIRE_SEED = 8, 31
+WIRE_ROUNDS = 7
+#: The deployed daemons' default pacing (1 ms per protocol unit).
+WIRE_TIME_SCALE = 0.001
+#: Deterministic per-datagram delay (protocol units), injected through
+#: the fault plan on both variants.  Loopback delivers in microseconds
+#: -- no real wire does -- so without it the run is a pure CPU spin
+#: and the gate measures stamping cost against an impossible baseline.
+#: Two units (2 ms at the deployed time scale) is LAN-like.
+WIRE_LATENCY = 2.0
+WIRE_THRESHOLD_PCT = 10.0
 
 
 def _run_once(obs, audit=False):
@@ -143,9 +173,114 @@ def _measure():
         "audit_threshold_pct": AUDIT_THRESHOLD_PCT,
         "total_messages": nets["baseline"].stats.total_messages,
     }
+    if OUTPUT.exists():
+        # Keep the wire-tier fields from an earlier (or concurrent)
+        # _measure_wire() pass instead of clobbering them.
+        for key, value in json.loads(OUTPUT.read_text()).items():
+            if key.startswith("wire_"):
+                record.setdefault(key, value)
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
     _MEASURED.update(record)
     return _MEASURED
+
+
+def _run_wire_once(telemetry):
+    """One loopback-UDP cluster run; returns (elapsed_s, messages)."""
+    runtime = AsyncioRuntime(time_scale=WIRE_TIME_SCALE)
+    space = IdSpace(4, 4)
+    ids = space.random_unique_ids(WIRE_NODES, random.Random(WIRE_SEED))
+    transports, observers = [], []
+    try:
+        for index in range(WIRE_NODES):
+            if telemetry:
+                bundle = RemoteTelemetry(node=str(ids[index]))
+                tracer, metrics = bundle.tracer, bundle.metrics
+                observer = JoinObserver(bundle.observability())
+            else:
+                tracer = metrics = observer = None
+            transport = DatagramTransport(
+                runtime,
+                ("127.0.0.1", 0),
+                faults=FaultPlan(latency=WIRE_LATENCY),
+                tracer=tracer,
+                metrics=metrics,
+            )
+            transport.open()
+            transports.append(transport)
+            observers.append(observer)
+        for a in range(WIRE_NODES):
+            for b in range(WIRE_NODES):
+                if a != b:
+                    transports[a].add_peer(
+                        ids[b], transports[b].local_addr
+                    )
+        nodes = [
+            ProtocolNode(
+                ids[0],
+                transports[0],
+                status=NodeStatus.IN_SYSTEM,
+                table=single_node_table(ids[0]),
+            )
+        ]
+        for index in range(1, WIRE_NODES):
+            node = ProtocolNode(
+                ids[index], transports[index], status=NodeStatus.COPYING
+            )
+            if telemetry:
+                node.on_phase = observers[index].on_phase
+            nodes.append(node)
+
+        start = time.perf_counter()
+        for index in range(1, WIRE_NODES):
+            runtime.schedule(0.0, nodes[index].begin_join, ids[0])
+            runtime.run(wall_budget=30.0)
+        elapsed = time.perf_counter() - start
+
+        assert all(
+            node.status == NodeStatus.IN_SYSTEM for node in nodes
+        )
+        messages = sum(t.stats.total_messages for t in transports)
+        return elapsed, messages
+    finally:
+        for transport in transports:
+            transport.close()
+        runtime.close()
+
+
+_WIRE = {}
+
+
+def _measure_wire():
+    """Time the loopback-UDP workload with telemetry on and off."""
+    if _WIRE:
+        return _WIRE
+    on_times, off_times, messages = [], [], {}
+    for round_index in range(WIRE_ROUNDS):
+        order = (False, True)
+        if round_index % 2:
+            order = tuple(reversed(order))
+        for telemetry in order:
+            elapsed, total = _run_wire_once(telemetry)
+            (on_times if telemetry else off_times).append(elapsed)
+            messages[telemetry] = total
+    # Same sequential workload -> byte-identical message sequences.
+    assert messages[True] == messages[False]
+
+    off, on = min(off_times), min(on_times)
+    record = {
+        "wire_nodes": WIRE_NODES,
+        "wire_rounds": WIRE_ROUNDS,
+        "wire_off_s": round(off, 4),
+        "wire_telemetry_s": round(on, 4),
+        "wire_overhead_pct": round(100.0 * (on - off) / off, 2),
+        "wire_threshold_pct": WIRE_THRESHOLD_PCT,
+        "wire_messages": messages[False],
+    }
+    merged = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    merged.update(record)
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+    _WIRE.update(record)
+    return _WIRE
 
 
 def test_obs_off_overhead_under_5_percent():
@@ -166,4 +301,16 @@ def test_audit_overhead_bounded():
         f"the metrics-only run exceeds {AUDIT_THRESHOLD_PCT:.0f}% "
         f"(metrics-only {record['obs_disabled_s']:.3f}s, audited "
         f"{record['audited_s']:.3f}s)"
+    )
+
+
+def test_wire_telemetry_overhead_under_10_percent():
+    """Distributed telemetry on the UDP tier must stay within 10% of
+    the same workload run without it."""
+    record = _measure_wire()
+    assert record["wire_overhead_pct"] <= WIRE_THRESHOLD_PCT, (
+        f"wire-telemetry overhead {record['wire_overhead_pct']:.2f}% "
+        f"exceeds {WIRE_THRESHOLD_PCT:.0f}% "
+        f"(off {record['wire_off_s']:.3f}s, "
+        f"on {record['wire_telemetry_s']:.3f}s)"
     )

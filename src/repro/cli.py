@@ -28,7 +28,11 @@ Commands map one-to-one onto the paper's artifacts:
 * ``cluster``   -- boot a local multi-process UDP cluster, drive
   concurrent joins, verify Definition 3.8 / Theorem 3 over the live
   tables (:mod:`repro.net.cluster`); ``--report out.json`` archives
-  the verification report.
+  the verification report; ``--telemetry DIR`` merges every daemon's
+  causal trace into ``DIR/merged-trace.jsonl`` + ``run-report.json``
+  and gates on causal validity.
+* ``top``       -- live status table of a running cluster
+  (:mod:`repro.net.top`), polled via the rendezvous directory.
 """
 
 from __future__ import annotations
@@ -357,11 +361,25 @@ def _cmd_node(args: argparse.Namespace) -> int:
             duplicate=args.duplicate,
             reorder=args.reorder,
             fault_seed=args.fault_seed,
+            telemetry=args.telemetry,
+            telemetry_file=args.telemetry_file,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return run_node_daemon(config)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.net.top import run_top
+    from repro.net.wire import parse_hostport
+
+    samples = run_top(
+        parse_hostport(args.rendezvous),
+        interval=args.interval,
+        iterations=args.iterations,
+    )
+    return 0 if samples > 0 else 1
 
 
 def _cmd_rendezvous(args: argparse.Namespace) -> int:
@@ -402,6 +420,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             time_scale=args.time_scale,
             converge_timeout=args.timeout,
+            telemetry_dir=args.telemetry,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -570,6 +589,12 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--reorder", type=float, default=0.0,
                       help="inject datagram reordering probability")
     node.add_argument("--fault-seed", type=int, default=0)
+    node.add_argument("--telemetry", action="store_true",
+                      help="record causal trace + wire metrics, served "
+                           "via the telemetry/metrics control ops")
+    node.add_argument("--telemetry-file", default=None, metavar="OUT.jsonl",
+                      help="spool the trace to JSONL on shutdown "
+                           "(implies --telemetry)")
     node.set_defaults(func=_cmd_node)
 
     rendezvous = sub.add_parser(
@@ -599,7 +624,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wall-clock convergence budget in seconds")
     cluster.add_argument("--report", default=None, metavar="OUT.json",
                          help="write the verification report as JSON")
+    cluster.add_argument("--telemetry", default=None, metavar="DIR",
+                         help="enable per-daemon telemetry; merge the "
+                              "cluster-wide causal trace and run report "
+                              "into DIR")
     cluster.set_defaults(func=_cmd_cluster)
+
+    top = sub.add_parser(
+        "top", help="live status table of a running cluster"
+    )
+    top.add_argument("--rendezvous", required=True, metavar="HOST:PORT",
+                     help="rendezvous service to read the roster from")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N samples (0 = run until ^C)")
+    top.set_defaults(func=_cmd_top)
 
     return parser
 

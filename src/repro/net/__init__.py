@@ -17,19 +17,25 @@ exchanging real datagrams:
 * :mod:`repro.net.control` -- blocking control-protocol client.
 * :mod:`repro.net.cluster` -- ``repro cluster``, the multi-process
   join experiment with live Definition 3.8 / Theorem 3 verification.
+* :mod:`repro.net.collect` -- telemetry collector: clock-aligns and
+  merges every daemon's causal trace into one analyzable stream.
+* :mod:`repro.net.top` -- ``repro top``, the live cluster status view.
 """
 
 from repro.net.cluster import ClusterConfig, ClusterError, run_cluster
+from repro.net.collect import CollectError, TelemetryCollector
 from repro.net.control import ControlClient, ControlError
 from repro.net.daemon import NodeDaemon, NodeDaemonConfig
 from repro.net.datagram import DatagramTransport
 from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.rendezvous import RendezvousServer
+from repro.net.top import poll_cluster, run_top
 from repro.net.wire import parse_hostport, format_hostport
 
 __all__ = [
     "ClusterConfig",
     "ClusterError",
+    "CollectError",
     "ControlClient",
     "ControlError",
     "DatagramTransport",
@@ -38,7 +44,10 @@ __all__ = [
     "NodeDaemon",
     "NodeDaemonConfig",
     "RendezvousServer",
+    "TelemetryCollector",
     "format_hostport",
     "parse_hostport",
+    "poll_cluster",
     "run_cluster",
+    "run_top",
 ]

@@ -15,6 +15,17 @@ Section 4 -- and verifies the result over live UDP:
 * each join sent at most ``d + 1`` CpRstMsg + JoinWaitMsg (Theorem 3),
   read from each daemon's transport statistics.
 
+With ``--telemetry DIR`` every daemon additionally records a causal
+trace (``--telemetry-file`` spools per daemon into ``DIR``); after
+convergence the harness pulls and clock-aligns all of them
+(:class:`~repro.net.collect.TelemetryCollector`), writes the merged
+``DIR/merged-trace.jsonl`` plus a ``DIR/run-report.json`` in the same
+schema ``repro report --json`` emits for simulator runs, validates the
+merged :class:`~repro.obs.causality.CausalForest` (zero causal-order
+violations folds into the report's ``ok``), and embeds per-join
+critical paths, clock offsets and the clean-wire retransmission ledger
+in the report.
+
 The harness is deliberately outside the runtime: it is a plain
 blocking driver (``subprocess`` + :class:`~repro.net.control.ControlClient`)
 so a failure mode in the system under test cannot deadlock its judge.
@@ -35,6 +46,7 @@ import time
 from typing import Any, Dict, IO, List, Optional
 
 from repro.consistency.checker import check_consistency
+from repro.net.collect import TelemetryCollector, clock_table
 from repro.net.control import ControlClient
 from repro.net.wire import (
     Address,
@@ -42,6 +54,9 @@ from repro.net.wire import (
     node_id_from_wire,
     table_from_wire,
 )
+from repro.obs.causality import CausalForest
+from repro.obs.export import write_trace_records
+from repro.obs.report import RunReport
 
 #: How long (seconds) to wait for a daemon's READY line.
 READY_TIMEOUT = 15.0
@@ -140,6 +155,7 @@ class ClusterConfig:
         time_scale: float = 0.001,
         converge_timeout: float = DEFAULT_CONVERGE_TIMEOUT,
         python: Optional[str] = None,
+        telemetry_dir: Optional[str] = None,
     ):
         if nodes < 2:
             raise ValueError("a cluster needs at least 2 nodes")
@@ -157,6 +173,7 @@ class ClusterConfig:
         self.time_scale = time_scale
         self.converge_timeout = converge_timeout
         self.python = python or sys.executable
+        self.telemetry_dir = telemetry_dir
 
 
 def run_cluster(
@@ -183,6 +200,8 @@ class _ClusterHarness:
         self.daemons: List[_Proc] = []
         self.client = ControlClient(timeout=0.5, retries=6)
         self.started_at = time.monotonic()
+        if config.telemetry_dir:
+            os.makedirs(config.telemetry_dir, exist_ok=True)
 
     # -- process plumbing ----------------------------------------------
 
@@ -207,6 +226,11 @@ class _ClusterHarness:
         ]
         if seed_node:
             argv.append("--seed-node")
+        if config.telemetry_dir:
+            argv += [
+                "--telemetry-file",
+                os.path.join(config.telemetry_dir, f"trace-{name}.jsonl"),
+            ]
         if config.loss:
             argv += ["--loss", str(config.loss),
                      "--fault-seed", str(config.fault_seed)]
@@ -268,6 +292,49 @@ class _ClusterHarness:
             statuses[node_id] = body["status"]
         return tables, statuses
 
+    def _collect_telemetry(self) -> Dict[str, Any]:
+        """Pull, align and merge every daemon's trace; write the
+        merged JSONL + run report into the telemetry dir and return
+        the report section summarizing them."""
+        out_dir = self.config.telemetry_dir
+        collector = TelemetryCollector(self.client)
+        addrs = [proc.addr for proc in self.daemons]
+        traces, spans, events = collector.collect(addrs)
+        trace_path = os.path.join(out_dir, "merged-trace.jsonl")
+        records = write_trace_records(spans, events, trace_path)
+        forest = CausalForest.from_event_records(events)
+        problems = forest.validate()
+        joins: Dict[str, Any] = {}
+        for joiner, tree in sorted(forest.join_trees().items()):
+            root_id = tree[0].msg_id
+            joins[joiner] = {
+                "messages": len(tree),
+                "depth": forest.depth(root_id),
+                "critical_path": [
+                    {"type": rec.type, "src": rec.src, "dst": rec.dst}
+                    for rec in forest.critical_path(root_id)
+                ],
+            }
+        report_path = os.path.join(out_dir, "run-report.json")
+        run_report = RunReport(spans, events)
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(run_report.to_json_dict(), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        return {
+            "dir": out_dir,
+            "trace_file": trace_path,
+            "report_file": report_path,
+            "records": records,
+            "daemons_pulled": len(traces),
+            "daemons_expected": len(addrs),
+            "complete": len(traces) == len(addrs),
+            "clocks": clock_table(traces),
+            "causal_ok": not problems,
+            "causal_problems": problems[:20],
+            "join_trees": joins,
+        }
+
     def run(self) -> Dict[str, Any]:
         config = self.config
         log = self.log
@@ -328,8 +395,30 @@ class _ClusterHarness:
         all_in_system = all(
             state == "in_system" for state in statuses.values()
         )
+        telemetry_section = (
+            self._collect_telemetry() if config.telemetry_dir else None
+        )
         ok = bool(
             report_obj.consistent and theorem3_ok and all_in_system
+            and (
+                telemetry_section is None
+                or (
+                    telemetry_section["causal_ok"]
+                    and telemetry_section["complete"]
+                )
+            )
+        )
+        # The clean-wire ledger: on a lossless localhost wire the ARQ
+        # should (almost) never fire.  Recorded rather than folded into
+        # ``ok`` -- the 40ms retransmit timer can trip spuriously on a
+        # heavily loaded CI box without anything being wrong.
+        clean_wire = {
+            "expected_clean": not (config.loss or config.duplicate),
+            "retransmits": net_totals.get("retransmits", 0),
+            "gave_up": net_totals.get("gave_up", 0),
+        }
+        clean_wire["clean"] = (
+            clean_wire["retransmits"] == 0 and clean_wire["gave_up"] == 0
         )
         report = {
             "ok": ok,
@@ -353,7 +442,16 @@ class _ClusterHarness:
                 "per_node": theorem3,
             },
             "net": net_totals,
+            "clean_wire": clean_wire,
         }
+        if telemetry_section is not None:
+            report["telemetry"] = telemetry_section
+            log(
+                f"[cluster] telemetry merged: "
+                f"{telemetry_section['records']} records from "
+                f"{telemetry_section['daemons_pulled']} daemon(s), "
+                f"causal_ok={telemetry_section['causal_ok']}"
+            )
         log(
             f"[cluster] consistency={report_obj.consistent} "
             f"theorem3<={theorem3_bound}:{theorem3_ok} "

@@ -19,9 +19,22 @@ Lifecycle:
    current S-node bit, so only *in_system* nodes are handed out as
    gateways) and keeps the runtime loop alive between messages.
 4. The same socket serves the control protocol: ``hello`` / ``status``
-   / ``table`` / ``leave`` / ``stop``.  ``table`` returns the live
-   neighbor table in wire form, which is how the cluster harness runs
-   the Definition 3.8 checker against a running deployment.
+   / ``table`` / ``leave`` / ``stop`` / ``clock`` / ``telemetry`` /
+   ``metrics``.  ``table`` returns the live neighbor table in wire
+   form, which is how the cluster harness runs the Definition 3.8
+   checker against a running deployment; ``clock`` + ``telemetry`` are
+   how a collector (:mod:`repro.net.collect`) aligns and pulls this
+   daemon's trace for the cluster-wide merge.
+
+With ``--telemetry`` the daemon records into a
+:class:`~repro.obs.remote.RemoteTelemetry` bundle: the transport
+stamps causal ids on every outgoing message (so cross-process message
+trees reconstruct), a :class:`~repro.obs.instrument.JoinObserver`
+records the same ``join`` / ``phase:*`` span schema the simulator
+emits, and wire-level metrics (retransmits, dedup hits, per-peer ack
+RTT, unacked depth) accumulate in the bundled registry.
+``--telemetry-file PATH`` additionally spools the trace to JSONL on
+shutdown, so a crashed collector can still recover the records.
 
 On startup the daemon prints one machine-readable line::
 
@@ -33,6 +46,7 @@ which is what the cluster harness (and any supervisor) waits for.
 from __future__ import annotations
 
 import random
+import time
 from typing import Any, Dict, Optional
 
 from repro.ids.idspace import IdSpace
@@ -44,6 +58,9 @@ from repro.net.wire import (
     node_id_to_wire,
     table_to_wire,
 )
+from repro.network.stats import MessageStats
+from repro.obs.instrument import JoinObserver
+from repro.obs.remote import DEFAULT_PAGE_LIMIT, RemoteTelemetry
 from repro.protocol.network_init import single_node_table
 from repro.protocol.node import ProtocolNode
 from repro.protocol.status import NodeStatus
@@ -83,6 +100,8 @@ class NodeDaemonConfig:
         duplicate: float = 0.0,
         reorder: float = 0.0,
         fault_seed: int = 0,
+        telemetry: bool = False,
+        telemetry_file: Optional[str] = None,
     ):
         if not seed_node and rendezvous is None and bootstrap is None:
             raise ValueError(
@@ -103,6 +122,9 @@ class NodeDaemonConfig:
         self.duplicate = duplicate
         self.reorder = reorder
         self.fault_seed = fault_seed
+        # --telemetry-file implies --telemetry.
+        self.telemetry = bool(telemetry or telemetry_file)
+        self.telemetry_file = telemetry_file
 
     def fault_plan(self) -> Optional[FaultPlan]:
         """The configured fault injection, or ``None`` when clean."""
@@ -123,11 +145,30 @@ class NodeDaemon:
         self.config = config
         self.idspace = IdSpace(config.base, config.num_digits)
         self.runtime = AsyncioRuntime(time_scale=config.time_scale)
+        if config.telemetry:
+            self.telemetry: Optional[RemoteTelemetry] = RemoteTelemetry(
+                spool_path=config.telemetry_file
+            )
+            stats = MessageStats(registry=self.telemetry.metrics)
+            self._join_observer: Optional[JoinObserver] = JoinObserver(
+                self.telemetry.observability()
+            )
+        else:
+            self.telemetry = None
+            stats = None
+            self._join_observer = None
         self.transport = DatagramTransport(
             self.runtime,
             config.listen,
+            stats=stats,
             faults=config.fault_plan(),
             rendezvous=config.rendezvous,
+            tracer=(
+                self.telemetry.tracer if self.telemetry is not None else None
+            ),
+            metrics=(
+                self.telemetry.metrics if self.telemetry is not None else None
+            ),
         )
         self.transport.on_control = self._on_control
         self.node: Optional[ProtocolNode] = None
@@ -149,6 +190,8 @@ class NodeDaemon:
         else:
             node_id = self.idspace.hash_name(f"{addr[0]}:{addr[1]}")
         self.node_id = node_id
+        if self.telemetry is not None:
+            self.telemetry.node = str(node_id)
         if config.seed_node:
             self.node = ProtocolNode(
                 node_id,
@@ -187,6 +230,14 @@ class NodeDaemon:
         finally:
             self.transport.close()
             self.runtime.close()
+            if self.telemetry is not None:
+                # Re-spool after the loop stops: catches records from
+                # the final grace period (and budget-exceeded exits,
+                # which never pass through _shutdown).
+                try:
+                    self.telemetry.write_spool()
+                except OSError:  # pragma: no cover - disk full / perms
+                    pass
         return self.exit_code
 
     # -- gateway discovery ----------------------------------------------
@@ -281,6 +332,11 @@ class NodeDaemon:
     # -- protocol event hooks -------------------------------------------
 
     def _on_phase(self, node_id, status, now) -> None:
+        if self._join_observer is not None:
+            # Same join/phase span schema as the simulator's traces, so
+            # the merged cluster trace feeds lifecycle reconstruction
+            # and RunReport unchanged.
+            self._join_observer.on_phase(node_id, status, now)
         if status is NodeStatus.IN_SYSTEM:
             # Become visible as a gateway the moment we are one.
             self._announce()
@@ -327,17 +383,59 @@ class NodeDaemon:
             self.runtime.schedule(SHUTDOWN_GRACE, self._shutdown)
             self._stopping = True
             return {"ok": True}
+        if op == "clock":
+            # Clock-sync probe: wall + protocol time read back-to-back,
+            # so a collector can anchor this daemon's timeline.  Served
+            # even without telemetry (it only reads clocks).
+            return {
+                "wall": time.time(),
+                "now": self.runtime.now,
+                "time_scale": self.config.time_scale,
+            }
+        if op == "telemetry":
+            if self.telemetry is None:
+                return {"error": "telemetry disabled"}
+            body = body or {}
+            page = self.telemetry.export_page(
+                spans_from=int(body.get("spans_from", 0)),
+                events_from=int(body.get("events_from", 0)),
+                limit=int(body.get("limit", DEFAULT_PAGE_LIMIT)),
+            )
+            page["now"] = self.runtime.now
+            page["time_scale"] = self.config.time_scale
+            return page
+        if op == "metrics":
+            if self.telemetry is None:
+                return {"error": "telemetry disabled"}
+            return {
+                "node": self.telemetry.node,
+                "metrics": self.telemetry.metrics.snapshot(),
+            }
         return {"error": f"unknown op: {op}"}
 
     def _status_body(self) -> Dict[str, Any]:
         node = self.node
         stats = self.transport.stats
+        counters = dict(self.transport.counters)
         body: Dict[str, Any] = {
             "id": node_id_to_wire(self.node_id),
             "now": self.runtime.now,
             "events": self.runtime.events_fired,
-            "net": dict(self.transport.counters),
+            "net": counters,
+            # The wire ledger a harness asserts against (e.g. "a clean
+            # wire retransmits nothing"): protocol messages sent vs
+            # wire-level retransmissions/dedups/acks, and what is still
+            # awaiting an ack right now.
+            "wire": {
+                "sent": stats.total_messages,
+                "retransmitted": stats.total_retransmitted,
+                "deduped": counters.get("duplicates_suppressed", 0),
+                "acked": counters.get("acks_received", 0),
+                "gave_up": counters.get("gave_up", 0),
+                "unacked": self.transport.unacked_count,
+            },
             "peers_known": len(self.transport.peers),
+            "telemetry": self.telemetry is not None,
         }
         if node is None:
             body["status"] = "departed"
@@ -363,6 +461,11 @@ class NodeDaemon:
             self._heartbeat_timer.cancel()
             self._heartbeat_timer = None
         self.transport.close()
+        if self.telemetry is not None:
+            try:
+                self.telemetry.write_spool()
+            except OSError:  # pragma: no cover - disk full / perms
+                pass
         self.runtime.kick()
 
 

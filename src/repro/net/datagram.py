@@ -37,6 +37,20 @@ Handler atomicity is preserved: datagram callbacks never invoke
 protocol handlers directly; they schedule delivery through the
 :class:`~repro.runtime.realtime.AsyncioRuntime` mailbox, serialized
 with every timer the protocol arms.
+
+Observability mirrors the in-memory transport when a live
+:class:`~repro.obs.tracer.Tracer` is attached: every protocol send is
+causally stamped (``msg_id``/``parent_id``/``trace_id``), the ids
+cross the wire inside the message envelope, and delivery re-installs
+the received message as the causal parent of everything its handler
+sends -- so a :class:`~repro.obs.causality.CausalForest` built from
+the *merged* traces of many daemons reconstructs the same join trees
+the simulator produces.  Ids are ``"<node-id>#<counter>"`` strings
+(zero-padded), unique across a cluster without coordination.  An
+optional :class:`~repro.obs.metrics.MetricsRegistry` additionally
+collects what only a real wire can show: per-peer ack RTT (first
+transmissions only -- Karn's rule), retransmit and dedup counts, the
+unacked-queue depth, and rendezvous resolve latency.
 """
 
 from __future__ import annotations
@@ -63,6 +77,8 @@ from repro.net.wire import (
     node_id_to_wire,
     rsp_frame,
 )
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.runtime.codec import CodecError
 from repro.runtime.realtime import AsyncioRuntime
 
@@ -76,7 +92,9 @@ DEDUP_WINDOW = 4096
 class _Pending:
     """One protocol datagram awaiting acknowledgment."""
 
-    __slots__ = ("seq", "dst", "message", "data", "retries", "timer")
+    __slots__ = (
+        "seq", "dst", "message", "data", "retries", "timer", "sent_wall"
+    )
 
     def __init__(self, seq: int, dst: NodeId, message: Message, data: bytes):
         self.seq = seq
@@ -85,6 +103,9 @@ class _Pending:
         self.data = data
         self.retries = 0
         self.timer = None
+        #: Wall-clock (loop) time of the first transmission; the RTT
+        #: sample base.  ``None`` until the datagram first hits the wire.
+        self.sent_wall: Optional[float] = None
 
 
 class _PendingControl:
@@ -138,11 +159,33 @@ class DatagramTransport:
         max_control_retries: int = 5,
         resolve_retry_delay: float = 50.0,
         max_resolve_attempts: int = 12,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.runtime = runtime
         self.local_addr = local_addr
         self.stats = stats if stats is not None else MessageStats()
         self.rendezvous = rendezvous
+        # A disabled tracer (NullTracer) is normalized to None, same as
+        # the in-memory transport: with telemetry off, the send path is
+        # the exact pre-instrumentation code.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_unacked = metrics.gauge("net_unacked_depth")
+            self._m_retransmits = metrics.counter("net_retransmits")
+            self._m_dedup = metrics.counter("net_dedup_hits")
+            self._m_gave_up = metrics.counter("net_gave_up")
+            self._m_resolve = metrics.histogram("net_resolve_ms")
+            # Per-peer ack RTT histograms, cached by destination.
+            self._m_rtt: Dict[NodeId, Histogram] = {}
+        else:
+            self._m_unacked = None
+            self._m_retransmits = None
+            self._m_dedup = None
+            self._m_gave_up = None
+            self._m_resolve = None
+            self._m_rtt = {}
         self.retransmit_timeout = retransmit_timeout
         self.max_retries = max_retries
         self.control_timeout = control_timeout
@@ -182,7 +225,14 @@ class DatagramTransport:
         self._seen: Dict[NodeId, Set[int]] = {}
         self._awaiting_addr: Dict[NodeId, List[_Pending]] = {}
         self._resolving: Set[NodeId] = set()
+        self._resolve_started: Dict[NodeId, float] = {}
         self._closed = False
+        # Causal-stamping state (tracing only): the message currently
+        # being handled, and the next per-process counter.  The stamp
+        # prefix binds ids to this node, keeping them cluster-unique.
+        self._cause: Optional[Message] = None
+        self._next_msg_num = 1
+        self._stamp_prefix: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -215,6 +265,7 @@ class DatagramTransport:
         self._pending_ctl.clear()
         self._awaiting_addr.clear()
         self._resolving.clear()
+        self._resolve_started.clear()
         if self._endpoint is not None:
             self._endpoint.close()
             self._endpoint = None
@@ -230,6 +281,7 @@ class DatagramTransport:
             )
         self._node = node
         self._local_id = node.node_id
+        self._stamp_prefix = str(node.node_id)
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach the local node (it departed); later datagrams for it
@@ -249,6 +301,11 @@ class DatagramTransport:
         self.peers[node_id] = addr
         queued = self._awaiting_addr.pop(node_id, None)
         self._resolving.discard(node_id)
+        started = self._resolve_started.pop(node_id, None)
+        if started is not None and self._m_resolve is not None:
+            self._m_resolve.observe(
+                (self.runtime.loop.time() - started) * 1000.0
+            )
         if queued:
             for pending in queued:
                 self._transmit(pending)
@@ -266,11 +323,74 @@ class DatagramTransport:
         self._dispatch(dst, message)
         return True
 
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The live tracer, or ``None`` when tracing is off."""
+        return self._tracer
+
+    @property
+    def unacked_count(self) -> int:
+        """Protocol datagrams currently in flight (sent, not acked)."""
+        return len(self._unacked)
+
+    def _stamp(self, message: Message) -> None:
+        """Assign ``message`` its causal identity (tracing path only).
+
+        Same semantics as the in-memory transport's ``_stamp``, but
+        ids are ``"<node-id>#<counter>"`` strings so that the stamps
+        of independent daemons never collide in a merged trace.  The
+        counter is zero-padded: lexicographic order of one node's ids
+        is its send order, which keeps forest tie-breaks meaningful.
+        A cause whose own ``msg_id`` is ``None`` (sent by a peer with
+        tracing off) roots a new tree, exactly as a spontaneous send.
+        """
+        msg_id = f"{self._stamp_prefix}#{self._next_msg_num:08d}"
+        self._next_msg_num += 1
+        message.msg_id = msg_id
+        cause = self._cause
+        if cause is None or cause.msg_id is None:
+            message.trace_id = msg_id
+        else:
+            message.parent_id = cause.msg_id
+            message.trace_id = (
+                cause.trace_id if cause.trace_id is not None else cause.msg_id
+            )
+
+    def _set_unacked_gauge(self) -> None:
+        if self._m_unacked is not None:
+            self._m_unacked.set(len(self._unacked))
+
     def _dispatch(self, dst: NodeId, message: Message) -> None:
+        tracer = self._tracer
         if self.drop_filter is not None and self.drop_filter(message, dst):
             self.stats.on_drop(message)
+            if tracer is not None:
+                self._stamp(message)
+                tracer.event(
+                    "message.drop",
+                    self.runtime.now,
+                    type=message.type_name,
+                    src=str(message.sender),
+                    dst=str(dst),
+                    msg=message.msg_id,
+                    parent=message.parent_id,
+                    trace=message.trace_id,
+                )
             return
         self.stats.on_send(message)
+        if tracer is not None:
+            self._stamp(message)
+            tracer.event(
+                "message.send",
+                self.runtime.now,
+                type=message.type_name,
+                src=str(message.sender),
+                dst=str(dst),
+                bytes=message.size_bytes(),
+                msg=message.msg_id,
+                parent=message.parent_id,
+                trace=message.trace_id,
+            )
         if dst == self._local_id:
             # Self-delivery short-circuits the socket but still goes
             # through the mailbox for handler atomicity.
@@ -281,6 +401,7 @@ class DatagramTransport:
         data = encode_frame(msg_frame(seq, message))
         pending = _Pending(seq, dst, message, data)
         self._unacked[seq] = pending
+        self._set_unacked_gauge()
         if dst in self.peers:
             self._transmit(pending)
         else:
@@ -291,6 +412,8 @@ class DatagramTransport:
         if addr is None:  # resolution raced a peer removal; retry later
             self._queue_unresolved(pending.dst, pending)
             return
+        if pending.sent_wall is None:
+            pending.sent_wall = self.runtime.loop.time()
         self._send_raw(pending.data, addr, pending.message.type_name)
         backoff = self.retransmit_timeout * min(2 ** pending.retries, 8)
         pending.timer = self.runtime.schedule(
@@ -330,9 +453,29 @@ class DatagramTransport:
         if pending.retries > self.max_retries:
             del self._unacked[seq]
             self.counters["gave_up"] += 1
+            if self._m_gave_up is not None:
+                self._m_gave_up.inc()
+            self._set_unacked_gauge()
             self.stats.on_drop(pending.message)
+            if self._tracer is not None:
+                # Not ``message.drop``: the earlier transmissions may
+                # have been handled (only the acks lost), so marking
+                # the record dropped could fabricate causal-order
+                # violations.  A distinct event keeps the evidence
+                # without rewriting the send record.
+                self._tracer.event(
+                    "message.gave_up",
+                    self.runtime.now,
+                    type=pending.message.type_name,
+                    dst=str(pending.dst),
+                    msg=pending.message.msg_id,
+                    retries=pending.retries - 1,
+                )
             return
         self.counters["retransmits"] += 1
+        self.stats.on_retransmit(pending.message)
+        if self._m_retransmits is not None:
+            self._m_retransmits.inc()
         self._transmit(pending)
 
     # -- resolution -------------------------------------------------------
@@ -341,6 +484,7 @@ class DatagramTransport:
         self._awaiting_addr.setdefault(dst, []).append(pending)
         if dst not in self._resolving:
             self._resolving.add(dst)
+            self._resolve_started.setdefault(dst, self.runtime.loop.time())
             self._resolve(dst, 0)
 
     def _resolve(self, dst: NodeId, attempt: int) -> None:
@@ -373,10 +517,25 @@ class DatagramTransport:
 
     def _resolution_failed(self, dst: NodeId) -> None:
         self._resolving.discard(dst)
+        self._resolve_started.pop(dst, None)
         self.counters["resolve_failures"] += 1
         for pending in self._awaiting_addr.pop(dst, []):
             self._unacked.pop(pending.seq, None)
             self.stats.on_drop(pending.message)
+            if self._tracer is not None:
+                # Never transmitted: a true drop (the send record is
+                # rewritten as dropped when the forest is rebuilt).
+                self._tracer.event(
+                    "message.drop",
+                    self.runtime.now,
+                    type=pending.message.type_name,
+                    src=str(pending.message.sender),
+                    dst=str(dst),
+                    msg=pending.message.msg_id,
+                    parent=pending.message.parent_id,
+                    trace=pending.message.trace_id,
+                )
+        self._set_unacked_gauge()
 
     # -- control protocol -------------------------------------------------
 
@@ -463,6 +622,8 @@ class DatagramTransport:
         seen = self._seen.setdefault(sender, set())
         if seq in seen:
             self.counters["duplicates_suppressed"] += 1
+            if self._m_dedup is not None:
+                self._m_dedup.inc()
             return
         seen.add(seq)
         if len(seen) > DEDUP_WINDOW:
@@ -472,8 +633,28 @@ class DatagramTransport:
 
     def _deliver(self, message: Message) -> None:
         node = self._node
-        if node is not None:
+        if node is None:
+            return
+        tracer = self._tracer
+        if tracer is None:
             node.receive(message)
+            return
+        tracer.event(
+            "message.deliver",
+            self.runtime.now,
+            type=message.type_name,
+            src=str(message.sender),
+            dst=str(self._local_id),
+            msg=message.msg_id,
+        )
+        # The received message is the causal parent of everything its
+        # handler sends (mirrors the in-memory transport's deliver
+        # closure); handler atomicity makes the try/finally airtight.
+        self._cause = message
+        try:
+            node.receive(message)
+        finally:
+            self._cause = None
 
     def _on_ack_frame(self, frame: dict) -> None:
         pending = self._unacked.pop(frame["s"], None)
@@ -483,6 +664,24 @@ class DatagramTransport:
         if pending.timer is not None:
             pending.timer.cancel()
             pending.timer = None
+        if (
+            self.metrics is not None
+            and pending.retries == 0
+            and pending.sent_wall is not None
+        ):
+            # Karn's rule: a retransmitted datagram's ack is ambiguous
+            # (which copy does it answer?), so only first-transmission
+            # acks contribute RTT samples.
+            histogram = self._m_rtt.get(pending.dst)
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    "net_ack_rtt_ms", peer=str(pending.dst)
+                )
+                self._m_rtt[pending.dst] = histogram
+            histogram.observe(
+                (self.runtime.loop.time() - pending.sent_wall) * 1000.0
+            )
+        self._set_unacked_gauge()
         # The cancel may have been the last pending action: wake the
         # dispatcher so quiescence is observed.
         self.runtime.kick()

@@ -23,8 +23,14 @@ peers      --                                       ``peers`` (S only)
 resolve    ``id`` (tagged)                          ``addr`` or null
 remove     ``id`` (tagged)                          ``ok``
 ping       --                                       ``ok``
+directory  --                                       ``nodes`` (all live)
 stop       --                                       ``ok`` (then exits)
 =========  =======================================  ==================
+
+``directory`` differs from ``peers``: it lists *every* live
+registration (S-node or not, uncapped) with its s-bit -- the full
+roster a telemetry collector or ``repro top`` iterates -- while
+``peers`` is the bootstrap contact list (S-nodes only, capped).
 """
 
 from __future__ import annotations
@@ -161,6 +167,15 @@ class RendezvousServer:
             return {"ok": True}
         if op == "ping":
             return {"ok": True, "nodes": len(self._live())}
+        if op == "directory":
+            return {
+                "nodes": [
+                    [node_id_to_wire(node_id), list(reg.addr), reg.is_s_node]
+                    for node_id, reg in sorted(
+                        self._live().items(), key=lambda kv: str(kv[0])
+                    )
+                ]
+            }
         if op == "stop":
             self._loop.call_soon(self._loop.stop)
             return {"ok": True}

@@ -7,7 +7,12 @@ deployment tier:
 ``m``  a protocol message (the :mod:`repro.runtime.codec` envelope is
        embedded verbatim under ``m``) with a per-sender sequence
        number ``s`` -- the unit of the transport's ack/retransmit
-       reliability;
+       reliability.  When telemetry is on, the envelope includes the
+       causal ids (``msg_id`` / ``parent_id`` / ``trace_id``) the
+       sending transport stamped, so the receiver records deliveries
+       against the *sender's* message identity and cross-process
+       causal trees reconstruct; with telemetry off the ids are
+       simply absent from the frame (decoders default them to null);
 ``a``  an acknowledgment of sequence number ``s``;
 ``c``  a control request (``op`` + body ``b``, request id ``r``) --
        the small out-of-band protocol the node daemon, the rendezvous

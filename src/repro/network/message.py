@@ -9,9 +9,16 @@ actually include.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.ids.digits import NodeId
+
+#: A causal-stamping identity.  The in-memory transport issues plain
+#: ints (one counter per run); the datagram transport issues
+#: ``"<node-id>#<counter>"`` strings, unique across an entire cluster
+#: without coordination and lexicographically ordered per sender
+#: (the counter is zero-padded).
+CausalId = Union[int, str]
 
 # Size accounting constants (bytes).  An entry is an ID plus an IP
 # address plus a one-byte state; headers cover addressing and type tags.
@@ -32,7 +39,10 @@ class Message:
     ``parent_id`` is the ``msg_id`` of the message whose handler sent
     this one (``None`` for spontaneous sends such as ``begin_join``),
     and ``trace_id`` is the ``msg_id`` of the causal root, shared by
-    the whole tree.  They stay ``None`` when tracing is off.
+    the whole tree.  They stay ``None`` when tracing is off.  The
+    in-memory transport stamps ints; the datagram transport stamps
+    :data:`CausalId` strings that stay unique across processes and
+    survive the wire (see :mod:`repro.runtime.codec`).
     """
 
     __slots__ = ("sender", "msg_id", "parent_id", "trace_id")
@@ -45,9 +55,9 @@ class Message:
 
     def __init__(self, sender: NodeId):
         self.sender = sender
-        self.msg_id: Optional[int] = None
-        self.parent_id: Optional[int] = None
-        self.trace_id: Optional[int] = None
+        self.msg_id: Optional[CausalId] = None
+        self.parent_id: Optional[CausalId] = None
+        self.trace_id: Optional[CausalId] = None
 
     def size_bytes(self) -> int:
         """Estimated wire size, for the Section 6.2 ablation."""

@@ -55,10 +55,14 @@ class MessageStats:
         self._sent: Dict[str, Counter] = {}
         self._bytes: Dict[str, Counter] = {}
         self._dropped: Dict[str, Counter] = {}
+        self._retransmitted: Dict[str, Counter] = {}
         self._by_sender: Dict[Tuple[NodeId, str], Counter] = {}
         self._total_messages = self.registry.counter("messages_total")
         self._total_bytes = self.registry.counter("message_bytes_total")
         self._total_dropped = self.registry.counter("messages_dropped_total")
+        self._total_retransmitted = self.registry.counter(
+            "messages_retransmitted_total"
+        )
 
     # -- write side (transport hot path) --------------------------------
 
@@ -96,6 +100,26 @@ class MessageStats:
         dropped.inc()
         self._total_dropped.inc()
 
+    def on_retransmit(self, message: Message) -> None:
+        """A real-wire transport re-sent an already-accounted message.
+
+        Retransmissions are a *wire* phenomenon (ARQ recovering from
+        datagram loss), not a protocol send: they must never touch
+        ``messages_sent``, or the paper's per-type counts (Figure
+        15(b), Theorem 3) would diverge between the in-memory and the
+        datagram transport for the same workload.  They get their own
+        ``messages_retransmitted{type=...}`` counter instead.
+        """
+        name = message.type_name
+        retransmitted = self._retransmitted.get(name)
+        if retransmitted is None:
+            retransmitted = self.registry.counter(
+                "messages_retransmitted", type=name
+            )
+            self._retransmitted[name] = retransmitted
+        retransmitted.inc()
+        self._total_retransmitted.inc()
+
     # -- legacy dict views ----------------------------------------------
 
     @property
@@ -117,6 +141,14 @@ class MessageStats:
         """Per-type drop counts (read-only view; missing keys read 0)."""
         return _ZeroDict(
             (name, counter.value) for name, counter in self._dropped.items()
+        )
+
+    @property
+    def retransmitted_by_type(self) -> Dict[str, int]:
+        """Per-type retransmit counts (read-only; missing keys read 0)."""
+        return _ZeroDict(
+            (name, counter.value)
+            for name, counter in self._retransmitted.items()
         )
 
     @property
@@ -145,6 +177,11 @@ class MessageStats:
     def total_dropped(self) -> int:
         """All messages dropped (dead destinations) so far."""
         return self._total_dropped.value
+
+    @property
+    def total_retransmitted(self) -> int:
+        """All wire-level retransmissions so far (0 in simulation)."""
+        return self._total_retransmitted.value
 
     # -- read side -------------------------------------------------------
 

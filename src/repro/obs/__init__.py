@@ -32,6 +32,11 @@ On top of the recording tier sits the analysis tier:
   (``repro join --audit``).
 * :class:`~repro.obs.report.RunReport` -- ``repro report``: text /
   JSON / HTML analytics over a trace JSONL file.
+* :mod:`~repro.obs.remote` -- distributed telemetry: per-daemon
+  recording bundles (:class:`~repro.obs.remote.RemoteTelemetry`),
+  NTP-style clock alignment (:class:`~repro.obs.remote.ClockSync`) and
+  :func:`~repro.obs.remote.merge_traces`, which folds every daemon's
+  trace into one stream the analysis tier consumes unchanged.
 
 Typical use::
 
@@ -63,6 +68,7 @@ from repro.obs.export import (
     write_message_type_csv,
     write_metrics_csv,
     write_trace_jsonl,
+    write_trace_records,
 )
 from repro.obs.lifecycle import (
     JOIN_PHASE_ORDER,
@@ -86,6 +92,14 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
 )
+from repro.obs.remote import (
+    ClockSample,
+    ClockSync,
+    ClockSyncError,
+    DaemonTrace,
+    RemoteTelemetry,
+    merge_traces,
+)
 from repro.obs.report import RunReport
 from repro.obs.tracer import (
     NullTracer,
@@ -102,7 +116,11 @@ __all__ = [
     "AuditSample",
     "CausalForest",
     "CausalityError",
+    "ClockSample",
+    "ClockSync",
+    "ClockSyncError",
     "Counter",
+    "DaemonTrace",
     "Gauge",
     "Histogram",
     "JOIN_PHASE_ORDER",
@@ -116,6 +134,7 @@ __all__ = [
     "NullTracer",
     "Observability",
     "PhaseInterval",
+    "RemoteTelemetry",
     "RunReport",
     "SchedulerProbe",
     "Span",
@@ -125,6 +144,7 @@ __all__ = [
     "collect_table_metrics",
     "instrument_scheduler",
     "lifecycles_from_tracer",
+    "merge_traces",
     "message_type_breakdown",
     "message_type_csv",
     "metrics_to_csv",
@@ -136,4 +156,5 @@ __all__ = [
     "write_message_type_csv",
     "write_metrics_csv",
     "write_trace_jsonl",
+    "write_trace_records",
 ]

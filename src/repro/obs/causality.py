@@ -28,18 +28,24 @@ join could possibly have finished.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.obs.tracer import Tracer
+
+#: Message identity in a trace: ints from the in-memory transport,
+#: ``"<node>#<counter>"`` strings from the datagram transport (see
+#: :data:`repro.network.message.CausalId`).  One trace never mixes the
+#: two (a run uses one transport kind), so ids stay sortable.
+CausalId = Union[int, str]
 
 
 @dataclass
 class MessageRecord:
     """One stamped message reconstructed from trace events."""
 
-    msg_id: int
-    parent_id: Optional[int]
-    trace_id: int
+    msg_id: CausalId
+    parent_id: Optional[CausalId]
+    trace_id: CausalId
     type: str
     src: str
     dst: str
@@ -67,8 +73,8 @@ class CausalForest:
     """The causal forest of one traced run."""
 
     def __init__(self, records: Iterable[MessageRecord]):
-        self.records: Dict[int, MessageRecord] = {}
-        self._children: Dict[int, List[int]] = {}
+        self.records: Dict[CausalId, MessageRecord] = {}
+        self._children: Dict[CausalId, List[CausalId]] = {}
         for record in records:
             if record.msg_id in self.records:
                 raise CausalityError(f"duplicate msg_id {record.msg_id}")
@@ -92,31 +98,43 @@ class CausalForest:
 
         Events without a ``msg`` attribute (traces from before causal
         stamping, or non-message events) are ignored.
+
+        Two passes: sends/drops first, then deliveries.  A
+        single-tracer stream always records the send before the
+        delivery, but a *merged* multi-daemon stream (each end of a
+        datagram recorded by a different process) carries no such
+        ordering guarantee -- the receiver's ``message.deliver`` may
+        sort ahead of the sender's ``message.send``.
         """
-        records: Dict[int, MessageRecord] = {}
-        for event in events:
+        materialized = list(events)
+        records: Dict[CausalId, MessageRecord] = {}
+        for event in materialized:
             name = event.get("name")
+            if name not in ("message.send", "message.drop"):
+                continue
             attrs = event.get("attrs", {})
             msg_id = attrs.get("msg")
             if msg_id is None:
                 continue
-            if name in ("message.send", "message.drop"):
-                records[msg_id] = MessageRecord(
-                    msg_id=msg_id,
-                    parent_id=attrs.get("parent"),
-                    trace_id=attrs.get("trace", msg_id),
-                    type=attrs.get("type", "?"),
-                    src=attrs.get("src", "?"),
-                    dst=attrs.get("dst", "?"),
-                    send_time=event.get("time", 0.0),
-                    bytes=attrs.get("bytes", 0),
-                    latency=attrs.get("latency", 0.0),
-                    dropped=(name == "message.drop"),
-                )
-            elif name == "message.deliver":
-                record = records.get(msg_id)
-                if record is not None:
-                    record.deliver_time = event.get("time", 0.0)
+            records[msg_id] = MessageRecord(
+                msg_id=msg_id,
+                parent_id=attrs.get("parent"),
+                trace_id=attrs.get("trace", msg_id),
+                type=attrs.get("type", "?"),
+                src=attrs.get("src", "?"),
+                dst=attrs.get("dst", "?"),
+                send_time=event.get("time", 0.0),
+                bytes=attrs.get("bytes", 0),
+                latency=attrs.get("latency", 0.0),
+                dropped=(name == "message.drop"),
+            )
+        for event in materialized:
+            if event.get("name") != "message.deliver":
+                continue
+            attrs = event.get("attrs", {})
+            record = records.get(attrs.get("msg"))
+            if record is not None:
+                record.deliver_time = event.get("time", 0.0)
         return cls(records.values())
 
     @classmethod
@@ -138,11 +156,11 @@ class CausalForest:
             key=lambda r: r.msg_id,
         )
 
-    def children(self, msg_id: int) -> List[MessageRecord]:
+    def children(self, msg_id: CausalId) -> List[MessageRecord]:
         """Messages sent by ``msg_id``'s handler, in msg_id order."""
         return [self.records[c] for c in self._children.get(msg_id, ())]
 
-    def tree(self, root_id: int) -> List[MessageRecord]:
+    def tree(self, root_id: CausalId) -> List[MessageRecord]:
         """Every record in ``root_id``'s tree, preorder."""
         if root_id not in self.records:
             raise CausalityError(f"unknown msg_id {root_id}")
@@ -155,7 +173,7 @@ class CausalForest:
             stack.extend(reversed(self._children.get(msg_id, ())))
         return out
 
-    def depth(self, root_id: int) -> int:
+    def depth(self, root_id: CausalId) -> int:
         """Longest causal chain length in the tree (root counts as 1)."""
         best = 0
         stack = [(root_id, 1)]
@@ -167,14 +185,14 @@ class CausalForest:
                 stack.append((child, level + 1))
         return best
 
-    def type_census(self, root_id: int) -> Dict[str, int]:
+    def type_census(self, root_id: CausalId) -> Dict[str, int]:
         """Message counts per type within one tree, sorted by type."""
         counts: Dict[str, int] = {}
         for record in self.tree(root_id):
             counts[record.type] = counts.get(record.type, 0) + 1
         return dict(sorted(counts.items()))
 
-    def critical_path(self, root_id: int) -> List[MessageRecord]:
+    def critical_path(self, root_id: CausalId) -> List[MessageRecord]:
         """The causal chain from the root to the tree's latest
         completion -- the virtual-time critical path of that join.
 

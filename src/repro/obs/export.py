@@ -41,6 +41,36 @@ def write_trace_jsonl(tracer: Tracer, path: str) -> int:
     return count
 
 
+def write_trace_records(
+    spans: List[Dict[str, Any]],
+    events: List[Dict[str, Any]],
+    path: str,
+) -> int:
+    """Write already-exported record dicts (``read_trace_jsonl``
+    shape) to a JSONL trace file -- spans first, then events, the same
+    layout :func:`write_trace_jsonl` produces from a live tracer.
+    Used for *merged* multi-daemon traces, where no single
+    :class:`~repro.obs.tracer.Tracer` owns the records.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in spans:
+            tagged = dict(record)
+            tagged["kind"] = "span"
+            handle.write(json.dumps(tagged, sort_keys=True))
+            handle.write("\n")
+            count += 1
+        for record in events:
+            tagged = dict(record)
+            tagged["kind"] = "event"
+            handle.write(json.dumps(tagged, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
 def read_trace_jsonl(
     path: str,
 ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:

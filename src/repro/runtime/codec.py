@@ -16,7 +16,11 @@ value types.  Decoding rebuilds the instance without calling
 ``__init__`` (constructors differ per type), then restores each slot.
 
 The causal-stamping ids (``msg_id``/``parent_id``/``trace_id``) are
-part of the envelope, so distributed traces survive the wire.
+part of the envelope, so distributed traces survive the wire.  They
+are the one *optional* part of it: a peer built before causal
+stamping (or sending with tracing off) omits them, and decoding
+defaults them to ``None`` instead of raising -- the protocol payload
+must not depend on the observability payload.
 """
 
 from __future__ import annotations
@@ -38,6 +42,11 @@ MESSAGE_MODULES = (
 #: Practical datagram ceiling (bytes); encode() warns past it via
 #: :class:`OversizedMessageError` only when asked to enforce it.
 MAX_DATAGRAM_BYTES = 65507
+
+#: Slots carrying causal-stamping identity rather than protocol
+#: payload.  Optional on the wire: omitted when ``None`` (tracing
+#: off), defaulted to ``None`` when absent (frames from older peers).
+CAUSAL_SLOTS = frozenset(("msg_id", "parent_id", "trace_id"))
 
 
 class CodecError(ValueError):
@@ -209,10 +218,12 @@ def message_to_obj(message: Message) -> Dict[str, Any]:
     protocol messages inside a larger datagram -- the real-wire frame
     format of :mod:`repro.net.wire` -- embed this object directly
     instead of double-encoding JSON text."""
-    fields = {
-        slot: _encode_value(getattr(message, slot))
-        for slot in _all_slots(type(message))
-    }
+    fields = {}
+    for slot in _all_slots(type(message)):
+        value = getattr(message, slot)
+        if value is None and slot in CAUSAL_SLOTS:
+            continue  # tracing off: keep the frame minimal
+        fields[slot] = _encode_value(value)
     return {"t": message.type_name, "f": fields}
 
 
@@ -240,6 +251,9 @@ def message_from_obj(envelope: Any) -> Message:
         try:
             value = fields[slot]
         except (KeyError, TypeError):
+            if slot in CAUSAL_SLOTS:
+                object.__setattr__(message, slot, None)
+                continue
             raise MalformedWireError(
                 f"{type_name} wire form missing field {slot!r}"
             ) from None
@@ -282,6 +296,7 @@ def decode_message(wire: bytes) -> Message:
 
 
 __all__ = [
+    "CAUSAL_SLOTS",
     "CodecError",
     "MAX_DATAGRAM_BYTES",
     "MESSAGE_MODULES",

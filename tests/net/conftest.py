@@ -16,6 +16,8 @@ from repro.ids.digits import NodeId
 from repro.ids.idspace import IdSpace
 from repro.net.datagram import DatagramTransport
 from repro.net.faults import FaultPlan
+from repro.obs.instrument import JoinObserver
+from repro.obs.remote import RemoteTelemetry
 from repro.protocol.network_init import single_node_table
 from repro.protocol.node import ProtocolNode
 from repro.protocol.status import NodeStatus
@@ -31,6 +33,12 @@ class LoopbackNet:
     Node 0 is the in-system seed; the rest are created *copying* and
     join on demand via :meth:`join`.  All peer addresses are statically
     seeded (the multi-process rendezvous path has its own tests).
+
+    ``telemetry=True`` gives every transport its own
+    :class:`~repro.obs.remote.RemoteTelemetry` bundle (mirroring one
+    daemon per process) plus a phase-observing
+    :class:`~repro.obs.instrument.JoinObserver`, so merge/causality
+    tests can exercise the real multi-tracer geometry in-process.
     """
 
     def __init__(
@@ -40,6 +48,7 @@ class LoopbackNet:
         num_digits: int = 4,
         seed: int = 7,
         fault_plans: Optional[Dict[int, FaultPlan]] = None,
+        telemetry: bool = False,
     ):
         self.runtime = AsyncioRuntime(time_scale=TEST_TIME_SCALE)
         self.space = IdSpace(base, num_digits)
@@ -47,11 +56,27 @@ class LoopbackNet:
         self.ids: List[NodeId] = self.space.random_unique_ids(count, rng)
         fault_plans = fault_plans or {}
         self.transports: List[DatagramTransport] = []
+        self.telemetries: List[Optional[RemoteTelemetry]] = []
+        self.observers: List[Optional[JoinObserver]] = []
         for index in range(count):
+            if telemetry:
+                bundle: Optional[RemoteTelemetry] = RemoteTelemetry(
+                    node=str(self.ids[index])
+                )
+                observer: Optional[JoinObserver] = JoinObserver(
+                    bundle.observability()
+                )
+            else:
+                bundle = None
+                observer = None
+            self.telemetries.append(bundle)
+            self.observers.append(observer)
             transport = DatagramTransport(
                 self.runtime,
                 ("127.0.0.1", 0),
                 faults=fault_plans.get(index),
+                tracer=bundle.tracer if bundle is not None else None,
+                metrics=bundle.metrics if bundle is not None else None,
             )
             transport.open()
             self.transports.append(transport)
@@ -78,6 +103,9 @@ class LoopbackNet:
                     status=NodeStatus.COPYING,
                 )
             )
+        if telemetry:
+            for index, node in enumerate(self.nodes):
+                node.on_phase = self.observers[index].on_phase
 
     def join(self, index: int, gateway_index: int = 0) -> None:
         """Schedule node ``index`` to begin joining at t=0."""
@@ -91,6 +119,25 @@ class LoopbackNet:
     def tables(self):
         """Live tables keyed by node ID (the consistency checker's input)."""
         return {node.node_id: node.table for node in self.nodes}
+
+    def daemon_traces(self):
+        """Per-node :class:`~repro.obs.remote.DaemonTrace` inputs for
+        merge tests.  All endpoints share one runtime clock, so the
+        identity anchor (now=0 at wall=0, scale=1) is exact."""
+        from repro.obs.remote import DaemonTrace
+
+        traces = []
+        for index, bundle in enumerate(self.telemetries):
+            if bundle is None:
+                continue
+            traces.append(
+                DaemonTrace(
+                    name=str(self.ids[index]),
+                    spans=[s.to_record() for s in bundle.tracer.spans()],
+                    events=[e.to_record() for e in bundle.tracer.events()],
+                )
+            )
+        return traces
 
     def close(self) -> None:
         for transport in self.transports:

@@ -71,6 +71,30 @@ class TestHandlerLogic:
         assert handle("ping", None or {}, ("c", 1))["nodes"] == 0
         assert handle("peers", {}, ("c", 1))["peers"] == []
 
+    def test_directory_lists_every_live_node_with_s_bits(self):
+        handle = self.server.handle
+        handle("announce", {"id": wire_id("2222"), "s": True},
+               ("127.0.0.1", 12))
+        handle("announce", {"id": wire_id("0000"), "s": False},
+               ("127.0.0.1", 10))
+        nodes = handle("directory", {}, ("c", 1))["nodes"]
+        # Full roster -- S and non-S alike -- sorted by id.
+        assert [
+            (str(node_id_from_wire(row[0])), row[1], row[2])
+            for row in nodes
+        ] == [
+            ("0000", ["127.0.0.1", 10], False),
+            ("2222", ["127.0.0.1", 12], True),
+        ]
+
+    def test_directory_respects_ttl(self):
+        handle = self.server.handle
+        handle("announce", {"id": wire_id("1111"), "s": False},
+               ("127.0.0.1", 11))
+        registration = self.server.registrations[SPACE.from_string("1111")]
+        registration.refreshed_at -= 120.0
+        assert handle("directory", {}, ("c", 1))["nodes"] == []
+
     def test_unknown_op(self):
         assert "error" in self.server.handle("wat", {}, ("c", 1))
 

@@ -24,13 +24,16 @@ from repro.net.wire import (
     table_from_wire,
     table_to_wire,
 )
-from repro.protocol.messages import JoinWaitMsg
+from repro.protocol.messages import CpRstMsg, JoinWaitMsg
 from repro.protocol.network_init import single_node_table
 from repro.routing.entry import NeighborState
 from repro.runtime.codec import (
+    CAUSAL_SLOTS,
     MAX_DATAGRAM_BYTES,
     MalformedWireError,
     OversizedMessageError,
+    message_from_obj,
+    message_to_obj,
 )
 
 SPACE = IdSpace(4, 4)
@@ -71,6 +74,55 @@ class TestFraming:
             decode_frame(b"[1,2,3]")
         with pytest.raises(MalformedWireError):
             decode_frame(json.dumps({"k": "z"}).encode())
+
+
+class TestCausalIds:
+    """Causal stamps must survive the wire -- and their absence (an
+    unstamped sender, or a peer from before stamping existed) must
+    decode cleanly to ``None``."""
+
+    def test_causal_ids_round_trip_through_codec(self):
+        message = CpRstMsg(SPACE.from_string("0123"))
+        message.msg_id = "0123#00000007"
+        message.parent_id = "3210#00000002"
+        message.trace_id = "3210#00000001"
+        obj = message_to_obj(message)
+        json.dumps(obj)  # must be JSON-ready
+        decoded = message_from_obj(obj)
+        assert decoded.msg_id == "0123#00000007"
+        assert decoded.parent_id == "3210#00000002"
+        assert decoded.trace_id == "3210#00000001"
+
+    def test_causal_ids_round_trip_through_frame(self):
+        message = JoinWaitMsg(SPACE.from_string("2301"))
+        message.msg_id = "2301#00000001"
+        message.trace_id = "2301#00000001"
+        frame = decode_frame(encode_frame(msg_frame(4, message)))
+        decoded = frame_message(frame)
+        assert decoded.msg_id == "2301#00000001"
+        assert decoded.parent_id is None
+        assert decoded.trace_id == "2301#00000001"
+
+    def test_unstamped_message_omits_causal_slots(self):
+        obj = message_to_obj(CpRstMsg(SPACE.from_string("0123")))
+        assert not (CAUSAL_SLOTS & set(obj["f"]))
+
+    def test_frame_without_causal_fields_decodes(self):
+        # A frame as an older (pre-telemetry) peer would emit: the
+        # causal slots simply absent, not null.
+        obj = message_to_obj(CpRstMsg(SPACE.from_string("0123")))
+        for slot in CAUSAL_SLOTS:
+            obj["f"].pop(slot, None)
+        decoded = message_from_obj(obj)
+        assert decoded.msg_id is None
+        assert decoded.parent_id is None
+        assert decoded.trace_id is None
+
+    def test_other_missing_slots_still_rejected(self):
+        obj = message_to_obj(CpRstMsg(SPACE.from_string("0123")))
+        del obj["f"]["sender"]
+        with pytest.raises(MalformedWireError):
+            message_from_obj(obj)
 
 
 class TestAddresses:
