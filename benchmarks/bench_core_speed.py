@@ -18,6 +18,7 @@ root (the perf-trajectory artifact the ROADMAP asks for):
    measured ratio, which process-spawn overhead can push below 1).
 """
 
+import gc
 import json
 import os
 import pathlib
@@ -34,6 +35,16 @@ OUTPUT = REPO_ROOT / "BENCH_core_speed.json"
 BASE, DIGITS, N, M, SEED = 16, 8, 400, 120, 21
 HOT_PATH_ROUNDS = 7
 HOT_PATH_MIN_SPEEDUP = 1.25
+
+#: Events/sec recorded by the previous optimization pass on the
+#: reference CI box (BENCH_core_speed.json as of the sans-io PR).
+REFERENCE_EVENTS_PER_SEC = 18_478
+#: Absolute-throughput gate: the optimized hot path must clear
+#: ``MIN_EVENTS_RATIO x REFERENCE_EVENTS_PER_SEC``.  The reference was
+#: recorded on one specific machine, so the ratio is env-overridable
+#: (``REPRO_MIN_EVENTS_RATIO``, set to ``0`` to record without gating)
+#: for hosts whose single-core speed differs from the recording box.
+MIN_EVENTS_RATIO = float(os.environ.get("REPRO_MIN_EVENTS_RATIO", "3.0"))
 
 SWEEP_CONFIG = Fig15bConfig(
     n=300,
@@ -107,9 +118,16 @@ def test_core_speed_gates():
     baseline_times, optimized_times = [], []
     nets = {}
     for _ in range(HOT_PATH_ROUNDS):
+        # Collect between legs so each one starts from the same heap
+        # state: without this, gen-2 collections triggered by the
+        # *previous* leg's garbage land in arbitrary rounds and make
+        # the distribution bimodal (~40% swings observed).  GC stays
+        # enabled during the timed region itself.
+        gc.collect()
         with use_pre_pr_hot_path():
             elapsed, nets["pre_pr"] = _time_join()
         baseline_times.append(elapsed)
+        gc.collect()
         elapsed, nets["optimized"] = _time_join()
         optimized_times.append(elapsed)
 
@@ -124,6 +142,8 @@ def test_core_speed_gates():
     optimized = min(optimized_times)
     speedup = baseline / optimized
     events = nets["optimized"].simulator.events_fired
+    events_per_sec = events / optimized
+    events_ratio = events_per_sec / REFERENCE_EVENTS_PER_SEC
     record["hot_path"] = {
         "rounds": HOT_PATH_ROUNDS,
         "timer": "process_time",
@@ -132,7 +152,10 @@ def test_core_speed_gates():
         "speedup": round(speedup, 3),
         "min_speedup": HOT_PATH_MIN_SPEEDUP,
         "events_fired": events,
-        "events_per_sec": round(events / optimized),
+        "events_per_sec": round(events_per_sec),
+        "reference_events_per_sec": REFERENCE_EVENTS_PER_SEC,
+        "events_ratio": round(events_ratio, 3),
+        "min_events_ratio": MIN_EVENTS_RATIO,
         "joins_per_sec": round(M / optimized, 1),
         "total_messages": nets["optimized"].stats.total_messages,
     }
@@ -166,6 +189,13 @@ def test_core_speed_gates():
         f"{HOT_PATH_MIN_SPEEDUP}x gate (pre-PR {baseline:.3f}s, "
         f"optimized {optimized:.3f}s)"
     )
+    if MIN_EVENTS_RATIO > 0:
+        assert events_ratio >= MIN_EVENTS_RATIO, (
+            f"events/sec {events_per_sec:.0f} is only "
+            f"{events_ratio:.3f}x the recorded reference "
+            f"{REFERENCE_EVENTS_PER_SEC}/sec (gate {MIN_EVENTS_RATIO}x; "
+            f"override with REPRO_MIN_EVENTS_RATIO)"
+        )
     if gate_applies:
         assert scaling >= SWEEP_MIN_SPEEDUP, (
             f"--jobs {SWEEP_JOBS} scaling {scaling:.3f}x below the "

@@ -7,6 +7,10 @@
 * :mod:`~repro.consistency.verifier` -- behavioural check: all-pairs
   (or sampled) reachability by actually routing, which by Lemma 3.1 is
   equivalent to condition (a).
+* :mod:`~repro.consistency.incremental` -- stateful dirty-set variant
+  of the structural check for repeated mid-run audits: only nodes
+  whose verdict could have changed since the last call are
+  re-verified.
 """
 
 from repro.consistency.checker import (
@@ -14,6 +18,7 @@ from repro.consistency.checker import (
     Violation,
     check_consistency,
 )
+from repro.consistency.incremental import IncrementalChecker
 from repro.consistency.verifier import (
     ReachabilityReport,
     verify_reachability,
@@ -21,6 +26,7 @@ from repro.consistency.verifier import (
 
 __all__ = [
     "ConsistencyReport",
+    "IncrementalChecker",
     "ReachabilityReport",
     "Violation",
     "check_consistency",

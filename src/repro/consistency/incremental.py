@@ -1,0 +1,262 @@
+"""Incremental Definition 3.8 checking (dirty-set re-verification).
+
+The full :func:`~repro.consistency.checker.check_consistency` scan is
+O(n * d * b) per call: every entry of every audited table is probed
+against a freshly built suffix index.  A :class:`LiveAuditor` sampling
+a 100k-node join run pays that cost *per sample*, which turns the
+audit from an observer into the dominant cost of the run.
+
+:class:`IncrementalChecker` keeps the suffix index and the last known
+verdict per node across calls and re-verifies only nodes whose answer
+could have changed since the previous call:
+
+* nodes whose table **version** advanced (any mutation bumps
+  :class:`~repro.routing.table.NeighborTable`'s version counter);
+* nodes **newly added** to the audited membership;
+* nodes with a **cached violation** (a violation can resolve without
+  the violating node's own table changing only through membership
+  churn, but re-checking them every call also keeps the auditor's
+  persistence streaks exact);
+* members of any suffix class whose class just went **empty ->
+  non-empty**: a new member with suffix ``j . s`` turns the null
+  ``(len(s), j)`` entries of every node with suffix ``s`` into
+  false negatives, without touching those nodes' tables.  The affected
+  nodes are exactly the members of class ``s``, which the index
+  already holds.
+
+Membership **removal** (audited set or occupant set shrinking) cannot
+be localized this way -- a departed node may justify entries anywhere
+-- so the checker detects it and falls back to a full rescan,
+rebuilding its state from scratch.  That keeps the incremental path
+exact: for join-only workloads it never triggers; with leaves/failures
+the cost degrades gracefully to the full checker's.
+
+The checker implements the auditor's *relaxed occupant* mode only
+(``require_s_states=False`` with an explicit occupant set -- see
+:func:`check_consistency`): that is the mode that runs repeatedly
+mid-run.  The strict quiescence check runs once and stays on the full
+scanner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.ids.digits import PACKED_DIGIT_BITS, PACKED_DIGIT_MASK, NodeId
+from repro.consistency.checker import ConsistencyReport, Violation
+from repro.routing.table import NeighborTable
+
+
+class IncrementalChecker:
+    """Stateful Definition 3.8 checker for a growing network.
+
+    Call :meth:`check` with the audited ``{node_id: table}`` mapping
+    and the acceptable occupant set, exactly like the relaxed-mode
+    :func:`~repro.consistency.checker.check_consistency`; results agree
+    with the full checker on every call (same violation positions and
+    kinds), while touching only dirty nodes.
+    """
+
+    def __init__(self) -> None:
+        self._initialized = False
+        # Packed length-tagged suffix key ((k << d*w) | suffix bits,
+        # as in repro.routing.oracle) -> audited members of the class.
+        self._index: Dict[int, Set[NodeId]] = {}
+        #: node -> table version at its last verification.
+        self._versions: Dict[NodeId, int] = {}
+        #: node -> its currently cached violations (absent if clean).
+        self._violations: Dict[NodeId, List[Violation]] = {}
+        self._member_set: Set[NodeId] = set()
+        self._occupants: Set[NodeId] = set()
+        #: Cumulative count of per-node verifications (observability;
+        #: compare against calls * len(tables) for the saving).
+        self.nodes_reverified = 0
+        #: Number of full rescans triggered by membership shrink.
+        self.full_rescans = 0
+
+    # -- index plumbing -------------------------------------------------
+
+    def _configure(self, exemplar: NodeId) -> None:
+        self._base = exemplar.base
+        self._num_digits = exemplar.num_digits
+        w = PACKED_DIGIT_BITS
+        self._tag_shift = self._num_digits * w
+        self._masks = tuple(
+            (1 << (k * w)) - 1 for k in range(self._num_digits + 1)
+        )
+        self._initialized = True
+
+    def _reset(self) -> None:
+        self._index.clear()
+        self._versions.clear()
+        self._violations.clear()
+        self._member_set = set()
+        self._occupants = set()
+
+    def _add_members(
+        self, new_members: List[NodeId], dirty: Set[NodeId]
+    ) -> None:
+        """Index ``new_members``; dirty every node whose previously
+        empty suffix class just gained its first member."""
+        index = self._index
+        masks = self._masks
+        tag_shift = self._tag_shift
+        created_parents: List[int] = []
+        for member in new_members:
+            packed = member._packed
+            for k in range(self._num_digits + 1):
+                key = (k << tag_shift) | (packed & masks[k])
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = {member}
+                    if k:
+                        created_parents.append(
+                            ((k - 1) << tag_shift)
+                            | (packed & masks[k - 1])
+                        )
+                else:
+                    bucket.add(member)
+        for parent in created_parents:
+            # Members of the parent class are the nodes whose (k-1,
+            # digit) entry aims at the newly non-empty class.
+            dirty |= index[parent]
+
+    # -- per-node verification ------------------------------------------
+
+    def _check_node(
+        self,
+        node_id: NodeId,
+        table: NeighborTable,
+        occupants: Set[NodeId],
+    ) -> List[Violation]:
+        """Relaxed-mode verdict for one node (mirrors the full
+        checker's per-entry decisions exactly)."""
+        violations: List[Violation] = []
+        index = self._index
+        masks = self._masks
+        tag_shift = self._tag_shift
+        w = PACKED_DIGIT_BITS
+        dmask = PACKED_DIGIT_MASK
+        packed = node_id._packed
+        table_get = table.get
+        base = self._base
+        for level in range(self._num_digits):
+            parent_bits = packed & masks[level]
+            key_base = (level + 1) << tag_shift
+            shift = level * w
+            for digit in range(base):
+                occupant = table_get(level, digit)
+                if occupant is None:
+                    bucket = index.get(
+                        key_base | (digit << shift) | parent_bits
+                    )
+                    if bucket:
+                        violations.append(Violation(
+                            node_id, level, digit, "false_negative",
+                            f"suffix set non-empty (e.g. "
+                            f"{next(iter(bucket))}) but entry is null",
+                        ))
+                    continue
+                if occupant not in occupants:
+                    violations.append(Violation(
+                        node_id, level, digit, "bad_occupant",
+                        f"{occupant} is not a member of the network",
+                    ))
+                    continue
+                opacked = occupant._packed
+                if (opacked & masks[level]) != parent_bits or (
+                    (opacked >> shift) & dmask
+                ) != digit:
+                    violations.append(Violation(
+                        node_id, level, digit, "bad_occupant",
+                        f"{occupant} lacks the required suffix",
+                    ))
+        return violations
+
+    # -- public API -----------------------------------------------------
+
+    def check(
+        self,
+        tables: Mapping[NodeId, NeighborTable],
+        occupant_set: Iterable[NodeId],
+        max_violations: Optional[int] = None,
+    ) -> ConsistencyReport:
+        """Relaxed-mode Definition 3.8 over ``tables``.
+
+        Equivalent to ``check_consistency(tables,
+        require_s_states=False, occupant_set=occupant_set,
+        max_violations=max_violations)`` (violation positions/kinds and
+        the verdict; ``nodes_checked``/``entries_checked`` count only
+        the nodes actually re-verified this call).
+        """
+        # Always a private copy: shrink detection compares against the
+        # *previous* call's set, which must not alias a set the caller
+        # mutates in place between calls.
+        occupants = set(occupant_set)
+        if not self._initialized:
+            if not tables:
+                # Nothing audited yet: vacuously consistent (matches
+                # the full checker on an empty mapping).
+                return ConsistencyReport(consistent=True)
+            self._configure(next(iter(tables)))
+        if not (
+            self._member_set <= tables.keys()
+            and self._occupants <= occupants
+        ):
+            # Membership shrank: removals cannot be localized, start
+            # over (the rebuilt state then serves later calls again).
+            self._reset()
+            self.full_rescans += 1
+        self._occupants = occupants
+
+        dirty: Set[NodeId] = set()
+        versions = self._versions
+        new_members = [m for m in tables if m not in versions]
+        if new_members:
+            self._add_members(new_members, dirty)
+            dirty.update(new_members)
+            self._member_set.update(new_members)
+        for member, table in tables.items():
+            version = table._version
+            known = versions.get(member)
+            if known is None or known != version:
+                versions[member] = version
+                dirty.add(member)
+        # A cached violation can be resolved by membership growth
+        # alone; re-verifying keeps verdicts and the auditor's
+        # persistence streaks identical to the full checker's.
+        dirty.update(self._violations.keys() & tables.keys())
+
+        cached = self._violations
+        for member in dirty:
+            table = tables[member]
+            versions[member] = table._version
+            violations = self._check_node(member, table, occupants)
+            if violations:
+                cached[member] = violations
+            else:
+                cached.pop(member, None)
+        self.nodes_reverified += len(dirty)
+
+        report = ConsistencyReport(
+            consistent=True,
+            nodes_checked=len(dirty),
+            entries_checked=len(dirty) * self._num_digits * self._base,
+        )
+        if cached:
+            out = report.violations
+            # Assemble in the full checker's scan order (tables
+            # iteration order, then level/digit within a node).
+            for member in tables:
+                violations = cached.get(member)
+                if violations:
+                    out.extend(violations)
+                    if (
+                        max_violations is not None
+                        and len(out) >= max_violations
+                    ):
+                        del out[max_violations:]
+                        break
+            if out:
+                report.consistent = False
+        return report

@@ -80,6 +80,29 @@ def _run_chunk(
     return start, [fn(task) for task in chunk]
 
 
+#: Worker-global task function, installed once per worker process by
+#: :func:`_init_worker` so chunk submissions carry only ``(start,
+#: tasks)`` -- the function (and anything closed over by a partial) is
+#: pickled once per *worker* instead of once per *chunk*.
+_worker_fn: Optional[Callable[..., Any]] = None
+
+
+def _init_worker(fn: Callable[[T], R]) -> None:
+    """Pool initializer: pin the task function in this worker."""
+    global _worker_fn
+    _worker_fn = fn
+
+
+def _run_chunk_initialized(
+    start: int, chunk: Sequence[T]
+) -> Tuple[int, List[R]]:
+    """Worker-side body using the function installed by
+    :func:`_init_worker` (see :func:`parallel_map`)."""
+    fn = _worker_fn
+    assert fn is not None, "worker used before initializer ran"
+    return start, [fn(task) for task in chunk]
+
+
 def parallel_map(
     fn: Callable[[T], R],
     tasks: Sequence[T],
@@ -116,9 +139,13 @@ def parallel_map(
     ]
     merged: Dict[int, List[R]] = {}
     done = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        initializer=_init_worker,
+        initargs=(fn,),
+    ) as pool:
         pending = {
-            pool.submit(_run_chunk, fn, start, chunk)
+            pool.submit(_run_chunk_initialized, start, chunk)
             for start, chunk in chunks
         }
         while pending:

@@ -12,10 +12,19 @@ The package provides:
   that creates, parses, hashes and samples IDs.
 * :mod:`~repro.ids.suffix` -- suffix algebra (``csuf``, suffix sets,
   suffix indexes) used throughout the protocol and its analysis.
+* :mod:`~repro.ids.packed` -- fixed-width integer encoding of the same
+  algebra (shift/mask arithmetic, XOR ``csuf`` fast path) backing the
+  simulator hot paths.
 """
 
-from repro.ids.digits import NodeId
+from repro.ids.digits import PACKED_DIGIT_BITS, NodeId
 from repro.ids.idspace import IdSpace
+from repro.ids.packed import (
+    PackedIdSpace,
+    packed_csuf_len,
+    packed_digit,
+    packed_suffix,
+)
 from repro.ids.suffix import (
     SuffixIndex,
     csuf,
@@ -29,6 +38,11 @@ from repro.ids.suffix import (
 __all__ = [
     "NodeId",
     "IdSpace",
+    "PackedIdSpace",
+    "PACKED_DIGIT_BITS",
+    "packed_csuf_len",
+    "packed_digit",
+    "packed_suffix",
     "SuffixIndex",
     "csuf",
     "csuf_len",

@@ -15,6 +15,16 @@ _CHAR_VALUES = {c: v for v, c in enumerate(_DIGIT_CHARS)}
 
 MAX_BASE = len(_DIGIT_CHARS)
 
+#: Bits per digit in the packed-int encoding (see
+#: :mod:`repro.ids.packed`).  Six bits hold any digit of any supported
+#: base (``MAX_BASE == 36 < 64``); using a fixed width keeps the
+#: shift/mask algebra base-independent, so every :class:`NodeId` can
+#: carry its packed form regardless of the space it came from.
+PACKED_DIGIT_BITS = 6
+
+#: Mask selecting one packed digit.
+PACKED_DIGIT_MASK = (1 << PACKED_DIGIT_BITS) - 1
+
 
 class NodeId:
     """A fixed-length base-``b`` identifier.
@@ -25,18 +35,26 @@ class NodeId:
     ``x[0] == 3``).
     """
 
-    __slots__ = ("_digits", "_base", "_hash", "_str", "_int")
+    __slots__ = ("_digits", "_base", "_hash", "_str", "_int", "_packed")
 
     def __init__(self, digits: Tuple[int, ...], base: int):
         if not 2 <= base <= MAX_BASE:
             raise ValueError(f"base must be in [2, {MAX_BASE}], got {base}")
         if not digits:
             raise ValueError("an ID must have at least one digit")
+        packed = 0
+        shift = 0
         for dg in digits:
             if not 0 <= dg < base:
                 raise ValueError(f"digit {dg} out of range for base {base}")
+            packed |= dg << shift
+            shift += PACKED_DIGIT_BITS
         self._digits = tuple(digits)
         self._base = base
+        # Fixed-width integer form: digit i sits at bit i*PACKED_DIGIT_BITS
+        # (see repro.ids.packed).  Computed eagerly inside the validation
+        # loop above, so the hot suffix algebra below is pure int math.
+        self._packed = packed
         self._hash = hash((self._digits, base))
         # Lazily-computed caches: the printable form is needed on every
         # traced message and the numeric value on every ordered compare,
@@ -97,44 +115,48 @@ class NodeId:
             return False
         return self._digits[:k] == tuple(suffix)
 
+    @property
+    def packed(self) -> int:
+        """Fixed-width integer encoding (see :mod:`repro.ids.packed`)."""
+        return self._packed
+
     def csuf_len(self, other: "NodeId") -> int:
         """Length of the longest common suffix with ``other``.
 
         This is the paper's ``|csuf(x.ID, y.ID)|``.
 
-        Called on every routing decision and table check, so the common
-        cases are short-circuited: comparing an ID with itself (IDs are
-        shared value objects, so identity is the norm), a full match
-        guarded by the precomputed hash, and a first-digit mismatch
-        (probability ``(b-1)/b`` for random pairs).
+        Called on every routing decision and table check, so instead of
+        a digit loop the packed forms are XORed: the lowest set bit of
+        the XOR sits inside the first differing digit, so its position
+        divided by the digit width *is* the answer (clamped to the
+        shorter ID for mixed-length comparisons).
         """
+        z = self._packed ^ other._packed
         a = self._digits
         b = other._digits
-        if a is b:
-            return len(a)
-        if a[0] != b[0]:
-            return 0
-        if self._hash == other._hash and a == b:
-            return len(a)
-        n = 1
-        limit = min(len(a), len(b))
-        while n < limit and a[n] == b[n]:
-            n += 1
-        return n
+        limit = len(a) if len(a) <= len(b) else len(b)
+        if z == 0:
+            return limit
+        n = ((z & -z).bit_length() - 1) // PACKED_DIGIT_BITS
+        return n if n < limit else limit
 
     def __eq__(self, other: object) -> bool:
         if other is self:
             return True
-        if not isinstance(other, NodeId):
+        # Attribute access doubles as the type check (zero-cost
+        # try/except beats an isinstance call in this hot comparison).
+        try:
+            return self._digits == other._digits and self._base == other._base
+        except AttributeError:
             return NotImplemented
-        return self._digits == other._digits and self._base == other._base
 
     def __ne__(self, other: object) -> bool:
         if other is self:
             return False
-        if not isinstance(other, NodeId):
+        try:
+            return self._digits != other._digits or self._base != other._base
+        except AttributeError:
             return NotImplemented
-        return self._digits != other._digits or self._base != other._base
 
     def __lt__(self, other: "NodeId") -> bool:
         return self.to_int() < other.to_int()

@@ -22,8 +22,26 @@ from repro.runtime.interface import TimerHandle
 Handler = Callable[[Message], None]
 
 
+def _wrap_external(handler: Handler):
+    """Adapt a plain ``handler(message)`` callable to the internal
+    ``handler(self, message)`` dispatch convention."""
+
+    def dispatch(_node: "NetworkNode", message: Message) -> None:
+        handler(message)
+
+    return dispatch
+
+
 class NetworkNode:
     """An actor addressed by its :class:`NodeId`."""
+
+    #: Handler tables shared per *concrete class*: every instance of a
+    #: class registers the same ``self._on_x`` bound methods, so the
+    #: table stores the underlying functions once instead of one dict
+    #: of bound methods per node (~1 KiB each; a 10⁵-node simulation
+    #: would spend >100 MiB on them).  An instance that registers a
+    #: non-method handler gets a private copy-on-write table.
+    _class_handlers: Dict[type, Dict[Type[Message], Callable]] = {}
 
     def __init__(self, node_id: NodeId, transport: Transport):
         self.node_id = node_id
@@ -32,12 +50,29 @@ class NetworkNode:
         #: transport).  Read time via :attr:`now`, set timers via
         #: :meth:`start_timer`.
         self.runtime = transport.runtime
-        self._handlers: Dict[Type[Message], Handler] = {}
+        cls = self.__class__
+        handlers = NetworkNode._class_handlers.get(cls)
+        if handlers is None:
+            handlers = NetworkNode._class_handlers[cls] = {}
+        self._handlers: Dict[Type[Message], Callable] = handlers
+        self._own_handlers = False
         transport.register(self)
 
     def handles(self, message_type: Type[Message], handler: Handler) -> None:
-        """Register ``handler`` for messages of ``message_type``."""
-        self._handlers[message_type] = handler
+        """Register ``handler`` for messages of ``message_type``.
+
+        A bound method of this node lands in the class-shared table
+        (identical for every instance, see ``_class_handlers``); any
+        other callable forces this instance onto a private copy first.
+        """
+        func = getattr(handler, "__func__", None)
+        if func is not None and getattr(handler, "__self__", None) is self:
+            self._handlers[message_type] = func
+            return
+        if not self._own_handlers:
+            self._handlers = dict(self._handlers)
+            self._own_handlers = True
+        self._handlers[message_type] = _wrap_external(handler)
 
     def send(self, dst: NodeId, message: Message) -> None:
         """Send ``message`` to ``dst`` through the transport."""
@@ -50,7 +85,7 @@ class NetworkNode:
             raise NotImplementedError(
                 f"{self.node_id} has no handler for {message.type_name}"
             )
-        handler(message)
+        handler(self, message)
 
     @property
     def now(self) -> float:

@@ -54,9 +54,20 @@ class MessageStats:
         # registry get-or-create with label canonicalization.
         self._sent: Dict[str, Counter] = {}
         self._bytes: Dict[str, Counter] = {}
+        # (sent, bytes) counter pairs per type: on_send resolves both
+        # of its per-type counters with a single dict probe.
+        self._send_pair: Dict[str, Tuple[Counter, Counter]] = {}
         self._dropped: Dict[str, Counter] = {}
         self._retransmitted: Dict[str, Counter] = {}
         self._by_sender: Dict[Tuple[NodeId, str], Counter] = {}
+        # Per-sender counts accumulate as plain ints and flush into
+        # labelled counters lazily (registry collector): creating a
+        # ``messages_sent_by{sender=...,type=...}`` counter costs a
+        # ``str(sender)`` plus label canonicalization, which is pure
+        # overhead for the thousands of (sender, type) pairs a large
+        # run touches exactly while it runs, and reads are rare.
+        self._by_sender_pending: Dict[Tuple[NodeId, str], int] = {}
+        self.registry.add_collector(self._flush_by_sender)
         self._total_messages = self.registry.counter("messages_total")
         self._total_bytes = self.registry.counter("message_bytes_total")
         self._total_dropped = self.registry.counter("messages_dropped_total")
@@ -70,25 +81,44 @@ class MessageStats:
         """Account one sent message (called by the transport)."""
         name = message.type_name
         size = message.size_bytes()
-        sent = self._sent.get(name)
-        if sent is None:
+        pair = self._send_pair.get(name)
+        if pair is None:
             sent = self.registry.counter("messages_sent", type=name)
+            byts = self.registry.counter("message_bytes", type=name)
             self._sent[name] = sent
-            self._bytes[name] = self.registry.counter(
-                "message_bytes", type=name
-            )
-        sent.inc()
-        self._bytes[name].inc(size)
+            self._bytes[name] = byts
+            pair = (sent, byts)
+            self._send_pair[name] = pair
+        # Direct .value bumps: Counter.inc's non-negativity check is
+        # vacuous for these literal amounts, and this method runs once
+        # per message sent anywhere in a simulation.
+        pair[0].value += 1
+        pair[1].value += size
         key = (message.sender, name)
-        by_sender = self._by_sender.get(key)
-        if by_sender is None:
-            by_sender = self.registry.counter(
-                "messages_sent_by", sender=str(message.sender), type=name
-            )
-            self._by_sender[key] = by_sender
-        by_sender.inc()
-        self._total_messages.inc()
-        self._total_bytes.inc(size)
+        pending = self._by_sender_pending
+        pending[key] = pending.get(key, 0) + 1
+        self._total_messages.value += 1
+        self._total_bytes.value += size
+
+    def _flush_by_sender(self) -> None:
+        """Materialize pending per-sender counts into labelled counters
+        (runs via the registry's collector hook and before any direct
+        ``_by_sender`` read)."""
+        pending = self._by_sender_pending
+        if not pending:
+            return
+        by_sender = self._by_sender
+        counter = self.registry.counter
+        for key, amount in pending.items():
+            instrument = by_sender.get(key)
+            if instrument is None:
+                sender, name = key
+                instrument = counter(
+                    "messages_sent_by", sender=str(sender), type=name
+                )
+                by_sender[key] = instrument
+            instrument.value += amount
+        pending.clear()
 
     def on_drop(self, message: Message) -> None:
         """A message addressed to a crashed node was dropped."""
@@ -154,6 +184,7 @@ class MessageStats:
     @property
     def count_by_sender_type(self) -> Dict[NodeId, Dict[str, int]]:
         """Nested sender -> type -> count view (missing keys read 0)."""
+        self._flush_by_sender()
         out: Dict[NodeId, Dict[str, int]] = {}
         for (sender, name), counter in self._by_sender.items():
             per_sender = out.get(sender)
@@ -192,6 +223,7 @@ class MessageStats:
 
     def sent_by(self, sender: NodeId, type_name: str) -> int:
         """Messages of ``type_name`` sent by ``sender``."""
+        self._flush_by_sender()
         counter = self._by_sender.get((sender, type_name))
         return counter.value if counter is not None else 0
 

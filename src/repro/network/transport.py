@@ -45,8 +45,17 @@ class Transport:
         tracer: Optional[Tracer] = None,
     ):
         self.runtime = runtime
+        # Deliveries are never cancelled, so prefer the runtime's
+        # fire-and-forget path (no per-message Event handle); runtimes
+        # without one (realtime/asyncio) fall back to plain schedule.
+        self._schedule_fire = getattr(
+            runtime, "schedule_fire", runtime.schedule
+        )
         self.latency_model = latency_model
         self.stats = stats if stats is not None else MessageStats()
+        # Bound once: stats is never swapped after construction, and
+        # send() runs once per message in the whole simulation.
+        self._on_send = self.stats.on_send
         # A disabled tracer (NullTracer) is normalized to None so the
         # hot send path stays the exact pre-instrumentation code.
         self._tracer = tracer if tracer is not None and tracer.enabled else None
@@ -61,6 +70,9 @@ class Transport:
         self._cause: Optional[Message] = None
         self._next_msg_id = 1
         self._nodes: Dict[NodeId, "NetworkNode"] = {}
+        # Bound method of the (never-rebound) registry dict: saves an
+        # attribute hop on every send.
+        self._nodes_get = self._nodes.get
         # Pairwise latency memo, only for models whose (src, dst) delay
         # is a pure function of the pair (topology shortest paths,
         # constant delay).  Jittered models draw per message and must
@@ -112,24 +124,29 @@ class Transport:
     def send(self, dst: NodeId, message: Message) -> None:
         """Send ``message`` to ``dst``; the sender is read off the
         message.  Delivery is scheduled at ``now + latency(src, dst)``."""
-        target = self._nodes.get(dst)
+        target = self._nodes_get(dst)
         if target is None:
             raise UnknownDestinationError(str(dst))
         if self.drop_filter is not None and self.drop_filter(message, dst):
             self._drop(dst, message)
             return
-        self.stats.on_send(message)
+        self._on_send(message)
         src = message.sender
         memo = self._latency_memo
         if memo is None:
             delay = self.latency_model.latency(src, dst)
         else:
-            delay = memo.get((src, dst))
+            # Packed-int pair key: one network shares one ID space, so
+            # the packed forms are unique, and hashing two ints stays
+            # in C (a (src, dst) NodeId tuple pays two __hash__ calls
+            # per send).
+            key = (src._packed, dst._packed)
+            delay = memo.get(key)
             if delay is None:
                 delay = self.latency_model.latency(src, dst)
-                memo[(src, dst)] = delay
+                memo[key] = delay
         if self._tracer is None:
-            self.runtime.schedule(delay, target.receive, message)
+            self._schedule_fire(delay, target.receive, message)
         else:
             self._send_traced(dst, message, delay, target)
 

@@ -70,6 +70,14 @@ class AuditConfig:
     #: Violation cap per consistency sample (keeps sampling bounded on
     #: heavily broken networks).
     max_violations_per_sample: int = 200
+    #: Use the stateful :class:`~repro.consistency.IncrementalChecker`
+    #: for mid-run samples: only nodes whose verdict could have changed
+    #: since the previous sample are re-verified, turning the per-sample
+    #: cost from O(n*d*b) into O(dirty).  Results are identical for the
+    #: join-only runs where it matters (membership shrink falls back to
+    #: a full rescan); the strict finalize() check always runs the full
+    #: scanner.  Off by default.
+    incremental: bool = False
 
     def validated(self) -> "AuditConfig":
         """Self, after bounds checks."""
@@ -241,6 +249,14 @@ class LiveAuditor:
         self._stalled: Set[Any] = set()
         # node_id -> (status, virtual time the status was entered).
         self._phase_entered: Dict[Any, Tuple[Any, float]] = {}
+        if self.config.incremental:
+            from repro.consistency.incremental import IncrementalChecker
+
+            self._incremental: Optional[IncrementalChecker] = (
+                IncrementalChecker()
+            )
+        else:
+            self._incremental = None
 
     # -- wiring ---------------------------------------------------------
 
@@ -327,12 +343,19 @@ class LiveAuditor:
             for node_id, node in nodes.items()
             if node.status.is_s_node or node_id in self._stalled
         }
-        result = check_consistency(
-            audited,
-            max_violations=self.config.max_violations_per_sample,
-            require_s_states=False,
-            occupant_set=nodes.keys(),
-        )
+        if self._incremental is not None:
+            result = self._incremental.check(
+                audited,
+                occupant_set=nodes.keys(),
+                max_violations=self.config.max_violations_per_sample,
+            )
+        else:
+            result = check_consistency(
+                audited,
+                max_violations=self.config.max_violations_per_sample,
+                require_s_states=False,
+                occupant_set=nodes.keys(),
+            )
         seen = {
             (str(v.node), v.level, v.digit, v.kind)
             for v in result.violations

@@ -22,7 +22,12 @@ LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
 def _label_key(name: str, labels: Dict[str, Any]) -> LabelKey:
     """Canonical hashable identity of an instrument."""
-    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    if not labels:
+        return (name, ())
+    items = [(k, str(v)) for k, v in labels.items()]
+    if len(items) > 1:
+        items.sort()
+    return (name, tuple(items))
 
 
 def format_label_key(key: LabelKey) -> str:
@@ -152,6 +157,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[LabelKey, Any] = {}
+        # Deferred-accounting hooks, run before every read so writers
+        # may batch hot-path increments (MessageStats' per-sender
+        # counts) and materialize instruments lazily.
+        self._collectors: List[Any] = []
+
+    def add_collector(self, collector) -> None:
+        """Register a callback invoked before reads (``value``,
+        ``snapshot``, ``instruments``, ``values_by_label``) so deferred
+        accounting can be flushed into instruments just in time."""
+        self._collectors.append(collector)
+
+    def _collect(self) -> None:
+        for collector in self._collectors:
+            collector()
 
     def _get_or_create(self, cls, name: str, labels: Dict[str, Any]):
         key = _label_key(name, labels)
@@ -186,6 +205,7 @@ class MetricsRegistry:
         (Histograms have no single value; read them via
         :meth:`histogram` or the flat :meth:`snapshot`.)
         """
+        self._collect()
         instrument = self._instruments.get(_label_key(name, labels))
         if instrument is None:
             return None
@@ -195,10 +215,12 @@ class MetricsRegistry:
 
     def instruments(self) -> List[Any]:
         """Every registered instrument, in registration order."""
+        self._collect()
         return list(self._instruments.values())
 
     def snapshot(self) -> Dict[str, float]:
         """Flat ``name{labels} -> value`` dict over all instruments."""
+        self._collect()
         out: Dict[str, float] = {}
         for instrument in self._instruments.values():
             for key, value in instrument.snapshot_items():
@@ -214,6 +236,7 @@ class MetricsRegistry:
         per-message-type counts, i.e. :meth:`MessageStats.snapshot`
         rebuilt from the registry.
         """
+        self._collect()
         out: Dict[str, float] = {}
         for (iname, labels), instrument in self._instruments.items():
             if iname != name or isinstance(instrument, Histogram):
@@ -224,7 +247,9 @@ class MetricsRegistry:
         return out
 
     def __len__(self) -> int:
+        self._collect()
         return len(self._instruments)
 
     def __contains__(self, name: str) -> bool:
+        self._collect()
         return any(iname == name for iname, _ in self._instruments)

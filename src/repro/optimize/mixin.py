@@ -28,8 +28,11 @@ class OptimizationMixin:
         self._opt_best: Dict[Position, Tuple[float, NodeId]] = {}
         self._opt_measured: Set[NodeId] = set()
         self.optimization_switches = 0
-        self.handles(OptFindMsg, self._on_opt_find)
-        self.handles(OptFindRlyMsg, self._on_opt_find_rly)
+        # First instance of the class registers for all (class-shared
+        # handler table, see NetworkNode._class_handlers).
+        if OptFindMsg not in self._handlers:
+            self.handles(OptFindMsg, self._on_opt_find)
+            self.handles(OptFindRlyMsg, self._on_opt_find_rly)
 
     def begin_optimization_round(self) -> None:
         """Ask each entry's occupant for its suffix-class members."""

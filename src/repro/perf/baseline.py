@@ -14,12 +14,19 @@ check that a fixed-seed simulation is unaffected by the pass.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.ids.digits import _DIGIT_CHARS, NodeId
 from repro.network.transport import Transport, UnknownDestinationError
-from repro.routing.table import NeighborTable, TableEntry
+from repro.routing.entry import NeighborState
+from repro.routing.table import (
+    EntryConflictError,
+    NeighborTable,
+    TableEntry,
+)
 from repro.sim.scheduler import SimulationError, Simulator
+
+Position = Tuple[int, int]
 
 
 # ---------------------------------------------------------------------------
@@ -67,22 +74,38 @@ def _naive_lt(self: NodeId, other: NodeId) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# NeighborTable (repro.routing.table) -- re-sorted snapshot every call
+# NeighborTable (repro.routing.table) -- re-sorted, uncached snapshot
+# rebuilt from scratch on every call (the pre-PR cost model: a dict of
+# position tuples, sorted and boxed into entries per snapshot).
 
 
-def _naive_entries(self: NeighborTable) -> Iterator[TableEntry]:
-    for (level, digit) in sorted(self._entries):
-        node, state = self._entries[(level, digit)]
+def _table_items(table) -> Dict[Position, Tuple[NodeId, "NeighborState"]]:
+    """Filled entries as a position-keyed dict, whatever the backend."""
+    entries = getattr(table, "_entries", None)
+    if isinstance(entries, dict):  # DictNeighborTable's sparse storage
+        return dict(entries)
+    base = table.base
+    return {
+        divmod(idx, base): (
+            table._cells[idx],
+            NeighborState.T if table._states[idx] == 1 else NeighborState.S,
+        )
+        for idx in table._positions
+    }
+
+
+def _naive_entries(self) -> Iterator[TableEntry]:
+    items = _table_items(self)
+    for (level, digit) in sorted(items):
+        node, state = items[(level, digit)]
         yield TableEntry(level, digit, node, state)
 
 
-def _naive_snapshot(self: NeighborTable) -> Tuple[TableEntry, ...]:
+def _naive_snapshot(self) -> Tuple[TableEntry, ...]:
     return tuple(_naive_entries(self))
 
 
-def _naive_snapshot_levels(
-    self: NeighborTable, low: int, high: int
-) -> Tuple[TableEntry, ...]:
+def _naive_snapshot_levels(self, low: int, high: int) -> Tuple[TableEntry, ...]:
     return tuple(
         entry for entry in _naive_entries(self) if low <= entry.level <= high
     )
@@ -168,7 +191,9 @@ def _naive_offer(self, level: int, digit: int, node) -> bool:
         return False
     if naive_csuf_len(node, self.owner) < level or node.digit(level) != digit:
         return False
-    bucket = self._backups.setdefault((level, digit), [])
+    # Key layout follows the live store (flat index) so stores written
+    # under the patch read back correctly after it exits.
+    bucket = self._backups.setdefault(level * self._base + digit, [])
     if node in bucket or len(bucket) >= self.capacity:
         return False
     bucket.append(node)
@@ -185,6 +210,230 @@ def _naive_nodeid_str(self: NodeId) -> str:
 
 def _naive_nodeid_to_int(self: NodeId) -> int:
     return naive_to_int(self)
+
+
+# ---------------------------------------------------------------------------
+# Dict-backed NeighborTable: the pre-PR sparse representation, kept as a
+# second live backend so property tests can drive whole protocol runs
+# through both and assert byte-identical behaviour.
+
+
+class DictNeighborTable(NeighborTable):
+    """Sparse ``Dict[(level, digit)] -> (node, state)`` neighbor table.
+
+    The storage layout the array-backed :class:`NeighborTable` replaced.
+    Same public API and the same observable semantics (snapshot order,
+    conflict rules, reverse-neighbor bookkeeping), so a fixed-seed run
+    is bit-for-bit identical on either backend — which is exactly what
+    ``tests/properties/test_table_backends.py`` asserts.  Protocol fast
+    paths detect the array backend by exact type and fall back to the
+    public API here, so the equivalence is exercised end to end.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, owner: NodeId):
+        # Deliberately skip NeighborTable.__init__: this backend has no
+        # flat arrays, and leaving the parent slots unset makes any
+        # accidental `_cells` access fail loudly.
+        self.owner = owner
+        self.base = owner.base
+        self.num_levels = owner.num_digits
+        self._entries: Dict[Position, Tuple[NodeId, NeighborState]] = {}
+        self._reverse: Dict[Position, Set[NodeId]] = {}
+        self._snapshot = None
+        self._version = 0
+
+    # -- basic access -------------------------------------------------
+
+    def get(self, level: int, digit: int) -> Optional[NodeId]:
+        """The neighbor at ``(level, digit)``, or None."""
+        cell = self._entries.get((level, digit))
+        return cell[0] if cell is not None else None
+
+    def state(self, level: int, digit: int) -> Optional[NeighborState]:
+        """The state at ``(level, digit)``, or None when empty."""
+        cell = self._entries.get((level, digit))
+        return cell[1] if cell is not None else None
+
+    def is_empty(self, level: int, digit: int) -> bool:
+        """True when ``(level, digit)`` has no entry."""
+        return (level, digit) not in self._entries
+
+    def set_entry(
+        self, level: int, digit: int, node: NodeId, state: NeighborState
+    ) -> None:
+        """Validated entry write; refuses to overwrite a different node."""
+        self._check_position(level, digit)
+        self._check_suffix(level, digit, node)
+        current = self._entries.get((level, digit))
+        if current is not None and current[0] != node:
+            raise EntryConflictError(
+                f"({level},{digit}) of {self.owner} holds {current[0]}, "
+                f"refusing to overwrite with {node}"
+            )
+        self._entries[(level, digit)] = (node, state)
+        self._snapshot = None
+        self._version += 1
+
+    def fill_empty(
+        self, level: int, digit: int, node: NodeId, state: NeighborState
+    ) -> None:
+        """Trusted write into a known-empty, known-valid entry."""
+        self._entries[(level, digit)] = (node, state)
+        self._snapshot = None
+        self._version += 1
+
+    def load_sorted(self, items) -> None:
+        """Trusted bulk fill of an empty table (oracle setup path)."""
+        if self._entries:
+            raise RuntimeError("load_sorted requires an empty table")
+        entries = self._entries
+        for level, digit, node, state in items:
+            entries[(level, digit)] = (node, state)
+        self._snapshot = None
+        self._version += 1
+
+    def load_reverse(self, acc) -> None:
+        """Wholesale reverse-set install; the oracle hands the sets
+        keyed by flat index, this backend keys by position tuple."""
+        base = self.base
+        self._reverse = {
+            (idx // base, idx % base): bucket
+            for idx, bucket in acc.items()
+        }
+
+    def set_state(self, level: int, digit: int, state: NeighborState) -> None:
+        """Flip the state of an existing entry."""
+        cell = self._entries.get((level, digit))
+        if cell is None:
+            raise KeyError(f"entry ({level},{digit}) is empty")
+        self._entries[(level, digit)] = (cell[0], state)
+        self._snapshot = None
+        self._version += 1
+
+    def replace_entry(
+        self, level: int, digit: int, node: NodeId, state: NeighborState
+    ) -> Optional[NodeId]:
+        """Overwrite ``(level, digit)``; returns the displaced node."""
+        self._check_position(level, digit)
+        self._check_suffix(level, digit, node)
+        previous = self.get(level, digit)
+        self._entries[(level, digit)] = (node, state)
+        self._snapshot = None
+        self._version += 1
+        return previous
+
+    def clear_entry(self, level: int, digit: int) -> Optional[NodeId]:
+        """Empty ``(level, digit)``; returns the removed node."""
+        self._check_position(level, digit)
+        cell = self._entries.pop((level, digit), None)
+        self._snapshot = None
+        self._version += 1
+        return cell[0] if cell is not None else None
+
+    def positions_of(self, node: NodeId) -> List[Position]:
+        """All positions currently holding ``node``."""
+        return [
+            position
+            for position, (occupant, _) in self._entries.items()
+            if occupant == node
+        ]
+
+    # -- reverse neighbors ---------------------------------------------
+
+    def add_reverse(self, level: int, digit: int, node: NodeId) -> None:
+        """Record ``node`` as a reverse neighbor at ``(level, digit)``."""
+        self._check_position(level, digit)
+        self._reverse.setdefault((level, digit), set()).add(node)
+
+    def remove_reverse(self, level: int, digit: int, node: NodeId) -> None:
+        """Drop ``node`` from the reverse set at ``(level, digit)``."""
+        bucket = self._reverse.get((level, digit))
+        if bucket is not None:
+            bucket.discard(node)
+            if not bucket:
+                del self._reverse[(level, digit)]
+
+    def remove_reverse_everywhere(self, node: NodeId) -> None:
+        """Drop ``node`` from every reverse set."""
+        for position in list(self._reverse):
+            self.remove_reverse(position[0], position[1], node)
+
+    def reverse_positions(self) -> List[Position]:
+        """Positions with a non-empty reverse set, sorted."""
+        return sorted(self._reverse)
+
+    def reverse_neighbors(self, level: int, digit: int) -> Set[NodeId]:
+        """Copy of the reverse set at ``(level, digit)``."""
+        return set(self._reverse.get((level, digit), ()))
+
+    # -- iteration / snapshots ------------------------------------------
+
+    def entries_at_level(self, level: int) -> List[TableEntry]:
+        """Filled entries of one level, in digit order."""
+        out = []
+        for digit in range(self.base):
+            cell = self._entries.get((level, digit))
+            if cell is not None:
+                out.append(TableEntry(level, digit, cell[0], cell[1]))
+        return out
+
+    def filled_count(self) -> int:
+        """Number of filled entries."""
+        return len(self._entries)
+
+    def distinct_neighbors(self) -> Set[NodeId]:
+        """Set of distinct nodes appearing in the table."""
+        return {node for node, _ in self._entries.values()}
+
+    def snapshot(self) -> Tuple[TableEntry, ...]:
+        """Cached tuple of entries in (level, digit) order."""
+        cached = self._snapshot
+        if cached is None:
+            entries = self._entries
+            cached = tuple(
+                TableEntry(level, digit, *entries[(level, digit)])
+                for (level, digit) in sorted(entries)
+            )
+            self._snapshot = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Modules that instantiate tables by the module-global name
+#: ``NeighborTable`` (the simulator tier; the wire tier builds tables
+#: via ``table_from_wire``, outside any hot path).
+_TABLE_CREATION_MODULES = (
+    "repro.protocol.node",
+    "repro.protocol.network_init",
+    "repro.routing.oracle",
+    "repro.baselines.multicast_join",
+)
+
+
+@contextlib.contextmanager
+def use_dict_tables():
+    """Build every new table on the dict backend, temporarily.
+
+    Rebinds the ``NeighborTable`` name inside the modules that create
+    tables, so networks constructed inside the context run entirely on
+    :class:`DictNeighborTable` while existing tables are untouched.
+    Used by the backend-equivalence property and golden-trace tests.
+    """
+    import importlib
+
+    modules = [importlib.import_module(name) for name in _TABLE_CREATION_MODULES]
+    saved = [module.NeighborTable for module in modules]
+    try:
+        for module in modules:
+            module.NeighborTable = DictNeighborTable
+        yield
+    finally:
+        for module, original in zip(modules, saved):
+            module.NeighborTable = original
 
 
 @contextlib.contextmanager
@@ -235,8 +484,10 @@ def use_pre_pr_hot_path():
 
 
 __all__ = [
+    "DictNeighborTable",
     "naive_csuf_len",
     "naive_str",
     "naive_to_int",
+    "use_dict_tables",
     "use_pre_pr_hot_path",
 ]

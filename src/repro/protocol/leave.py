@@ -106,9 +106,12 @@ class LeaveProtocolMixin:
         self.leave_acks_pending = 0
         self.left_at = None
         self.on_departed = None  # set by JoinProtocolNetwork
-        self.handles(LeaveNotifyMsg, self._on_leave_notify)
-        self.handles(LeaveNotifyRlyMsg, self._on_leave_notify_rly)
-        self.handles(LeaveForgetMsg, self._on_leave_forget)
+        # First instance of the class registers for all (class-shared
+        # handler table, see NetworkNode._class_handlers).
+        if LeaveNotifyMsg not in self._handlers:
+            self.handles(LeaveNotifyMsg, self._on_leave_notify)
+            self.handles(LeaveNotifyRlyMsg, self._on_leave_notify_rly)
+            self.handles(LeaveForgetMsg, self._on_leave_forget)
 
     # -- leaving node side ----------------------------------------------
 

@@ -32,6 +32,30 @@ def snapshot_view(
     }
 
 
+def snapshot_entry(
+    snapshot: TableSnapshot, level: int, digit: int
+) -> Optional[Tuple[NodeId, NeighborState]]:
+    """The ``(node, state)`` at one position of a snapshot, or None.
+
+    Snapshots are sorted by ``(level, digit)``, so this scans with an
+    early exit instead of building the full :func:`snapshot_view`
+    dict — the join handlers need exactly one cell per message, and
+    the dict build was one of their hottest lines.
+    """
+    for entry in snapshot:
+        entry_level = entry[0]
+        if entry_level < level:
+            continue
+        if entry_level > level:
+            return None
+        entry_digit = entry[1]
+        if entry_digit == digit:
+            return (entry[2], entry[3])
+        if entry_digit > digit:
+            return None
+    return None
+
+
 class _TableMessage(Message):
     """Base for messages that carry a table snapshot."""
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Set
 
-from repro.ids.digits import NodeId
+from repro.ids.digits import PACKED_DIGIT_BITS, PACKED_DIGIT_MASK, NodeId
 from repro.network.node import NetworkNode
 from repro.network.transport import Transport
 from repro.optimize.mixin import OptimizationMixin
@@ -53,7 +53,7 @@ from repro.protocol.messages import (
     RvNghNotiRlyMsg,
     SpeNotiMsg,
     SpeNotiRlyMsg,
-    snapshot_view,
+    snapshot_entry,
 )
 from repro.protocol.sizing import (
     SizingPolicy,
@@ -65,9 +65,26 @@ from repro.core.trace import NullTraceLog, TraceLog
 from repro.routing.entry import NeighborState
 from repro.routing.table import NeighborTable, TableSnapshot
 
+#: The array backend under a private name: the fast-path guards below
+#: must keep pointing at the real class even while
+#: :func:`repro.perf.baseline.use_dict_tables` rebinds this module's
+#: ``NeighborTable`` global to the dict backend.
+_ARRAY_TABLE = NeighborTable
+
 
 class ProtocolError(RuntimeError):
     """An execution reached a state the protocol proofs rule out."""
+
+
+#: Lowest-set-bit -> digit level, for the packed-ID csuf arithmetic in
+#: :meth:`ProtocolNode._check_ngh_table`: one int-keyed dict probe
+#: replaces ``(lowbit.bit_length() - 1) // w`` per table entry.  Covers
+#: IDs up to 32 digits; longer ones (none in practice) fall back to the
+#: arithmetic form.
+_LOWBIT_K = {
+    1 << bit: bit // PACKED_DIGIT_BITS
+    for bit in range(32 * PACKED_DIGIT_BITS)
+}
 
 
 class ProtocolNode(
@@ -130,18 +147,24 @@ class ProtocolNode(
         self._copy_prev: Optional[NodeId] = None
         self._copy_target: Optional[NodeId] = None
 
-        self.handles(CpRstMsg, self._on_cp_rst)
-        self.handles(CpRlyMsg, self._on_cp_rly)
-        self.handles(JoinWaitMsg, self._on_join_wait)
-        self.handles(JoinWaitRlyMsg, self._on_join_wait_rly)
-        self.handles(JoinNotiMsg, self._on_join_noti)
-        self.handles(JoinNotiRlyMsg, self._on_join_noti_rly)
-        self.handles(InSysNotiMsg, self._on_in_sys_noti)
-        self.handles(SpeNotiMsg, self._on_spe_noti)
-        self.handles(SpeNotiRlyMsg, self._on_spe_noti_rly)
-        self.handles(RvNghNotiMsg, self._on_rv_ngh_noti)
-        self.handles(RvNghNotiRlyMsg, self._on_rv_ngh_noti_rly)
-        self.handles(RvNghDropMsg, self._on_rv_ngh_drop)
+        # Handler registration lands bound-method functions in a
+        # class-shared table (see NetworkNode._class_handlers): every
+        # instance would re-register the identical functions, so the
+        # first instance of the class does it for all (here and in the
+        # mixin _init_* helpers below).
+        if CpRstMsg not in self._handlers:
+            self.handles(CpRstMsg, self._on_cp_rst)
+            self.handles(CpRlyMsg, self._on_cp_rly)
+            self.handles(JoinWaitMsg, self._on_join_wait)
+            self.handles(JoinWaitRlyMsg, self._on_join_wait_rly)
+            self.handles(JoinNotiMsg, self._on_join_noti)
+            self.handles(JoinNotiRlyMsg, self._on_join_noti_rly)
+            self.handles(InSysNotiMsg, self._on_in_sys_noti)
+            self.handles(SpeNotiMsg, self._on_spe_noti)
+            self.handles(SpeNotiRlyMsg, self._on_spe_noti_rly)
+            self.handles(RvNghNotiMsg, self._on_rv_ngh_noti)
+            self.handles(RvNghNotiRlyMsg, self._on_rv_ngh_noti_rly)
+            self.handles(RvNghDropMsg, self._on_rv_ngh_drop)
         self._init_leave_protocol()
         self._init_recovery()
         self._init_optimization()
@@ -165,8 +188,13 @@ class ProtocolNode(
         self, level: int, digit: int, node: NodeId, state: NeighborState
     ) -> None:
         """Set ``N_x(level, digit) = node`` and notify the new neighbor
-        that we point at it (the paper's RvNghNotiMsg rule)."""
-        self.table.set_entry(level, digit, node, state)
+        that we point at it (the paper's RvNghNotiMsg rule).
+
+        Every caller has just observed the entry empty and derived
+        ``(level, digit)`` from ``csuf(node, owner)``, so the trusted
+        :meth:`~repro.routing.table.NeighborTable.fill_empty` applies.
+        """
+        self.table.fill_empty(level, digit, node, state)
         if self._trace_fill:
             self.trace.record(
                 self.now, "fill", node=self.node_id, level=level,
@@ -212,13 +240,29 @@ class ProtocolNode(
         # it would only generate a RvNghNotiMsg for a pointer that never
         # survives.  Its occupant -- the paper's next g -- is read from
         # the snapshot below.
-        for entry in msg.table:
-            if entry.level != level or entry.digit == own_digit:
-                continue
-            if self.table.is_empty(level, entry.digit):
-                self._fill_entry(level, entry.digit, entry.node, entry.state)
+        table = self.table
+        if table.__class__ is _ARRAY_TABLE:
+            # Array-backend fast path: emptiness is a direct cell read
+            # (the snapshot loop touches every entry of the sender's
+            # table once per copy level).
+            cells = table._cells
+            row = level * table.base
+            for entry in msg.table:
+                if entry[0] != level:
+                    continue
+                digit = entry[1]
+                if digit != own_digit and cells[row + digit] is None:
+                    self._fill_entry(level, digit, entry[2], entry[3])
+        else:
+            for entry in msg.table:
+                if entry.level != level or entry.digit == own_digit:
+                    continue
+                if table.is_empty(level, entry.digit):
+                    self._fill_entry(
+                        level, entry.digit, entry.node, entry.state
+                    )
         p = msg.sender
-        cell = snapshot_view(msg.table).get((level, own_digit))
+        cell = snapshot_entry(msg.table, level, own_digit)
         g, s = cell if cell is not None else (None, None)
         self._copy_level = level + 1
         self._copy_prev = p
@@ -228,9 +272,11 @@ class ProtocolNode(
             self.send(g, CpRstMsg(self.node_id))
             return
         # Loop exits: install self-pointers, go to waiting, send the
-        # first JoinWaitMsg.
+        # first JoinWaitMsg.  The (i, x[i]) positions are empty by
+        # construction — the copy loop above skips the own digit at
+        # every level — so the trusted fill applies.
         for i in range(self.node_id.num_digits):
-            self.table.set_entry(
+            self.table.fill_empty(
                 i, self.node_id.digit(i), self.node_id, NeighborState.T
             )
         self._set_status(NodeStatus.WAITING)
@@ -299,18 +345,108 @@ class ProtocolNode(
 
     def _check_ngh_table(self, snapshot: TableSnapshot) -> None:
         # The hottest protocol loop: every table-carrying message lands
-        # here, iterating the sender's whole snapshot.  Bind the
-        # loop-invariant lookups once; none of them can change inside
-        # the loop (status and noti_level only move in message
-        # handlers, and q_notified is the same set _send_join_noti
-        # mutates).
+        # here, iterating the sender's whole snapshot.  On the standard
+        # array table backend the whole per-entry decision runs as int
+        # arithmetic on the packed ID forms: the XOR of the packed IDs
+        # gives csuf directly (lowest set bit / digit width), a shift
+        # extracts the digit, and the flat cell index follows -- no
+        # NodeId method calls, no tuple keys.  Loop-invariant lookups
+        # are bound once; none of them can change inside the loop
+        # (status and noti_level only move in message handlers, and
+        # q_notified is the same set _send_join_noti mutates).
         own_id = self.node_id
-        csuf = own_id.csuf_len
-        table_get = self.table.get
-        offer = self.backups.offer
         notifying = self.status is NodeStatus.NOTIFYING
         noti_level = self.noti_level
         q_notified = self.q_notified
+        table = self.table
+        if table.__class__ is _ARRAY_TABLE:
+            own_packed = own_id._packed
+            base = table.base
+            cells = table._cells
+            # The backup-offer body is inlined below (it fires for
+            # every already-filled entry, the overwhelmingly common
+            # case once the network densifies); keep it in lockstep
+            # with BackupStore.offer_flat.
+            backups = self.backups
+            bstore = backups._backups
+            bcap = backups.capacity
+            w = PACKED_DIGIT_BITS
+            mask = PACKED_DIGIT_MASK
+            lowbit_k = _LOWBIT_K
+            if not notifying:
+                # Non-notifying variant: identical body minus the
+                # (loop-invariant-guarded) notification step, so the
+                # common copying/in-system case pays nothing for it.
+                for entry in snapshot:
+                    u = entry[2]
+                    up = u._packed
+                    z = up ^ own_packed
+                    if z == 0:
+                        continue
+                    if z & mask:
+                        # csuf = 0 (lowest digits differ): with random
+                        # IDs this is (b-1)/b of all entries.
+                        k = 0
+                        digit = idx = up & mask
+                    else:
+                        try:
+                            k = lowbit_k[z & -z]
+                        except KeyError:
+                            k = ((z & -z).bit_length() - 1) // w
+                        digit = (up >> (k * w)) & mask
+                        idx = k * base + digit
+                    current = cells[idx]
+                    if current is None:
+                        self._fill_entry(k, digit, u, entry[3])
+                    elif current._packed != up:
+                        # Entry taken: keep u as a backup (footnote 6).
+                        # try/except: existing buckets dominate, and a
+                        # plain subscript beats dict.get on hits.
+                        try:
+                            bucket = bstore[idx]
+                        except KeyError:
+                            if bcap >= 1:
+                                bstore[idx] = [u]
+                        else:
+                            if len(bucket) < bcap and u not in bucket:
+                                bucket.append(u)
+                return
+            for entry in snapshot:
+                u = entry[2]
+                up = u._packed
+                z = up ^ own_packed
+                if z == 0:
+                    continue
+                if z & mask:
+                    k = 0
+                    digit = idx = up & mask
+                else:
+                    try:
+                        k = lowbit_k[z & -z]
+                    except KeyError:
+                        k = ((z & -z).bit_length() - 1) // w
+                    digit = (up >> (k * w)) & mask
+                    idx = k * base + digit
+                current = cells[idx]
+                if current is None:
+                    self._fill_entry(k, digit, u, entry[3])
+                elif current._packed != up:
+                    # Entry taken: keep u as a backup (footnote 6).
+                    try:
+                        bucket = bstore[idx]
+                    except KeyError:
+                        if bcap >= 1:
+                            bstore[idx] = [u]
+                    else:
+                        if len(bucket) < bcap and u not in bucket:
+                            bucket.append(u)
+                if k >= noti_level and u not in q_notified:
+                    self._send_join_noti(u, k)
+            return
+        # Generic path for alternate backends (DictNeighborTable).
+        csuf = own_id.csuf_len
+        table_get = table.get
+        offer = self.backups.offer
         for _, _, u, state in snapshot:
             if u == own_id:
                 continue
@@ -348,18 +484,20 @@ class ProtocolNode(
     def _on_join_noti(self, msg: JoinNotiMsg) -> None:
         x = msg.sender
         k = self._csuf(x)
-        if self.table.get(k, x.digit(k)) is None:
-            self._fill_entry(k, x.digit(k), x, NeighborState.T)
-        elif self.table.get(k, x.digit(k)) != x:
-            self.backups.offer(k, x.digit(k), x)
+        digit = x.digit(k)
+        current = self.table.get(k, digit)
+        if current is None:
+            self._fill_entry(k, digit, x, NeighborState.T)
+            current = x
+        elif current != x:
+            self.backups.offer_qualified(k, digit, x)
         conflict = False
-        their_view = snapshot_view(msg.table)
-        their_entry = their_view.get((k, self.node_id.digit(k)))
+        their_entry = snapshot_entry(msg.table, k, self.node_id.digit(k))
         if (
             their_entry is None or their_entry[0] != self.node_id
         ) and self.status is NodeStatus.IN_SYSTEM:
             conflict = True
-        positive = self.table.get(k, x.digit(k)) == x
+        positive = current == x
         reply_table = join_noti_reply_payload(
             self.sizing, self.table, msg.noti_level, msg.bitmap
         )
@@ -454,9 +592,15 @@ class ProtocolNode(
 
     def _on_in_sys_noti(self, msg: InSysNotiMsg) -> None:
         x = msg.sender
-        for entry in list(self.table.entries()):
-            if entry.node == x and entry.state is not NeighborState.S:
-                self.table.set_state(entry.level, entry.digit, NeighborState.S)
+        xp = x._packed
+        s_state = NeighborState.S
+        set_state = self.table.set_state
+        # Iterate the (immutable) snapshot tuple directly; set_state
+        # only invalidates the table's *next* snapshot.  Packed-int
+        # equality stands in for NodeId == within one ID space.
+        for entry in self.table.snapshot():
+            if entry[2]._packed == xp and entry[3] is not s_state:
+                set_state(entry[0], entry[1], s_state)
 
     # ------------------------------------------------------------------
     # RvNghNotiMsg / RvNghNotiRlyMsg (described in Section 4's preamble)

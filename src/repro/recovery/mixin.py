@@ -40,11 +40,14 @@ class RecoveryMixin:
         self._known_live: Set[NodeId] = set()
         self.repaired_entries = 0
         self.cleared_entries = 0
-        self.handles(PingMsg, self._on_ping)
-        self.handles(PongMsg, self._on_pong)
-        self.handles(AdvertiseMsg, self._on_advertise)
-        self.handles(RepairFindMsg, self._on_repair_find)
-        self.handles(RepairFindRlyMsg, self._on_repair_find_rly)
+        # First instance of the class registers for all (class-shared
+        # handler table, see NetworkNode._class_handlers).
+        if PingMsg not in self._handlers:
+            self.handles(PingMsg, self._on_ping)
+            self.handles(PongMsg, self._on_pong)
+            self.handles(AdvertiseMsg, self._on_advertise)
+            self.handles(RepairFindMsg, self._on_repair_find)
+            self.handles(RepairFindRlyMsg, self._on_repair_find_rly)
 
     def _required_suffix(self, position: Position) -> Tuple[int, ...]:
         level, digit = position

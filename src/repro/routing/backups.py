@@ -33,7 +33,11 @@ class BackupStore:
     def __init__(self, owner: NodeId, capacity: int = MAX_BACKUPS):
         self.owner = owner
         self.capacity = capacity
-        self._backups: Dict[Position, List[NodeId]] = {}
+        self._base = owner.base
+        # Buckets keyed by flat index ``level * base + digit`` -- int
+        # hashing, no tuple allocation per probe; Check_Ngh_Table
+        # offers a backup for most entries of every received table.
+        self._backups: Dict[int, List[NodeId]] = {}
 
     def offer(self, level: int, digit: int, node: NodeId) -> bool:
         """Remember ``node`` as a backup for ``(level, digit)`` if it
@@ -42,30 +46,44 @@ class BackupStore:
             return False
         if node.csuf_len(self.owner) < level or node.digit(level) != digit:
             return False
-        key = (level, digit)
-        bucket = self._backups.get(key)
+        return self.offer_flat(level * self._base + digit, node)
+
+    def offer_qualified(self, level: int, digit: int, node: NodeId) -> bool:
+        """:meth:`offer` minus the qualification re-check (hot path).
+
+        The protocol's ``Check_Ngh_Table``/``JoinNotiMsg`` loops derive
+        ``(level, digit)`` from ``csuf(node, owner)`` immediately before
+        offering, so the suffix constraint and ``node != owner`` hold by
+        construction; this entry point skips re-deriving them.
+        """
+        return self.offer_flat(level * self._base + digit, node)
+
+    def offer_flat(self, idx: int, node: NodeId) -> bool:
+        """:meth:`offer_qualified` addressed by flat index (the
+        caller's loop already computed ``level * base + digit``)."""
+        bucket = self._backups.get(idx)
         if bucket is None:
             if self.capacity < 1:
                 return False
-            self._backups[key] = [node]
+            self._backups[idx] = [node]
             return True
-        if node in bucket or len(bucket) >= self.capacity:
+        if len(bucket) >= self.capacity or node in bucket:
             return False
         bucket.append(node)
         return True
 
     def get(self, level: int, digit: int) -> List[NodeId]:
         """The backups recorded for ``(level, digit)`` (copy)."""
-        return list(self._backups.get((level, digit), ()))
+        return list(self._backups.get(level * self._base + digit, ()))
 
     def discard(self, node: NodeId) -> None:
         """Forget a departed node everywhere."""
-        for position in list(self._backups):
-            bucket = self._backups[position]
+        for idx in list(self._backups):
+            bucket = self._backups[idx]
             if node in bucket:
                 bucket.remove(node)
                 if not bucket:
-                    del self._backups[position]
+                    del self._backups[idx]
 
     def total(self) -> int:
         """Total backups stored across all positions."""
@@ -73,7 +91,8 @@ class BackupStore:
 
     def positions(self) -> List[Position]:
         """Positions that currently have at least one backup."""
-        return sorted(self._backups)
+        base = self._base
+        return [divmod(idx, base) for idx in sorted(self._backups)]
 
 
 #: Resolves a node ID to its backup store.

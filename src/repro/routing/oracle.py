@@ -16,8 +16,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.ids.digits import NodeId
-from repro.routing.entry import NeighborState
+from repro.ids.digits import PACKED_DIGIT_BITS, PACKED_DIGIT_MASK, NodeId
+from repro.routing.entry import NeighborState, TableEntry
 from repro.routing.table import NeighborTable
 
 Suffix = Tuple[int, ...]
@@ -33,6 +33,16 @@ def build_consistent_tables(
     the eligible suffix set (mimicking tables formed by arbitrary join
     orders); otherwise the numerically smallest member is used, which is
     deterministic.
+
+    Suffix sets are bucketed by *packed* length-tagged suffix keys
+    (``(k << d*w) | suffix`` int arithmetic, see
+    :mod:`repro.ids.packed`) and entries land via the trusted
+    :meth:`~repro.routing.table.NeighborTable.fill_empty` — with 10⁵
+    members this constructor is a large fraction of ``bench_scale``'s
+    setup time, and the suffix-tuple dict it replaces allocated one
+    tuple per (node, level, digit).  Bucket order, entry choice and the
+    ``rng`` call sequence are unchanged from the tuple-keyed version,
+    so fixed-seed networks are identical.
     """
     members: List[NodeId] = list(nodes)
     if not members:
@@ -45,12 +55,42 @@ def build_consistent_tables(
     if len(set(members)) != len(members):
         raise ValueError("node IDs must be unique")
 
-    by_suffix: Dict[Suffix, List[NodeId]] = {}
+    w = PACKED_DIGIT_BITS
+    tag_shift = num_digits * w
+    suffix_masks = tuple((1 << (k * w)) - 1 for k in range(num_digits + 1))
+
+    by_suffix: Dict[int, List[NodeId]] = {}
+    # Non-empty extensions per parent suffix: parent key -> sorted
+    # [(digit, child key)].  The fill loop below visits only these,
+    # skipping the (vast, at scale) majority of (level, digit) probes
+    # whose suffix class is empty -- while preserving the original
+    # probe order (digit-ascending per level), so the ``rng`` call
+    # sequence and therefore the built network are unchanged.
+    extensions: Dict[int, List[Tuple[int, int]]] = {}
     for node in members:
+        packed = node._packed
         for k in range(num_digits + 1):
-            by_suffix.setdefault(node.suffix(k), []).append(node)
-    min_of: Dict[Suffix, NodeId] = (
-        {suffix: min(bucket) for suffix, bucket in by_suffix.items()}
+            key = (k << tag_shift) | (packed & suffix_masks[k])
+            bucket = by_suffix.get(key)
+            if bucket is None:
+                by_suffix[key] = [node]
+                if k:
+                    level_shift = (k - 1) * w
+                    parent = ((k - 1) << tag_shift) | (
+                        packed & suffix_masks[k - 1]
+                    )
+                    digit = (packed >> level_shift) & PACKED_DIGIT_MASK
+                    ext = extensions.get(parent)
+                    if ext is None:
+                        extensions[parent] = [(digit, key)]
+                    else:
+                        ext.append((digit, key))
+            else:
+                bucket.append(node)
+    for ext in extensions.values():
+        ext.sort()
+    min_of: Dict[int, NodeId] = (
+        {key: min(bucket) for key, bucket in by_suffix.items()}
         if rng is None
         else {}
     )
@@ -59,21 +99,56 @@ def build_consistent_tables(
         node: NeighborTable(node) for node in members
     }
 
+    s_state = NeighborState.S
+    new_entry = tuple.__new__
+    randrange = rng.randrange if rng is not None else None
+    # Reverse-neighbor sets accumulate here (flat index -> pointers)
+    # and are installed wholesale at the end: one dict probe per
+    # cross-table pointer instead of an ``add_reverse`` method call
+    # with its bounds check -- the pointers outnumber the nodes by the
+    # average table fill, so this is a large share of construction.
+    # Keyed by the neighbor's packed form (unique within the space):
+    # int hashing stays in C, NodeId hashing is a method call.
+    reverse_acc: Dict[int, Dict[int, set]] = {
+        node._packed: {} for node in members
+    }
     for node in members:
-        table = tables[node]
+        packed = node._packed
+        # Levels ascend and extension lists are digit-sorted, so the
+        # entries accumulate in exactly the sorted order load_sorted
+        # requires — one bulk append pass instead of 10⁶ fill calls.
+        items: List[TableEntry] = []
+        add_item = items.append
         for level in range(num_digits):
-            shared = node.suffix(level)
-            for digit in range(base):
-                if digit == node.digit(level):
-                    table.set_entry(level, digit, node, NeighborState.S)
+            level_shift = level * w
+            own_digit = (packed >> level_shift) & PACKED_DIGIT_MASK
+            parent = (level << tag_shift) | (packed & suffix_masks[level])
+            for digit, key in extensions[parent]:
+                if digit == own_digit:
+                    add_item(
+                        new_entry(TableEntry, (level, digit, node, s_state))
+                    )
                     continue
-                bucket = by_suffix.get(shared + (digit,))
-                if not bucket:
-                    continue
-                if rng is None:
-                    neighbor = min_of[shared + (digit,)]
+                bucket = by_suffix[key]
+                if randrange is None:
+                    neighbor = min_of[key]
                 else:
-                    neighbor = bucket[rng.randrange(len(bucket))]
-                table.set_entry(level, digit, neighbor, NeighborState.S)
-                tables[neighbor].add_reverse(level, digit, node)
+                    neighbor = bucket[randrange(len(bucket))]
+                add_item(
+                    new_entry(TableEntry, (level, digit, neighbor, s_state))
+                )
+                acc = reverse_acc[neighbor._packed]
+                ridx = level * base + digit
+                rbucket = acc.get(ridx)
+                if rbucket is None:
+                    acc[ridx] = {node}
+                else:
+                    rbucket.add(node)
+        tables[node].load_sorted(items)
+    for node in members:
+        acc = reverse_acc[node._packed]
+        if acc:
+            # Trusted install (same shape add_reverse builds): every
+            # position came off a just-built primary entry.
+            tables[node].load_reverse(acc)
     return tables

@@ -7,13 +7,28 @@ neighbor per entry, as in Section 3's simplification).  The table also
 tracks reverse neighbors: ``x`` is a reverse ``(i, j)``-neighbor of
 ``y`` iff ``y`` is the primary ``(i, j)``-neighbor of ``x``.
 
-Entries are stored sparsely; the join protocol only ever fills empty
-entries, and :meth:`NeighborTable.set_entry` enforces that (overwriting
-with a *different* node raises, catching protocol bugs early).
+Storage is a flat ``d*b`` array: cell ``level*b + digit`` holds the
+neighbor (or ``None``) in one list, its state in a parallel
+``bytearray``, and a sorted list of filled flat indices makes snapshot
+iteration order-deterministic without re-sorting.  Compared with the
+previous ``Dict[(level, digit), (NodeId, state)]`` sparse dict this
+drops per-entry tuple boxes and key hashing from the hot path — at
+100k nodes the tables are the biggest resident structure, and reads
+(``get``) become a single index.  The dict implementation is retained
+as :class:`repro.perf.baseline.DictNeighborTable` for property-testing
+equivalence.
+
+The join protocol only ever fills empty entries, and
+:meth:`NeighborTable.set_entry` enforces that (overwriting with a
+*different* node raises, catching protocol bugs early).
+:meth:`NeighborTable.fill_empty` is the trusted fast path for protocol
+call sites that have already established emptiness and the suffix
+constraint (they derive ``(level, digit)`` from ``csuf`` directly).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.ids.digits import NodeId
@@ -25,45 +40,77 @@ Position = Tuple[int, int]
 #: protocol messages (CpRlyMsg, JoinWaitRlyMsg, JoinNotiMsg, ...).
 TableSnapshot = Tuple[TableEntry, ...]
 
+#: State byte codes of the flat array: 0 = empty cell.
+_STATE_FROM_CODE = (None, NeighborState.T, NeighborState.S)
+
+# Hot-path aliases: ``tuple.__new__(TableEntry, (...))`` builds an
+# entry without entering the namedtuple's Python-level ``__new__``
+# (about 2x faster, and the mutators below run once per table write in
+# the whole simulation); ``_STATE_T`` saves the enum attribute hop in
+# the same mutators.
+_new_entry = tuple.__new__
+_STATE_T = NeighborState.T
+
 
 class EntryConflictError(RuntimeError):
     """An attempt to overwrite a filled entry with a different node."""
 
 
 class NeighborTable:
-    """Sparse ``d x b`` neighbor table with reverse-neighbor tracking."""
+    """Flat-array ``d x b`` neighbor table with reverse-neighbor tracking."""
 
     __slots__ = (
-        "owner", "base", "num_levels", "_entries", "_reverse", "_snapshot",
+        "owner", "base", "num_levels", "_cells", "_states", "_positions",
+        "_entries", "_reverse", "_snapshot", "_version",
     )
 
     def __init__(self, owner: NodeId):
         self.owner = owner
         self.base = owner.base
         self.num_levels = owner.num_digits
-        self._entries: Dict[Position, Tuple[NodeId, NeighborState]] = {}
-        self._reverse: Dict[Position, Set[NodeId]] = {}
+        size = self.base * self.num_levels
+        #: Flat cells: ``_cells[level*base + digit]`` is the neighbor.
+        self._cells: List[Optional[NodeId]] = [None] * size
+        #: Parallel state bytes (0 empty, 1 = T, 2 = S).
+        self._states = bytearray(size)
+        #: Sorted flat indices of filled cells (snapshot order).
+        self._positions: List[int] = []
+        #: :class:`TableEntry` objects parallel to ``_positions`` —
+        #: each mutator patches the one affected slot, so the snapshot
+        #: tuple below is a plain C-level copy with no per-entry work
+        #: (tables mutate one cell at a time but are snapshot whole on
+        #: every table-carrying send).
+        self._entries: List[TableEntry] = []
+        #: Reverse neighbors keyed by flat index (buckets are removed
+        #: when emptied — no tombstones survive departures).
+        self._reverse: Dict[int, Set[NodeId]] = {}
         # Cached position-sorted snapshot tuple; every table-carrying
         # message (CpRlyMsg, JoinWaitRlyMsg, JoinNotiMsg, ...) takes a
-        # snapshot, and between mutations they are all identical, so the
-        # sort + entry construction is paid once per table change.
+        # snapshot, and between mutations they are all identical, so
+        # tuple construction is paid once per table change.
         self._snapshot: Optional[TableSnapshot] = None
+        #: Bumped on every entry/state mutation; the incremental
+        #: consistency checker uses it as a dirty marker.
+        self._version = 0
 
     # -- basic access -------------------------------------------------
 
     def get(self, level: int, digit: int) -> Optional[NodeId]:
         """The paper's ``N_x(i, j)`` (None when the entry is empty)."""
-        cell = self._entries.get((level, digit))
-        return cell[0] if cell is not None else None
+        return self._cells[level * self.base + digit]
 
     def state(self, level: int, digit: int) -> Optional[NeighborState]:
         """``N_x(i, j).state``, or None when the entry is empty."""
-        cell = self._entries.get((level, digit))
-        return cell[1] if cell is not None else None
+        return _STATE_FROM_CODE[self._states[level * self.base + digit]]
 
     def is_empty(self, level: int, digit: int) -> bool:
         """True iff the ``(level, digit)``-entry is unfilled."""
-        return (level, digit) not in self._entries
+        return self._cells[level * self.base + digit] is None
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (entry and state changes; not reverse sets)."""
+        return self._version
 
     def _check_position(self, level: int, digit: int) -> None:
         if not 0 <= level < self.num_levels:
@@ -94,22 +141,100 @@ class NeighborTable:
         """
         self._check_position(level, digit)
         self._check_suffix(level, digit, node)
-        current = self._entries.get((level, digit))
-        if current is not None and current[0] != node:
+        idx = level * self.base + digit
+        current = self._cells[idx]
+        if current is not None and current != node:
             raise EntryConflictError(
-                f"({level},{digit}) of {self.owner} holds {current[0]}, "
+                f"({level},{digit}) of {self.owner} holds {current}, "
                 f"refusing to overwrite with {node}"
             )
-        self._entries[(level, digit)] = (node, state)
+        i = bisect_left(self._positions, idx)
+        entry = _new_entry(TableEntry, (level, digit, node, state))
+        if current is None:
+            self._positions.insert(i, idx)
+            self._entries.insert(i, entry)
+        else:
+            self._entries[i] = entry
+        self._cells[idx] = node
+        self._states[idx] = 1 if state is NeighborState.T else 2
         self._snapshot = None
+        self._version += 1
+
+    def fill_empty(
+        self,
+        level: int,
+        digit: int,
+        node: NodeId,
+        state: NeighborState,
+    ) -> None:
+        """Trusted fill of a known-empty entry (protocol hot path).
+
+        Callers must have established both that the entry is empty and
+        that ``node`` satisfies the suffix constraint — which the join
+        protocol's fill sites do structurally, deriving ``(level,
+        digit)`` from ``csuf(node, owner)`` right before calling.
+        """
+        idx = level * self.base + digit
+        i = bisect_left(self._positions, idx)
+        self._positions.insert(i, idx)
+        self._entries.insert(
+            i, _new_entry(TableEntry, (level, digit, node, state))
+        )
+        self._cells[idx] = node
+        self._states[idx] = 1 if state is _STATE_T else 2
+        self._snapshot = None
+        self._version += 1
+
+    def load_sorted(self, items: "List[TableEntry]") -> None:
+        """Trusted bulk fill of an *empty* table (oracle setup path).
+
+        ``items`` must be :class:`TableEntry` objects in strictly
+        ascending ``(level, digit)`` order with valid positions and
+        suffixes — exactly how
+        :func:`repro.routing.oracle.build_consistent_tables` emits
+        them — so the sorted structures are plain appends with no
+        per-entry bisect or checks, and the entries are stored as
+        given.
+        """
+        if self._positions:
+            raise RuntimeError("load_sorted requires an empty table")
+        base = self.base
+        cells = self._cells
+        states = self._states
+        append_pos = self._positions.append
+        t_state = NeighborState.T
+        for entry in items:
+            level, digit, node, state = entry
+            idx = level * base + digit
+            append_pos(idx)
+            cells[idx] = node
+            states[idx] = 1 if state is t_state else 2
+        self._entries.extend(items)
+        self._snapshot = None
+        self._version += 1
+
+    def load_reverse(self, acc: Dict[int, Set[NodeId]]) -> None:
+        """Trusted wholesale install of reverse-neighbor sets keyed by
+        flat index (oracle setup path).
+
+        ``acc`` must have exactly the shape repeated
+        :meth:`add_reverse` calls would build — every key a valid flat
+        position, every bucket non-empty — which the oracle guarantees
+        by accumulating keys straight off just-built primary entries.
+        """
+        self._reverse = acc
 
     def set_state(self, level: int, digit: int, state: NeighborState) -> None:
         """Update the recorded state of a filled entry."""
-        cell = self._entries.get((level, digit))
-        if cell is None:
+        idx = level * self.base + digit
+        node = self._cells[idx]
+        if node is None:
             raise KeyError(f"entry ({level},{digit}) is empty")
-        self._entries[(level, digit)] = (cell[0], state)
+        i = bisect_left(self._positions, idx)
+        self._entries[i] = _new_entry(TableEntry, (level, digit, node, state))
+        self._states[idx] = 1 if state is _STATE_T else 2
         self._snapshot = None
+        self._version += 1
 
     def replace_entry(
         self,
@@ -128,9 +253,19 @@ class NeighborTable:
         """
         self._check_position(level, digit)
         self._check_suffix(level, digit, node)
-        previous = self.get(level, digit)
-        self._entries[(level, digit)] = (node, state)
+        idx = level * self.base + digit
+        previous = self._cells[idx]
+        i = bisect_left(self._positions, idx)
+        entry = _new_entry(TableEntry, (level, digit, node, state))
+        if previous is None:
+            self._positions.insert(i, idx)
+            self._entries.insert(i, entry)
+        else:
+            self._entries[i] = entry
+        self._cells[idx] = node
+        self._states[idx] = 1 if state is NeighborState.T else 2
         self._snapshot = None
+        self._version += 1
         return previous
 
     def clear_entry(self, level: int, digit: int) -> Optional[NodeId]:
@@ -139,16 +274,26 @@ class NeighborTable:
         Used when the last member of an entry's suffix class departs.
         """
         self._check_position(level, digit)
-        cell = self._entries.pop((level, digit), None)
-        self._snapshot = None
-        return cell[0] if cell is not None else None
+        idx = level * self.base + digit
+        previous = self._cells[idx]
+        if previous is not None:
+            self._cells[idx] = None
+            self._states[idx] = 0
+            i = bisect_left(self._positions, idx)
+            del self._positions[i]
+            del self._entries[i]
+            self._snapshot = None
+            self._version += 1
+        return previous
 
     def positions_of(self, node: NodeId) -> List[Tuple[int, int]]:
-        """All ``(level, digit)`` positions currently holding ``node``."""
+        """All ``(level, digit)`` positions currently holding ``node``
+        (in position order)."""
+        base = self.base
+        cells = self._cells
         return [
-            position
-            for position, (occupant, _) in self._entries.items()
-            if occupant == node
+            divmod(idx, base) for idx in self._positions
+            if cells[idx] == node
         ]
 
     # -- reverse neighbors ---------------------------------------------
@@ -156,29 +301,42 @@ class NeighborTable:
     def add_reverse(self, level: int, digit: int, node: NodeId) -> None:
         """Record that ``node`` has us as its ``(level, digit)`` primary
         neighbor (the paper's ``R_x(i, j)``)."""
-        self._check_position(level, digit)
-        self._reverse.setdefault((level, digit), set()).add(node)
+        # Bounds check inlined: this runs once per table fill anywhere
+        # in the network (oracle setup plus every protocol fill).
+        if not (0 <= level < self.num_levels and 0 <= digit < self.base):
+            self._check_position(level, digit)
+        idx = level * self.base + digit
+        bucket = self._reverse.get(idx)
+        if bucket is None:
+            self._reverse[idx] = {node}
+        else:
+            bucket.add(node)
 
     def remove_reverse(self, level: int, digit: int, node: NodeId) -> None:
         """Forget that ``node`` points at us at ``(level, digit)``."""
-        bucket = self._reverse.get((level, digit))
+        idx = level * self.base + digit
+        bucket = self._reverse.get(idx)
         if bucket is not None:
             bucket.discard(node)
             if not bucket:
-                del self._reverse[(level, digit)]
+                del self._reverse[idx]
 
     def remove_reverse_everywhere(self, node: NodeId) -> None:
         """Forget ``node`` from every reverse-neighbor set (it left)."""
-        for position in list(self._reverse):
-            self.remove_reverse(position[0], position[1], node)
+        for idx in list(self._reverse):
+            bucket = self._reverse[idx]
+            bucket.discard(node)
+            if not bucket:
+                del self._reverse[idx]
 
     def reverse_positions(self) -> List[Tuple[int, int]]:
         """Positions with at least one reverse neighbor recorded."""
-        return sorted(self._reverse)
+        base = self.base
+        return [divmod(idx, base) for idx in sorted(self._reverse)]
 
     def reverse_neighbors(self, level: int, digit: int) -> Set[NodeId]:
         """Nodes recorded as pointing at us at ``(level, digit)`` (copy)."""
-        return set(self._reverse.get((level, digit), ()))
+        return set(self._reverse.get(level * self.base + digit, ()))
 
     def all_reverse_neighbors(self) -> Set[NodeId]:
         """Every recorded reverse neighbor, excluding the owner."""
@@ -196,20 +354,27 @@ class NeighborTable:
 
     def entries_at_level(self, level: int) -> List[TableEntry]:
         """Filled entries at ``level``, in digit order."""
+        base = self.base
+        cells = self._cells
+        states = self._states
         out = []
-        for digit in range(self.base):
-            cell = self._entries.get((level, digit))
-            if cell is not None:
-                out.append(TableEntry(level, digit, cell[0], cell[1]))
+        for digit in range(base):
+            idx = level * base + digit
+            node = cells[idx]
+            if node is not None:
+                out.append(
+                    TableEntry(level, digit, node, _STATE_FROM_CODE[states[idx]])
+                )
         return out
 
     def filled_count(self) -> int:
         """Number of filled entries."""
-        return len(self._entries)
+        return len(self._positions)
 
     def distinct_neighbors(self) -> Set[NodeId]:
         """The distinct nodes stored anywhere in the table."""
-        return {node for node, _ in self._entries.values()}
+        cells = self._cells
+        return {cells[idx] for idx in self._positions}
 
     def snapshot(self) -> TableSnapshot:
         """Immutable copy of the filled entries, for message payloads.
@@ -219,11 +384,7 @@ class NeighborTable:
         """
         cached = self._snapshot
         if cached is None:
-            entries = self._entries
-            cached = tuple(
-                TableEntry(level, digit, *entries[(level, digit)])
-                for (level, digit) in sorted(entries)
-            )
+            cached = tuple(self._entries)
             self._snapshot = cached
         return cached
 
@@ -235,7 +396,7 @@ class NeighborTable:
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._positions)
 
 
 def format_table(table: NeighborTable, only_levels: Optional[int] = None) -> str:

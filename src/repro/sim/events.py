@@ -3,18 +3,46 @@
 Events are ordered by ``(time, sequence)`` where the sequence number is
 assigned at scheduling time; ties in virtual time therefore fire in
 FIFO order, which keeps runs deterministic for a fixed seed.
+
+The heap stores plain ``(time, seq, event)`` tuples rather than the
+:class:`Event` objects themselves: tuple comparison runs in C, so the
+``log n`` comparisons of every push/pop avoid a Python-level ``__lt__``
+call each.  ``(time, seq)`` is unique per queue, so a comparison never
+reaches the third element.  That uniqueness also lets the queue mix in
+bare ``(time, seq, action, payload)`` 4-tuples for fire-and-forget
+scheduling (:meth:`EventQueue.push_fire`): message deliveries dominate
+a simulation's schedule volume and are never cancelled, so they skip
+the :class:`Event` allocation entirely.
+
+Two scale features, both off by default and invisible to pop order:
+
+* **Compaction** (see :meth:`EventQueue.note_cancelled`) — cancellation
+  is lazy, which is O(1), but a workload that schedules-and-cancels
+  retry timers forever (every message send in the wire tier) leaves
+  tombstones in the heap.  When dead entries outnumber live ones the
+  queue rebuilds itself, so memory tracks the *live* event count.
+* **Timer wheel** (``wheel_tick=...``) — bulk far-future scheduling
+  (10⁵ join timers in :mod:`benchmarks.bench_scale`) costs O(log n)
+  per push on a heap.  With a wheel, events at or beyond the current
+  spill bound are appended O(1) to a coarse time-slot bucket, and each
+  slot is heapified only when the clock reaches it.  The invariant is
+  ``heap times < spill_bound <= bucket times``; within a slot the
+  ``(time, seq)`` heap order is restored at spill time, so the pop
+  sequence is identical to the plain heap's.
 """
 
 from __future__ import annotations
 
-import itertools
-from heapq import heappop, heappush
-from typing import Any, Callable, List, Optional
-
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Sentinel stored in ``Event.queue`` once the event has been popped
 #: (fired); ``None`` means the event was never enqueued.
 _DONE = object()
+
+#: Compaction threshold: never compact below this many dead entries
+#: (small heaps are cheap to scan and rebuilds would churn).
+_COMPACT_MIN_DEAD = 64
 
 
 class Event:
@@ -22,7 +50,7 @@ class Event:
 
     ``fire()`` invokes the action unless the event has been cancelled.
     Cancellation is lazy: the entry stays in the heap and is skipped when
-    popped.
+    popped (until the queue decides to compact).
     """
 
     __slots__ = ("time", "seq", "action", "payload", "cancelled", "queue")
@@ -53,8 +81,9 @@ class Event:
         if self.cancelled or self.queue is _DONE:
             return
         self.cancelled = True
-        if self.queue is not None:
-            self.queue._live -= 1
+        queue = self.queue
+        if queue is not None:
+            queue.note_cancelled()
 
     def fire(self) -> None:
         """Invoke the action unless the event was cancelled."""
@@ -66,8 +95,8 @@ class Event:
             self.action(self.payload)
 
     def __lt__(self, other: "Event") -> bool:
-        # Equivalent to comparing (time, seq) tuples, without building
-        # two tuples per heap comparison.
+        # Retained for direct Event comparisons (the queue itself
+        # compares (time, seq, event) tuples, which never get this far).
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -78,15 +107,34 @@ class Event:
 
 
 class EventQueue:
-    """A stable min-heap of :class:`Event` objects."""
+    """A stable min-heap of events, with optional timer-wheel overflow.
 
-    def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._counter = itertools.count()
+    ``wheel_tick`` (a virtual-time duration) enables the hashed wheel:
+    events scheduled at or beyond the spill bound are bucketed by
+    ``int(time // wheel_tick)`` instead of pushed onto the heap.
+    ``None`` (the default) keeps the pure heap.
+    """
+
+    def __init__(self, wheel_tick: Optional[float] = None) -> None:
+        if wheel_tick is not None and wheel_tick <= 0:
+            raise ValueError(f"wheel_tick must be positive: {wheel_tick}")
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._next_seq = 0
         # Live (non-cancelled) entry count, so __len__ is O(1); the
         # scheduler reports queue depth after every event, which was
         # quadratic when this required a heap scan.
         self._live = 0
+        # Cancelled entries still sitting in the heap or a wheel slot.
+        self._dead = 0
+        self._wheel_tick = wheel_tick
+        # slot index -> unordered list of (time, seq, event).
+        self._slots: Dict[int, List[Tuple[float, int, Event]]] = {}
+        # Times >= _spill_bound belong to the wheel; starts at 0 so the
+        # first push seeds the wheel, and rises as slots spill into the
+        # heap.  Unused (inf) without a wheel.
+        self._spill_bound = 0.0 if wheel_tick is not None else float("inf")
+
+    # -- scheduling ----------------------------------------------------
 
     def push(
         self,
@@ -95,29 +143,220 @@ class EventQueue:
         payload: Any = None,
     ) -> Event:
         """Schedule ``action`` at virtual time ``time``; returns the event."""
-        event = Event(time, next(self._counter), action, payload)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, action, payload)
         event.queue = self
-        heappush(self._heap, event)
+        if time < self._spill_bound:
+            heappush(self._heap, (time, seq, event))
+        else:
+            slot = int(time // self._wheel_tick)
+            bucket = self._slots.get(slot)
+            if bucket is None:
+                self._slots[slot] = [(time, seq, event)]
+            else:
+                bucket.append((time, seq, event))
         self._live += 1
         return event
 
-    def pop(self) -> Optional[Event]:
-        """Remove and return the earliest non-cancelled event, or None."""
-        while self._heap:
-            event = heappop(self._heap)
-            if not event.cancelled:
+    def push_fire(
+        self,
+        time: float,
+        action: Callable[..., None],
+        payload: Any = None,
+    ) -> None:
+        """Fire-and-forget schedule: no :class:`Event` handle, so the
+        entry cannot be cancelled.  The transport uses this for message
+        deliveries — the bulk of all scheduling — saving an object
+        allocation per send."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if time < self._spill_bound:
+            heappush(self._heap, (time, seq, action, payload))
+        else:
+            slot = int(time // self._wheel_tick)
+            bucket = self._slots.get(slot)
+            if bucket is None:
+                self._slots[slot] = [(time, seq, action, payload)]
+            else:
+                bucket.append((time, seq, action, payload))
+        self._live += 1
+
+    def push_many(
+        self,
+        entries: Iterable[Tuple[float, Callable[..., None], Any]],
+    ) -> List[Event]:
+        """Schedule a batch of ``(time, action, payload)`` entries at once.
+
+        Sequence numbers are assigned in iteration order, so
+        simultaneous entries fire in the order given — exactly as if
+        pushed one by one.  When the batch rivals the heap in size the
+        heap is rebuilt with one O(n) ``heapify`` instead of n
+        O(log n) sifts; either way the pop order is identical, since
+        a heap's pop sequence is determined by its contents and
+        ``(time, seq)`` is a total order.
+        """
+        heap = self._heap
+        spill_bound = self._spill_bound
+        slots = self._slots
+        tick = self._wheel_tick
+        events: List[Event] = []
+        seq = self._next_seq
+        heaped = len(heap)
+        for time, action, payload in entries:
+            event = Event(time, seq, action, payload)
+            event.queue = self
+            events.append(event)
+            if time < spill_bound:
+                heap.append((time, seq, event))
+            else:
+                slot = int(time // tick)
+                bucket = slots.get(slot)
+                if bucket is None:
+                    slots[slot] = [(time, seq, event)]
+                else:
+                    bucket.append((time, seq, event))
+            seq += 1
+        self._next_seq = seq
+        self._live += len(events)
+        added = len(heap) - heaped
+        if added:
+            if added > heaped // 2:
+                heapify(heap)
+            else:
+                tail = heap[heaped:]
+                del heap[heaped:]
+                for entry in tail:
+                    heappush(heap, entry)
+        return events
+
+    # -- draining ------------------------------------------------------
+
+    def pop_entry(self) -> Optional[tuple]:
+        """Remove and return the earliest live heap entry, or None.
+
+        The raw-tuple fast path for run loops: returns either a
+        ``(time, seq, event)`` or a fire-and-forget ``(time, seq,
+        action, payload)`` entry (discriminate on ``len``), skipping
+        cancelled events.
+        """
+        heap = self._heap
+        while True:
+            while heap:
+                entry = heappop(heap)
+                if len(entry) == 3:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._dead -= 1
+                        continue
+                    event.queue = _DONE  # later cancel() is a no-op
                 self._live -= 1
-                event.queue = _DONE  # later cancel() is a no-op
-                return event
-        return None
+                return entry
+            if not self._slots:
+                return None
+            self._spill_min_slot()
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None.
+
+        Fire-and-forget entries come back boxed in an already-retired
+        :class:`Event` (cancel is a no-op, matching their contract).
+        """
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        if len(entry) == 3:
+            return entry[2]
+        event = Event(entry[0], entry[1], entry[2], entry[3])
+        event.queue = _DONE
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event, or None if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
-        return None
+        heap = self._heap
+        while True:
+            while heap:
+                head = heap[0]
+                if len(head) == 3 and head[2].cancelled:
+                    heappop(heap)
+                    self._dead -= 1
+                    continue
+                return head[0]
+            if not self._slots:
+                return None
+            self._spill_min_slot()
+
+    def _spill_min_slot(self) -> None:
+        """Move the earliest wheel slot into the heap.
+
+        Called only when the heap is empty, so the spilled entries
+        (all ``>= _spill_bound``) cannot land behind anything.  The
+        slot's entries are heapified — O(slot size) — restoring exact
+        ``(time, seq)`` order, and cancelled entries are dropped here
+        rather than carried into the heap.
+        """
+        slot = min(self._slots)
+        entries = self._slots.pop(slot)
+        heap = self._heap  # empty, mutated in place: callers hold a ref
+        for entry in entries:
+            if len(entry) == 4 or not entry[2].cancelled:
+                heap.append(entry)
+        self._dead -= len(entries) - len(heap)
+        heapify(heap)
+        self._spill_bound = (slot + 1) * self._wheel_tick
+
+    # -- cancellation / compaction -------------------------------------
+
+    def note_cancelled(self) -> None:
+        """Account a lazily-cancelled entry; compact when tombstones
+        outnumber live events (and exceed :data:`_COMPACT_MIN_DEAD`),
+        so a schedule-and-cancel workload keeps O(live) memory."""
+        self._live -= 1
+        dead = self._dead + 1
+        if dead > _COMPACT_MIN_DEAD and dead > self._live:
+            self._compact()
+        else:
+            self._dead = dead
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify.
+
+        O(total entries), amortized O(1) per cancel by the doubling
+        threshold in :meth:`note_cancelled`.  Relative order of the
+        survivors is untouched — the heap's pop sequence depends only
+        on its contents."""
+        live_heap = [
+            e for e in self._heap if len(e) == 4 or not e[2].cancelled
+        ]
+        heapify(live_heap)
+        self._heap = live_heap
+        for slot in list(self._slots):
+            bucket = [
+                e for e in self._slots[slot]
+                if len(e) == 4 or not e[2].cancelled
+            ]
+            if bucket:
+                self._slots[slot] = bucket
+            else:
+                del self._slots[slot]
+        self._dead = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled entries currently tombstoned in the queue."""
+        return self._dead
+
+    @property
+    def wheel_tick(self) -> Optional[float]:
+        """The wheel's slot width, or ``None`` for the pure heap."""
+        return self._wheel_tick
+
+    @property
+    def wheel_slots(self) -> int:
+        """Number of non-empty wheel slots (0 without a wheel)."""
+        return len(self._slots)
 
     def __len__(self) -> int:
         return self._live

@@ -16,7 +16,7 @@ provided:
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Iterable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.topology.latency import HierarchicalLatency
 from repro.topology.transit_stub import TransitStubTopology
@@ -83,30 +83,34 @@ class HostAttachment:
     ):
         stub_routers = topology.stub_routers
         low, high = access_latency
-        self._router_of: Dict[HostKey, int] = {}
-        self._access: Dict[HostKey, float] = {}
+        # One fused ``host -> (router, access)`` dict: the latency
+        # model reads both values for both endpoints of every distinct
+        # pair, so fusing halves its dict probes (and host-key hash
+        # calls) versus parallel per-field dicts.
+        self._attach: Dict[HostKey, Tuple[int, float]] = {}
         for host in hosts:
-            self._router_of[host] = rng.choice(stub_routers)
-            self._access[host] = rng.uniform(low, high)
+            self._attach[host] = (
+                rng.choice(stub_routers),
+                rng.uniform(low, high),
+            )
 
     def router_of(self, host: HostKey) -> int:
         """The stub router ``host`` attaches to."""
-        return self._router_of[host]
+        return self._attach[host][0]
 
     def access_latency(self, host: HostKey) -> float:
         """``host``'s access-link latency."""
-        return self._access[host]
+        return self._attach[host][1]
 
     def add_host(
         self, host: HostKey, router: int, access_latency: float
     ) -> None:
         """Attach one more host explicitly (tests and incremental setups)."""
-        self._router_of[host] = router
-        self._access[host] = access_latency
+        self._attach[host] = (router, access_latency)
 
     @property
     def hosts(self) -> List[HostKey]:
-        return list(self._router_of)
+        return list(self._attach)
 
 
 class TopologyLatencyModel(LatencyModel):
@@ -118,14 +122,31 @@ class TopologyLatencyModel(LatencyModel):
         self,
         topology: TransitStubTopology,
         attachment: HostAttachment,
+        paths: Optional[HierarchicalLatency] = None,
     ):
+        """``paths`` lets callers share one :class:`HierarchicalLatency`
+        (router-path state is a pure function of the topology, and its
+        core all-pairs Dijkstra is the expensive part)."""
         self._attachment = attachment
-        self._paths = HierarchicalLatency(topology)
+        self._paths = (
+            paths if paths is not None else HierarchicalLatency(topology)
+        )
+        # Direct ref into the attachment's fused map: latency() runs
+        # once per distinct (src, dst) pair in a run (the transport
+        # memoizes deterministic models), and the accessor-method hops
+        # dominate its cost.  add_host mutates the same dict, so the
+        # ref stays current.
+        self._attach = attachment._attach
 
     def latency(self, src: HostKey, dst: HostKey) -> float:
         """Access link + router shortest path + access link."""
         if src == dst:
             return 0.0
-        att = self._attachment
-        router_path = self._paths.latency(att.router_of(src), att.router_of(dst))
-        return att.access_latency(src) + router_path + att.access_latency(dst)
+        attach = self._attach
+        src_router, src_access = attach[src]
+        dst_router, dst_access = attach[dst]
+        return (
+            src_access
+            + self._paths.latency(src_router, dst_router)
+            + dst_access
+        )

@@ -1,0 +1,232 @@
+"""IncrementalChecker parity with the full Definition 3.8 scan.
+
+The dirty-set checker must return the same verdict -- and the same
+violation positions and kinds -- as relaxed-mode
+:func:`check_consistency` on *every* call of any call sequence, while
+re-verifying only nodes whose answer could have changed.  Details of
+``false_negative`` messages may cite a different exemplar member of
+the non-empty suffix class, so parity is asserted on
+``(node, level, digit, kind)`` keys.
+"""
+
+import random
+
+from repro.consistency.checker import check_consistency
+from repro.consistency.incremental import IncrementalChecker
+from repro.ids.idspace import IdSpace
+from repro.routing.entry import NeighborState
+from repro.routing.oracle import build_consistent_tables
+
+SPACE = IdSpace(4, 4)
+
+
+def _members(count, seed):
+    return SPACE.random_unique_ids(count, random.Random(seed))
+
+
+def _keys(report):
+    return sorted(
+        (str(v.node), v.level, v.digit, v.kind) for v in report.violations
+    )
+
+
+def _assert_parity(checker, tables, occupants, max_violations=None):
+    incremental = checker.check(
+        tables, occupant_set=occupants, max_violations=max_violations
+    )
+    full = check_consistency(
+        tables,
+        require_s_states=False,
+        occupant_set=occupants,
+        max_violations=max_violations,
+    )
+    assert incremental.consistent == full.consistent
+    if max_violations is None:
+        assert _keys(incremental) == _keys(full)
+    else:
+        assert len(incremental.violations) == len(full.violations)
+    return incremental
+
+
+class TestIncrementalParity:
+    def test_consistent_network_stays_consistent(self):
+        members = _members(25, seed=0)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        _assert_parity(checker, tables, tables.keys())
+        first_pass = checker.nodes_reverified
+        assert first_pass == len(members)
+        # No mutation: second call re-verifies nothing.
+        _assert_parity(checker, tables, tables.keys())
+        assert checker.nodes_reverified == first_pass
+
+    def test_empty_mapping_is_vacuously_consistent(self):
+        checker = IncrementalChecker()
+        report = checker.check({}, occupant_set=[])
+        assert report.consistent
+        full = check_consistency({}, require_s_states=False, occupant_set=[])
+        assert full.consistent
+
+    def test_growth_dirties_only_affected_nodes(self):
+        members = _members(30, seed=2)
+        grown = build_consistent_tables(members)
+        initial = {m: t for m, t in grown.items() if m != members[-1]}
+        # The initial view has false negatives at the newcomer's
+        # positions in other tables only if those tables point at it;
+        # either way parity must hold before and after the growth.
+        checker = IncrementalChecker()
+        _assert_parity(checker, initial, initial.keys())
+        baseline = checker.nodes_reverified
+        _assert_parity(checker, grown, grown.keys())
+        assert checker.full_rescans == 0
+        # Far fewer than a full rescan: the newcomer plus nodes whose
+        # tables mention it or whose suffix classes it extended.
+        assert checker.nodes_reverified - baseline < len(grown)
+
+    def test_detects_introduced_false_negative(self):
+        members = _members(20, seed=3)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        _assert_parity(checker, tables, tables.keys())
+        victim = next(
+            e
+            for e in tables[members[0]].entries()
+            if e.node != members[0]
+        )
+        tables[members[0]].clear_entry(victim.level, victim.digit)
+        report = _assert_parity(checker, tables, tables.keys())
+        assert not report.consistent
+        # Version bump localizes the recheck to the mutated table.
+        assert checker.full_rescans == 0
+
+    def test_violation_can_resolve_without_version_change(self):
+        members = _members(20, seed=4)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        victim_owner = members[0]
+        victim = next(
+            e
+            for e in tables[victim_owner].entries()
+            if e.node != victim_owner
+        )
+        tables[victim_owner].clear_entry(victim.level, victim.digit)
+        report = _assert_parity(checker, tables, tables.keys())
+        assert not report.consistent
+        # Repair it; the cached-violation dirty rule must re-verify.
+        tables[victim_owner].set_entry(
+            victim.level, victim.digit, victim.node, NeighborState.S
+        )
+        report = _assert_parity(checker, tables, tables.keys())
+        assert report.consistent
+
+    def test_bad_occupant_when_occupant_set_shrinks(self):
+        members = _members(20, seed=5)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        _assert_parity(checker, tables, tables.keys())
+        # Drop one member from the *occupant* set but keep its table
+        # audited: entries pointing at it become bad occupants, and
+        # the shrink forces a full rescan.
+        departed = max(
+            members,
+            key=lambda m: sum(
+                1
+                for t in tables.values()
+                for e in t.entries()
+                if e.node == m
+            ),
+        )
+        occupants = [m for m in members if m != departed]
+        report = _assert_parity(checker, tables, occupants)
+        assert checker.full_rescans == 1
+        assert not report.consistent
+
+    def test_membership_shrink_triggers_full_rescan(self):
+        members = _members(24, seed=6)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        _assert_parity(checker, tables, tables.keys())
+        shrunk = {m: t for m, t in tables.items() if m != members[0]}
+        _assert_parity(checker, shrunk, tables.keys())
+        assert checker.full_rescans == 1
+        # And the rebuilt state keeps serving incremental calls.
+        before = checker.nodes_reverified
+        _assert_parity(checker, shrunk, tables.keys())
+        assert checker.nodes_reverified == before
+
+    def test_caller_mutating_occupant_set_in_place(self):
+        members = _members(20, seed=7)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        occupants = set(members)
+        _assert_parity(checker, tables, occupants)
+        # Mutating the caller's set must still be seen as a shrink on
+        # the next call (the checker keeps a private copy).
+        occupants.discard(members[3])
+        _assert_parity(checker, tables, occupants)
+        assert checker.full_rescans == 1
+
+    def test_max_violations_truncation(self):
+        members = _members(18, seed=8)
+        tables = build_consistent_tables(members)
+        checker = IncrementalChecker()
+        _assert_parity(checker, tables, tables.keys())
+        for owner in members[:6]:
+            for entry in list(tables[owner].entries()):
+                if entry.node != owner:
+                    tables[owner].clear_entry(entry.level, entry.digit)
+                    break
+        _assert_parity(checker, tables, tables.keys(), max_violations=3)
+        # Uncapped afterwards still agrees (cached state unconfused).
+        _assert_parity(checker, tables, tables.keys())
+
+
+class TestIncrementalRandomized:
+    def test_random_churn_scripts_stay_in_parity(self):
+        rng = random.Random(42)
+        for script in range(8):
+            members = _members(22, seed=100 + script)
+            tables = build_consistent_tables(members)
+            checker = IncrementalChecker()
+            occupants = set(members)
+            for _step in range(10):
+                action = rng.random()
+                owner = rng.choice(members)
+                table = tables.get(owner)
+                if action < 0.4 and table is not None:
+                    filled = [
+                        e for e in table.entries() if e.node != owner
+                    ]
+                    if filled:
+                        entry = rng.choice(filled)
+                        table.clear_entry(entry.level, entry.digit)
+                elif action < 0.6 and table is not None:
+                    cleared = [
+                        (level, digit)
+                        for level in range(SPACE.num_digits)
+                        for digit in range(SPACE.base)
+                        if table.is_empty(level, digit)
+                    ]
+                    # Refill from any member with the right suffix.
+                    rng.shuffle(cleared)
+                    for level, digit in cleared:
+                        suffix = owner.suffix(level) + (digit,)
+                        fits = [
+                            m for m in members if m.has_suffix(suffix)
+                        ]
+                        if fits:
+                            table.set_entry(
+                                level,
+                                digit,
+                                rng.choice(fits),
+                                NeighborState.S,
+                            )
+                            break
+                elif action < 0.8:
+                    occupants.discard(owner)
+                else:
+                    occupants.add(owner)
+                audited = {
+                    m: t for m, t in tables.items() if m in occupants
+                } or tables
+                _assert_parity(checker, audited, set(occupants) or members)

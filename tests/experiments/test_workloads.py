@@ -63,3 +63,33 @@ class TestMakeWorkload:
         w0 = make_workload(base=16, num_digits=8, n=10, m=5, seed=0)
         w1 = make_workload(base=16, num_digits=8, n=10, m=5, seed=1)
         assert w0.initial_ids != w1.initial_ids
+
+
+class TestBatchedJoinStart:
+    def test_batched_equals_sequential_start(self):
+        """start_all_joins goes through the runtime's schedule_many;
+        the run must be byte-identical to per-joiner start_join calls
+        (same gateway draws, same event order)."""
+        batched = make_workload(base=4, num_digits=5, n=60, m=25, seed=2)
+        batched.start_all_joins()
+        batched.run()
+
+        sequential = make_workload(base=4, num_digits=5, n=60, m=25, seed=2)
+        for joiner in sequential.joiner_ids:
+            sequential.network.start_join(joiner)
+        sequential.run()
+
+        assert (
+            batched.network.stats.snapshot()
+            == sequential.network.stats.snapshot()
+        )
+        assert batched.network.runtime.events_fired == (
+            sequential.network.runtime.events_fired
+        )
+        assert {
+            owner: table.snapshot()
+            for owner, table in batched.network.tables().items()
+        } == {
+            owner: table.snapshot()
+            for owner, table in sequential.network.tables().items()
+        }

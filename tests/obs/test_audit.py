@@ -178,3 +178,41 @@ class TestAuditReportOutput:
         assert "Theorem 3 gate" in text
         assert "Theorem 4/5 gate" in text
         assert "final check" in text
+
+
+class TestIncrementalAuditor:
+    """AuditConfig(incremental=True) must be an invisible speedup:
+    same samples, incidents and verdicts as the full checker."""
+
+    def _reports(self, fault):
+        full_config = AuditConfig(
+            interval=50.0, stall_timeout=700.0, persist_samples=4
+        )
+        inc_config = AuditConfig(
+            interval=50.0, stall_timeout=700.0, persist_samples=4,
+            incremental=True,
+        )
+        _, full_auditor, _ = run_audited(fault=fault, config=full_config)
+        _, inc_auditor, _ = run_audited(fault=fault, config=inc_config)
+        return full_auditor.finalize(), inc_auditor.finalize()
+
+    def test_healthy_run_identical(self):
+        full, incremental = self._reports(fault=False)
+        assert incremental.passed and full.passed
+        assert len(incremental.samples) == len(full.samples)
+        for ours, theirs in zip(incremental.samples, full.samples):
+            assert ours.to_json_dict() == theirs.to_json_dict()
+
+    def test_faulted_run_flags_same_incidents(self):
+        full, incremental = self._reports(fault=True)
+        assert not incremental.passed and not full.passed
+        assert [
+            (incident.kind, incident.severity, incident.time)
+            for incident in incremental.incidents
+        ] == [
+            (incident.kind, incident.severity, incident.time)
+            for incident in full.incidents
+        ]
+        assert [s.violations for s in incremental.samples] == [
+            s.violations for s in full.samples
+        ]

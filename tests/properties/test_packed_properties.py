@@ -1,0 +1,101 @@
+"""Packed-int ID form vs the digit-tuple algebra.
+
+Every hot path that operates on ``NodeId._packed`` directly -- the
+oracle's suffix bucketing, the protocol's XOR-lowbit csuf arithmetic,
+the incremental checker's masked suffix tests -- assumes the packed
+form is a faithful encoding of the digit tuple.  These properties pin
+that encoding down against the public digit API.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ids.digits import PACKED_DIGIT_BITS, PACKED_DIGIT_MASK, NodeId
+from repro.ids.idspace import IdSpace
+from repro.protocol.node import _LOWBIT_K
+
+W = PACKED_DIGIT_BITS
+
+
+@st.composite
+def id_pairs(draw):
+    base = draw(st.sampled_from([2, 3, 4, 8, 16]))
+    num_digits = draw(st.integers(2, 8))
+    space = IdSpace(base, num_digits)
+    x = space.from_int(draw(st.integers(0, space.size - 1)))
+    y = space.from_int(draw(st.integers(0, space.size - 1)))
+    # Bias toward shared suffixes so the masked comparisons actually
+    # agree at positive lengths (random pairs differ at digit 0).
+    if draw(st.booleans()):
+        k = draw(st.integers(0, num_digits))
+        y = space.from_digits(x.digits[:k] + y.digits[k:])
+    return space, x, y
+
+
+class TestPackedEncoding:
+    @given(id_pairs())
+    @settings(max_examples=200)
+    def test_digit_extraction(self, data):
+        """``(packed >> k*w) & mask`` is exactly ``digits[k]``
+        (digit index 0 = least significant = suffix end)."""
+        _, x, _ = data
+        for k in range(x.num_digits):
+            assert (x._packed >> (k * W)) & PACKED_DIGIT_MASK == x.digit(k)
+
+    @given(id_pairs())
+    @settings(max_examples=200)
+    def test_packed_equality_iff_id_equality(self, data):
+        _, x, y = data
+        assert (x._packed == y._packed) == (x == y)
+
+    @given(id_pairs())
+    @settings(max_examples=200)
+    def test_masked_suffix_equality(self, data):
+        """Low ``k*w`` bits agree iff the length-``k`` suffixes agree
+        (the oracle's and incremental checker's bucketing rule)."""
+        _, x, y = data
+        for k in range(x.num_digits + 1):
+            mask = (1 << (k * W)) - 1
+            assert ((x._packed & mask) == (y._packed & mask)) == (
+                x.suffix(k) == y.suffix(k)
+            )
+
+    @given(id_pairs())
+    @settings(max_examples=200)
+    def test_xor_lowbit_csuf(self, data):
+        """The protocol hot loop's csuf: the level of the lowest set
+        bit of ``x ^ y`` equals ``csuf_len`` for distinct IDs."""
+        _, x, y = data
+        z = x._packed ^ y._packed
+        if z == 0:
+            assert x == y
+            return
+        lowbit = z & -z
+        assert (lowbit.bit_length() - 1) // W == x.csuf_len(y)
+        # The memoized lowbit->level table agrees with the arithmetic.
+        assert _LOWBIT_K[lowbit] == x.csuf_len(y)
+
+    def test_lowbit_table_is_exhaustive(self):
+        """One entry per bit of a 32-digit packed ID, each mapping its
+        power of two to the digit level containing that bit."""
+        assert len(_LOWBIT_K) == 32 * W
+        for bit in range(32 * W):
+            assert _LOWBIT_K[1 << bit] == bit // W
+
+
+class TestPackedSuffixChecks:
+    @given(id_pairs())
+    @settings(max_examples=200)
+    def test_entry_constraint_matches_has_suffix(self, data):
+        """The masked form of the Definition 3.8 entry constraint
+        (occupant has suffix ``digit . x.suffix(level)``) used by the
+        incremental checker equals the NodeId-algebra form."""
+        _, x, y = data
+        for level in range(x.num_digits):
+            mask = (1 << (level * W)) - 1
+            for digit in range(min(x.base, 4)):
+                packed_ok = (y._packed & mask) == (x._packed & mask) and (
+                    (y._packed >> (level * W)) & PACKED_DIGIT_MASK
+                ) == digit
+                algebra_ok = y.has_suffix(x.suffix(level) + (digit,))
+                assert packed_ok == algebra_ok

@@ -1,0 +1,230 @@
+"""Array-backed NeighborTable vs the dict reference backend.
+
+The flat-array :class:`~repro.routing.table.NeighborTable` replaced the
+sparse dict layout kept in
+:class:`~repro.perf.baseline.DictNeighborTable`.  The two must be
+observationally identical: same results and same exceptions for any
+operation sequence, and -- end to end -- byte-identical fixed-seed
+runs, because the protocol's array fast paths fall back to the public
+API on the dict backend.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.workloads import make_workload
+from repro.ids.idspace import IdSpace
+from repro.perf.baseline import DictNeighborTable, use_dict_tables
+from repro.routing.entry import NeighborState, TableEntry
+from repro.routing.oracle import build_consistent_tables
+from repro.routing.table import EntryConflictError, NeighborTable
+
+
+def _random_occupant(space, owner, level, digit, rng):
+    """A node satisfying the ``(level, digit)``-entry constraint of
+    ``owner`` (shares the length-``level`` suffix, has ``digit`` next)."""
+    digits = [rng.randrange(space.base) for _ in range(space.num_digits)]
+    digits[:level] = owner.digits[:level]
+    digits[level] = digit
+    return space.from_digits(tuple(digits))
+
+
+def _observable_state(table):
+    """Everything a caller can see through the public API."""
+    per_cell = [
+        (
+            table.get(level, digit),
+            table.state(level, digit),
+            table.is_empty(level, digit),
+        )
+        for level in range(table.num_levels)
+        for digit in range(table.base)
+    ]
+    reverse = {
+        position: frozenset(table.reverse_neighbors(*position))
+        for position in table.reverse_positions()
+    }
+    return (
+        per_cell,
+        table.snapshot(),
+        tuple(table.entries()),
+        [table.entries_at_level(level) for level in range(table.num_levels)],
+        table.distinct_neighbors(),
+        table.filled_count(),
+        len(table),
+        reverse,
+    )
+
+
+def _apply_op(table, op, args):
+    """Run one mutation; returns (result, exception type)."""
+    try:
+        return getattr(table, op)(*args), None
+    except (EntryConflictError, KeyError, ValueError) as exc:
+        return None, type(exc)
+
+
+@st.composite
+def op_scripts(draw):
+    base = draw(st.sampled_from([2, 3, 4]))
+    num_digits = draw(st.integers(2, 4))
+    seed = draw(st.integers(0, 10_000))
+    num_ops = draw(st.integers(1, 40))
+    return base, num_digits, seed, num_ops
+
+
+class TestBackendEquivalence:
+    @given(op_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_random_operation_sequences(self, script):
+        base, num_digits, seed, num_ops = script
+        space = IdSpace(base, num_digits)
+        rng = random.Random(seed)
+        owner = space.from_int(rng.randrange(space.size))
+        array_table = NeighborTable(owner)
+        dict_table = DictNeighborTable(owner)
+        states = [NeighborState.T, NeighborState.S]
+
+        for _ in range(num_ops):
+            level = rng.randrange(num_digits)
+            digit = rng.randrange(base)
+            op = rng.choice(
+                [
+                    "set_entry",
+                    "set_entry",
+                    "fill_empty",
+                    "set_state",
+                    "replace_entry",
+                    "clear_entry",
+                    "add_reverse",
+                    "remove_reverse",
+                    "remove_reverse_everywhere",
+                ]
+            )
+            occupant = _random_occupant(space, owner, level, digit, rng)
+            state = rng.choice(states)
+            if op == "set_entry" or op == "replace_entry":
+                args = (level, digit, occupant, state)
+            elif op == "fill_empty":
+                if not array_table.is_empty(level, digit):
+                    continue  # trusted fast path: caller checks first
+                args = (level, digit, occupant, state)
+            elif op == "set_state":
+                args = (level, digit, state)
+            elif op == "clear_entry":
+                args = (level, digit)
+            elif op == "remove_reverse_everywhere":
+                args = (occupant,)
+            else:  # add_reverse / remove_reverse
+                args = (level, digit, occupant)
+
+            result_a, error_a = _apply_op(array_table, op, args)
+            result_d, error_d = _apply_op(dict_table, op, args)
+            assert error_a == error_d, (op, args)
+            assert result_a == result_d, (op, args)
+            assert _observable_state(array_table) == _observable_state(
+                dict_table
+            )
+            assert array_table.positions_of(occupant) == sorted(
+                dict_table.positions_of(occupant)
+            )
+
+
+class TestBulkLoadEquivalence:
+    @given(op_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_load_sorted_matches_fill_empty(self, script):
+        base, num_digits, seed, _ = script
+        space = IdSpace(base, num_digits)
+        rng = random.Random(seed)
+        owner = space.from_int(rng.randrange(space.size))
+        items = []
+        for level in range(num_digits):
+            for digit in range(base):
+                if rng.random() < 0.5:
+                    continue
+                occupant = _random_occupant(space, owner, level, digit, rng)
+                state = rng.choice([NeighborState.T, NeighborState.S])
+                items.append(TableEntry(level, digit, occupant, state))
+
+        for cls in (NeighborTable, DictNeighborTable):
+            bulk, single = cls(owner), cls(owner)
+            bulk.load_sorted(items)
+            for level, digit, occupant, state in items:
+                single.fill_empty(level, digit, occupant, state)
+            assert _observable_state(bulk) == _observable_state(single)
+
+    def test_load_sorted_requires_empty_table(self):
+        space = IdSpace(4, 3)
+        owner = space.from_int(5)
+        for cls in (NeighborTable, DictNeighborTable):
+            table = cls(owner)
+            table.fill_empty(0, owner.digit(0), owner, NeighborState.S)
+            try:
+                table.load_sorted(
+                    [TableEntry(0, owner.digit(0), owner, NeighborState.S)]
+                )
+            except RuntimeError:
+                pass
+            else:
+                raise AssertionError(f"{cls.__name__} accepted a reload")
+
+
+def _oracle_fingerprint(tables):
+    return {
+        owner: (
+            table.snapshot(),
+            {
+                position: frozenset(table.reverse_neighbors(*position))
+                for position in table.reverse_positions()
+            },
+        )
+        for owner, table in tables.items()
+    }
+
+
+def _run_golden_workload():
+    workload = make_workload(
+        base=4, num_digits=5, n=80, m=30, seed=13, use_topology=False
+    )
+    workload.start_all_joins(at=0.0)
+    workload.run()
+    net = workload.network
+    return (
+        net.stats.snapshot(),
+        {owner: table.snapshot() for owner, table in net.tables().items()},
+        net.runtime.events_fired,
+        net.runtime.now,
+    )
+
+
+class TestGoldenTraces:
+    def test_oracle_identical_across_backends(self):
+        space = IdSpace(4, 5)
+        rng = random.Random(3)
+        members = [space.from_int(v) for v in rng.sample(range(space.size), 90)]
+        array_tables = build_consistent_tables(
+            members, rng=random.Random(17)
+        )
+        with use_dict_tables():
+            dict_tables = build_consistent_tables(
+                members, rng=random.Random(17)
+            )
+        assert any(
+            type(table) is DictNeighborTable
+            for table in dict_tables.values()
+        )
+        assert _oracle_fingerprint(array_tables) == _oracle_fingerprint(
+            dict_tables
+        )
+
+    def test_fixed_seed_run_identical_across_backends(self):
+        """The whole simulation -- message counts, event counts, final
+        virtual time, every table -- is byte-identical on either
+        backend for a fixed seed."""
+        array_run = _run_golden_workload()
+        with use_dict_tables():
+            dict_run = _run_golden_workload()
+        assert array_run == dict_run
