@@ -5,10 +5,11 @@ configuration over five seeds and reports mean +/- stddev of the mean
 JoinNotiMsg count, checking every run stays under the Theorem 5 bound
 and consistent.
 
-The per-seed runs go through the process-pool engine of
-:mod:`repro.experiments.parallel`; set ``REPRO_BENCH_JOBS`` to fan
-them over that many worker processes (results are identical to the
-serial run for any value).
+The per-seed runs go through the execution engine of
+:mod:`repro.exec`; set ``REPRO_BENCH_JOBS`` to fan them over that many
+worker processes, or ``REPRO_BENCH_BACKEND`` (plus
+``REPRO_BENCH_WORKERS=host:port,...`` for ``remote``) to pick a
+backend explicitly (results are identical for any choice).
 """
 
 import os
@@ -34,8 +35,33 @@ def bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
+def bench_backend():
+    """Explicit engine backend for benches (``REPRO_BENCH_BACKEND``,
+    ``REPRO_BENCH_WORKERS``), or None for the jobs contract."""
+    spec = os.environ.get("REPRO_BENCH_BACKEND")
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if not spec and not workers:
+        return None
+    from repro.exec import create_backend
+
+    worker_list = (
+        [w.strip() for w in workers.split(",") if w.strip()]
+        if workers else None
+    )
+    return create_backend(
+        spec or "remote", jobs=bench_jobs(), workers=worker_list
+    )
+
+
 def run_sweep():
-    return sweep_fig15b(CONFIG, seeds=SEEDS, jobs=bench_jobs())
+    backend = bench_backend()
+    try:
+        return sweep_fig15b(
+            CONFIG, seeds=SEEDS, jobs=bench_jobs(), backend=backend
+        )
+    finally:
+        if backend is not None:
+            backend.close()
 
 
 def test_fig15b_seed_sweep(benchmark):

@@ -3,9 +3,11 @@
 Regenerates the per-message-type accounting behind the paper's cost
 analysis: big messages (table-carrying) vs small messages, per join.
 
-The seed loop is routed through the process-pool engine of
-:mod:`repro.experiments.parallel` (``run_join_tasks``); set
-``REPRO_BENCH_JOBS`` to fan the seeds over worker processes.
+The seed loop is routed through the execution engine of
+:mod:`repro.exec` (``run_join_tasks``); set ``REPRO_BENCH_JOBS`` to
+fan the seeds over worker processes, or ``REPRO_BENCH_BACKEND`` (plus
+``REPRO_BENCH_WORKERS=host:port,...`` for ``remote``) to pick a
+backend explicitly.
 """
 
 import os
@@ -34,10 +36,34 @@ def bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
-def run_workloads():
-    return run_join_tasks(
-        seeded_configs(CONFIG, SEEDS), jobs=bench_jobs()
+def bench_backend():
+    """Explicit engine backend for benches (``REPRO_BENCH_BACKEND``,
+    ``REPRO_BENCH_WORKERS``), or None for the jobs contract."""
+    spec = os.environ.get("REPRO_BENCH_BACKEND")
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if not spec and not workers:
+        return None
+    from repro.exec import create_backend
+
+    worker_list = (
+        [w.strip() for w in workers.split(",") if w.strip()]
+        if workers else None
     )
+    return create_backend(
+        spec or "remote", jobs=bench_jobs(), workers=worker_list
+    )
+
+
+def run_workloads():
+    backend = bench_backend()
+    try:
+        return run_join_tasks(
+            seeded_configs(CONFIG, SEEDS), jobs=bench_jobs(),
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
 
 
 def test_join_cost_breakdown(benchmark):

@@ -19,8 +19,13 @@ Commands map one-to-one onto the paper's artifacts:
   :mod:`repro.obs.report`).
 * ``sweep``     -- multi-seed Figure 15(b) sweep with aggregates;
   ``--jobs N`` parallelizes across processes (results are identical
-  to the serial run for any N).
-* ``churn``     -- joins + leaves + crashes + recovery + optimization.
+  to the serial run for any N); ``--out out.json`` archives the
+  backend-independent per-seed results.
+* ``churn``     -- joins + leaves + crashes + recovery + optimization;
+  ``--seeds K`` fans a multi-seed churn campaign over the engine.
+* ``worker``    -- one sweep-executor daemon over real UDP
+  (:mod:`repro.exec.worker`), the unit a ``--backend remote``
+  campaign dispatches to.
 * ``node``      -- one protocol node as a daemon over real UDP
   (:mod:`repro.net.daemon`).
 * ``rendezvous`` -- the bootstrap directory service
@@ -32,7 +37,15 @@ Commands map one-to-one onto the paper's artifacts:
   causal trace into ``DIR/merged-trace.jsonl`` + ``run-report.json``
   and gates on causal validity.
 * ``top``       -- live status table of a running cluster
-  (:mod:`repro.net.top`), polled via the rendezvous directory.
+  (:mod:`repro.net.top`), polled via the rendezvous directory;
+  sweep workers show up alongside the cluster daemons.
+
+The campaign commands (``fig15b``, ``join``, ``sweep``, ``churn``)
+share the execution-engine flags: ``--backend inline|pool|remote``
+(default: the historical ``--jobs`` contract), plus ``--workers
+HOST:PORT,...`` and ``--workers-from HOST:PORT`` (rendezvous worker
+discovery) for the remote backend.  Results are identical across
+backends -- see :mod:`repro.exec` and ``docs/distributed.md``.
 """
 
 from __future__ import annotations
@@ -115,7 +128,16 @@ def _cmd_fig15b(args: argparse.Namespace) -> int:
 
     ok = True
     samples = {}
-    results = run_fig15b_many(configs, jobs=args.jobs)
+    try:
+        backend = _build_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = run_fig15b_many(configs, jobs=args.jobs, backend=backend)
+    finally:
+        if backend is not None:
+            backend.close()
     for config, result in zip(configs, results):
         print(f"== {config.label} ==")
         print(render_cdf_table(result.cdf))
@@ -127,6 +149,35 @@ def _cmd_fig15b(args: argparse.Namespace) -> int:
     print()
     print(cdf_chart(samples, width=60, height=12, x_max=50))
     return 0 if ok else 1
+
+
+def _build_backend(args: argparse.Namespace):
+    """The explicit :class:`repro.exec.ExecutionBackend` implied by
+    the ``--backend`` / ``--workers`` / ``--workers-from`` flags, or
+    ``None`` to keep the historical ``--jobs`` contract.
+
+    The returned backend is CLI-owned: callers must ``close()`` it.
+    Raises :class:`ValueError` on an unsatisfiable combination (e.g.
+    ``--backend remote`` with neither workers nor a rendezvous).
+    """
+    spec = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    workers_from = getattr(args, "workers_from", None)
+    if spec is None and not workers and not workers_from:
+        return None
+    from repro.exec import create_backend
+
+    if spec is None:
+        spec = "remote"  # a worker roster implies the remote backend
+    worker_list = None
+    if workers:
+        worker_list = [w for w in (p.strip() for p in workers.split(",")) if w]
+    jobs = getattr(args, "jobs", None)
+    if spec == "pool" and (jobs is None or jobs <= 1):
+        jobs = None  # --backend pool without --jobs: one per core
+    return create_backend(
+        spec, jobs=jobs, workers=worker_list, rendezvous=workers_from
+    )
 
 
 def _build_observability(args: argparse.Namespace):
@@ -254,9 +305,19 @@ def _cmd_join_multi(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     seeds = range(args.seed, args.seed + args.seeds)
-    results = run_join_tasks(
-        seeded_configs(base_config, seeds), jobs=args.jobs
-    )
+    try:
+        backend = _build_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = run_join_tasks(
+            seeded_configs(base_config, seeds), jobs=args.jobs,
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
     ok = True
     print(f"{'seed':>6}  {'members':>7}  {'mean noti':>9}  "
           f"{'max thm3':>8}  {'messages':>8}  consistent")
@@ -309,33 +370,120 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         topology_params=SMALL_TOPOLOGY,
     )
     seeds = range(args.seed, args.seed + args.seeds)
-    sweep = sweep_fig15b(config, seeds, jobs=args.jobs)
+    try:
+        backend = _build_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        sweep = sweep_fig15b(config, seeds, jobs=args.jobs, backend=backend)
+    finally:
+        if backend is not None:
+            backend.close()
     print(f"== {config.label}; seeds {list(seeds)} ==")
     print(sweep.mean_join_noti)
     print(f"Theorem 5 bound    : {sweep.theorem5_bound:.3f}")
     print(f"bound never exceeded: {sweep.bound_never_exceeded}")
     print(f"all consistent     : {sweep.all_consistent}")
+    if args.out:
+        _write_sweep_json(args.out, config, list(seeds), sweep)
+        print(f"sweep json         : {args.out}")
     return 0 if sweep.all_consistent else 1
+
+
+def _write_sweep_json(path, config, seeds, sweep) -> None:
+    """Archive a sweep as backend-independent JSON.
+
+    The content is a pure function of the task configs -- per-seed
+    results plus aggregates, nothing scheduling-dependent -- so runs
+    of the same sweep on different ``--backend`` values produce
+    byte-identical files (the CI ``distributed-smoke`` job diffs
+    them).
+    """
+    import json
+
+    payload = {
+        "config": {
+            "n": config.n,
+            "m": config.m,
+            "base": config.base,
+            "num_digits": config.num_digits,
+        },
+        "seeds": list(seeds),
+        "per_seed": [
+            {
+                "seed": result.config.seed,
+                "mean_join_noti": result.mean_join_noti,
+                "max_join_noti": max(result.join_noti_counts),
+                "theorem3_violations": result.theorem3_violations,
+                "consistent": result.consistent,
+                "all_in_system": result.all_in_system,
+                "total_messages": result.total_messages,
+            }
+            for result in sweep.results
+        ],
+        "theorem5_bound": sweep.theorem5_bound,
+        "bound_never_exceeded": sweep.bound_never_exceeded,
+        "all_consistent": sweep.all_consistent,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
 
 
 def _cmd_churn(args: argparse.Namespace) -> int:
     from repro.experiments.churn import ChurnConfig, run_churn
     from repro.experiments.workloads import SMALL_TOPOLOGY
 
-    result = run_churn(
-        ChurnConfig(
-            n=args.n,
-            m=args.m,
-            leaves=args.leaves,
-            failures=args.failures,
-            seed=args.seed,
-            topology_params=SMALL_TOPOLOGY,
-        )
+    config = ChurnConfig(
+        n=args.n,
+        m=args.m,
+        leaves=args.leaves,
+        failures=args.failures,
+        seed=args.seed,
+        topology_params=SMALL_TOPOLOGY,
     )
+    if args.seeds > 1:
+        return _cmd_churn_multi(args, config)
+    result = run_churn(config)
     for phase in result.phases:
         print(phase)
     print(f"final consistency  : {result.all_consistent}")
     return 0 if result.all_consistent else 1
+
+
+def _cmd_churn_multi(args: argparse.Namespace, config) -> int:
+    """``churn --seeds K``: fan K seeded lifecycles over the engine."""
+    from repro.experiments.churn import churn_seeds, run_churn_tasks
+
+    seeds = range(args.seed, args.seed + args.seeds)
+    try:
+        backend = _build_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        results = run_churn_tasks(
+            churn_seeds(config, seeds), jobs=args.jobs, backend=backend
+        )
+    finally:
+        if backend is not None:
+            backend.close()
+    ok = True
+    print(f"{'seed':>6}  {'phases':>6}  {'members':>7}  "
+          f"{'stretch':>14}  consistent")
+    for result in results:
+        ok = ok and result.all_consistent
+        members = result.phases[-1].members if result.phases else 0
+        stretch = (
+            f"{result.stretch_before:.2f}->{result.stretch_after:.2f}"
+            if result.stretch_after
+            else "-"
+        )
+        print(f"{result.config.seed:>6}  {len(result.phases):>6}  "
+              f"{members:>7}  {stretch:>14}  {result.all_consistent}")
+    print(f"all consistent     : {ok}")
+    return 0 if ok else 1
 
 
 def _cmd_node(args: argparse.Namespace) -> int:
@@ -380,6 +528,25 @@ def _cmd_top(args: argparse.Namespace) -> int:
         iterations=args.iterations,
     )
     return 0 if samples > 0 else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exec.worker import run_worker_daemon
+    from repro.net.wire import parse_hostport
+
+    try:
+        listen = parse_hostport(args.listen)
+        rendezvous = (
+            parse_hostport(args.rendezvous) if args.rendezvous else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_worker_daemon(
+        listen,
+        rendezvous=rendezvous,
+        announce_interval=args.announce_interval,
+    )
 
 
 def _cmd_rendezvous(args: argparse.Namespace) -> int:
@@ -436,6 +603,28 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared execution-engine flags to a campaign
+    subcommand (see :func:`_build_backend`)."""
+    from repro.exec import BACKEND_NAMES
+
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend (default: inline for --jobs 1, "
+             "pool otherwise; results are identical for any choice)",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated repro worker daemons for --backend "
+             "remote (implies it)",
+    )
+    parser.add_argument(
+        "--workers-from", default=None, metavar="HOST:PORT",
+        help="rendezvous service to discover workers from for "
+             "--backend remote (implies it)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
@@ -470,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for multi-config runs (e.g. --full)",
     )
+    _add_backend_args(fig15b)
     fig15b.set_defaults(func=_cmd_fig15b)
 
     join = sub.add_parser("join", help="concurrent-join experiment")
@@ -527,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for --seeds > 1",
     )
+    _add_backend_args(join)
     join.set_defaults(func=_cmd_join)
 
     report = sub.add_parser(
@@ -552,6 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of seeds")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes")
+    sweep.add_argument("--out", default=None, metavar="OUT.json",
+                       help="archive the per-seed results as JSON "
+                            "(backend-independent content)")
+    _add_backend_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     churn = sub.add_parser("churn", help="full membership lifecycle")
@@ -560,6 +755,12 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--leaves", type=int, default=30)
     churn.add_argument("--failures", type=int, default=20)
     churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--seeds", type=int, default=1,
+                       help="run this many seeds (starting at --seed) "
+                            "and aggregate")
+    churn.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --seeds > 1")
+    _add_backend_args(churn)
     churn.set_defaults(func=_cmd_churn)
 
     node = sub.add_parser(
@@ -596,6 +797,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="spool the trace to JSONL on shutdown "
                            "(implies --telemetry)")
     node.set_defaults(func=_cmd_node)
+
+    worker = sub.add_parser(
+        "worker", help="run one sweep-executor daemon over UDP"
+    )
+    worker.add_argument("--listen", required=True, metavar="HOST:PORT",
+                        help="UDP address to bind (port 0 = "
+                             "kernel-assigned)")
+    worker.add_argument("--rendezvous", default=None, metavar="HOST:PORT",
+                        help="rendezvous service to announce to (so "
+                             "coordinators can discover this worker)")
+    worker.add_argument("--announce-interval", type=float, default=15.0,
+                        help="seconds between rendezvous heartbeats")
+    worker.set_defaults(func=_cmd_worker)
 
     rendezvous = sub.add_parser(
         "rendezvous", help="run the bootstrap directory service"

@@ -1,0 +1,281 @@
+"""Multi-host backend: sweeps over ``repro worker`` daemons.
+
+:class:`RemoteBackend` is the distributed implementation of the
+:class:`~repro.exec.backend.ExecutionBackend` contract.  The
+coordinator keeps the whole campaign state -- a FIFO of unassigned
+task indices, one in-flight task per worker, per-task attempt counts
+-- and drives it with three idempotent control ops against each worker
+(:mod:`repro.exec.worker`): ``submit`` a named task config (serialized
+by :mod:`repro.exec.taskcodec` over the PR-4 tagged-JSON codec),
+``poll`` until ``done``, collect the decoded result.
+
+Workers come from an explicit roster (``--workers host:port,...``),
+from the PR-6 rendezvous directory (registrations with
+``kind="worker"``), or both.  **Worker death is survived, not
+avoided**: a worker that stops answering polls is dropped from the
+roster and its in-flight task is requeued at the *front* of the FIFO
+(bounded by ``max_attempts``), so a kill -9 mid-sweep changes which
+socket computed a task but never the merged result -- tasks are
+self-seeding and the shared merge is by task index.
+
+Task *errors* are different from worker *deaths*: a task that raises
+on a live worker raises :class:`RemoteTaskError` at the coordinator
+immediately (retrying a deterministic failure is pointless), exactly
+as an exception aborts the pool backend.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import time
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.exec.backend import ExecutionBackend, ExecutionError
+from repro.exec.registry import task_name
+from repro.exec.taskcodec import decode_task_value, encode_task_value
+from repro.net.control import ControlClient
+from repro.net.wire import Address, parse_hostport
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Seconds between poll sweeps over the busy workers.
+DEFAULT_POLL_INTERVAL = 0.15
+
+#: Default bound on per-task attempts across worker deaths.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class RemoteBackendError(ExecutionError):
+    """The worker fleet cannot finish the campaign (no live workers
+    left, or a task exhausted its attempts across worker deaths)."""
+
+
+class RemoteTaskError(ExecutionError):
+    """A task raised on a live worker (deterministic failure; not
+    retried)."""
+
+
+def _as_address(worker: Union[str, Address]) -> Address:
+    if isinstance(worker, str):
+        return parse_hostport(worker)
+    return (worker[0], worker[1])
+
+
+def discover_workers(
+    client: ControlClient, rendezvous: Address
+) -> List[Address]:
+    """Live ``kind="worker"`` registrations in the rendezvous
+    directory, sorted by id for a deterministic dispatch order."""
+    body = client.try_request(rendezvous, "directory")
+    rows: List[Tuple[str, Address]] = []
+    for entry in (body or {}).get("nodes") or []:
+        kind = entry[3] if len(entry) > 3 else "node"
+        if kind != "worker":
+            continue
+        addr = entry[1]
+        rows.append((str(entry[0]), (addr[0], addr[1])))
+    rows.sort(key=lambda row: row[0])
+    return [addr for _, addr in rows]
+
+
+class RemoteBackend(ExecutionBackend):
+    """Fan a campaign over ``repro worker`` daemons on real sockets."""
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Optional[Sequence[Union[str, Address]]] = None,
+        rendezvous: Optional[Union[str, Address]] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        request_timeout: float = 1.0,
+        request_retries: int = 2,
+    ):
+        self.workers = [_as_address(w) for w in (workers or [])]
+        self.rendezvous = (
+            _as_address(rendezvous) if rendezvous is not None else None
+        )
+        if not self.workers and self.rendezvous is None:
+            raise ValueError(
+                "RemoteBackend needs an explicit worker list and/or a "
+                "rendezvous address to discover one"
+            )
+        self.max_attempts = max(1, max_attempts)
+        self.poll_interval = poll_interval
+        self.request_timeout = request_timeout
+        self.request_retries = request_retries
+        self._client: Optional[ControlClient] = None
+
+    # -- plumbing -------------------------------------------------------
+
+    def _control(self) -> ControlClient:
+        if self._client is None:
+            self._client = ControlClient(
+                timeout=self.request_timeout, retries=self.request_retries
+            )
+        return self._client
+
+    def close(self) -> None:
+        """Release the control socket."""
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def roster(self) -> List[Address]:
+        """The current worker roster: the explicit list plus any
+        rendezvous-discovered workers (deduplicated, stable order)."""
+        seen = list(self.workers)
+        if self.rendezvous is not None:
+            for addr in discover_workers(self._control(), self.rendezvous):
+                if addr not in seen:
+                    seen.append(addr)
+        return seen
+
+    # -- the scheduling loop --------------------------------------------
+
+    def completions(
+        self, fn: Callable[[T], R], tasks: Sequence[T]
+    ) -> Iterator[Tuple[int, R]]:
+        """Dispatch every task to some live worker, yielding results
+        as polls come back; requeue in-flight tasks of dead workers."""
+        total = len(tasks)
+        if total == 0:
+            return
+        name = task_name(fn)
+        client = self._control()
+        # Task ids are namespaced by a per-campaign nonce so a worker
+        # still caching results from an earlier (aborted) run never
+        # answers for this one.
+        nonce = os.urandom(4).hex()
+        pending: "collections.deque[int]" = collections.deque(range(total))
+        assigned: Dict[Address, int] = {}
+        attempts = [0] * total
+        dead: List[Address] = []
+        roster = self._live_roster(dead)
+        while pending or assigned:
+            # Fill every idle worker (one in-flight task each: campaign
+            # tasks are long relative to a datagram round trip, so
+            # deeper per-worker queues would only slow requeueing).
+            for worker in list(roster):
+                if not pending:
+                    break
+                if worker in assigned:
+                    continue
+                index = pending.popleft()
+                reply = client.try_request(
+                    worker,
+                    "submit",
+                    {
+                        "tid": f"{nonce}-{index}",
+                        "fn": name,
+                        "task": encode_task_value(tasks[index]),
+                    },
+                )
+                if reply is None:
+                    self._bury(worker, roster, dead)
+                    pending.appendleft(index)
+                elif reply.get("accepted"):
+                    assigned[worker] = index
+                elif reply.get("busy"):
+                    # Finishing someone else's task (or a stale one):
+                    # leave it in the roster, try again next sweep.
+                    pending.appendleft(index)
+                elif reply.get("error"):
+                    raise RemoteBackendError(
+                        f"worker {worker[0]}:{worker[1]} rejected task "
+                        f"{index}: {reply['error']}"
+                    )
+                else:
+                    pending.appendleft(index)
+            if not assigned:
+                # Nothing in flight: either the fleet is empty or every
+                # submit bounced.  Re-discover before giving up.
+                roster = self._live_roster(dead)
+                if not roster and (pending or assigned):
+                    raise RemoteBackendError(
+                        f"no live workers left with {len(pending)} "
+                        f"task(s) unfinished (dead: "
+                        f"{[f'{h}:{p}' for h, p in dead]})"
+                    )
+                time.sleep(self.poll_interval)
+                continue
+            time.sleep(self.poll_interval)
+            for worker, index in list(assigned.items()):
+                reply = client.try_request(
+                    worker, "poll", {"tid": f"{nonce}-{index}"}
+                )
+                if reply is None:
+                    # Worker death: requeue at the front so recovery
+                    # happens before new work is taken on.
+                    del assigned[worker]
+                    self._bury(worker, roster, dead)
+                    self._requeue(index, attempts, pending, worker)
+                    continue
+                state = reply.get("state")
+                if state == "done":
+                    del assigned[worker]
+                    yield index, decode_task_value(reply.get("result"))
+                elif state == "error":
+                    raise RemoteTaskError(
+                        f"task {index} failed on worker "
+                        f"{worker[0]}:{worker[1]}: {reply.get('error')}"
+                    )
+                elif state == "unknown":
+                    # The worker restarted (fresh cache) or never saw
+                    # the submit: treat like a death of the assignment.
+                    del assigned[worker]
+                    self._requeue(index, attempts, pending, worker)
+                # else "running": keep waiting.
+
+    # -- helpers --------------------------------------------------------
+
+    def _live_roster(self, dead: List[Address]) -> List[Address]:
+        return [w for w in self.roster() if w not in dead]
+
+    @staticmethod
+    def _bury(
+        worker: Address, roster: List[Address], dead: List[Address]
+    ) -> None:
+        if worker in roster:
+            roster.remove(worker)
+        if worker not in dead:
+            dead.append(worker)
+
+    def _requeue(
+        self,
+        index: int,
+        attempts: List[int],
+        pending: "collections.deque[int]",
+        worker: Address,
+    ) -> None:
+        attempts[index] += 1
+        if attempts[index] >= self.max_attempts:
+            raise RemoteBackendError(
+                f"task {index} lost {attempts[index]} worker(s) "
+                f"(last: {worker[0]}:{worker[1]}; max_attempts="
+                f"{self.max_attempts})"
+            )
+        pending.appendleft(index)
+
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_POLL_INTERVAL",
+    "RemoteBackend",
+    "RemoteBackendError",
+    "RemoteTaskError",
+    "discover_workers",
+]

@@ -1,0 +1,334 @@
+"""``repro worker``: one sweep executor daemon per OS process.
+
+The distributed counterpart of a process-pool worker: a small UDP
+server that accepts one task at a time from a
+:class:`~repro.exec.remote.RemoteBackend`, runs it on a dedicated
+thread, and serves the result back -- all over the ``c``/``r`` control
+frames of :mod:`repro.net.wire`, the same out-of-band protocol the
+node daemons and the rendezvous service speak.
+
+=========  ==========================================  ================
+op         body                                        response
+=========  ==========================================  ================
+hello      --                                          ``kind=worker``
+submit     ``tid``, ``fn`` (task name), ``task``       ``accepted`` |
+                                                       ``busy``
+poll       ``tid``                                     ``state`` =
+                                                       running/done/
+                                                       error/unknown
+status     --                                          roster row
+ping       --                                          ``ok``
+stop       --                                          ``ok`` (exits)
+=========  ==========================================  ================
+
+Determinism and loss tolerance come from idempotence, not ordering:
+``submit`` dedupes by task id (a retried datagram is re-acknowledged,
+never re-run), finished results are kept in a bounded cache so a lost
+``poll`` response costs one retry, and tasks are self-seeding so a
+coordinator that re-queues an in-flight task to another worker gets
+the byte-identical result.
+
+With ``--rendezvous`` the worker announces itself (``kind="worker"``,
+never an S-node) to the PR-6 bootstrap directory, which is how
+backends discover rosters and how ``repro top`` lists workers
+alongside cluster daemons.  On startup the daemon prints::
+
+    REPRO-NET READY kind=worker id=<id> host=<host> port=<port>
+"""
+
+from __future__ import annotations
+
+import collections
+import queue
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exec.registry import resolve_task
+from repro.exec.taskcodec import decode_task_value, encode_task_value
+from repro.ids.idspace import IdSpace
+from repro.net.wire import (
+    Address,
+    CTL,
+    ctl_frame,
+    decode_frame,
+    encode_frame,
+    node_id_to_wire,
+    rsp_frame,
+)
+from repro.runtime.codec import CodecError
+
+#: Finished results kept for re-polls (bounded; oldest evicted).
+MAX_CACHED_RESULTS = 128
+
+#: Seconds between rendezvous re-announcements.
+DEFAULT_ANNOUNCE_INTERVAL = 15.0
+
+#: Socket poll granularity of the serve loop (seconds).
+_POLL_TIMEOUT = 0.2
+
+
+class WorkerDaemon:
+    """One sweep worker: a UDP control server plus a task thread.
+
+    ``serve()`` blocks until a ``stop`` op arrives (or :meth:`stop` is
+    called from another thread, which is how in-process tests drive
+    it).  ``handle()`` is the socket-free op dispatcher, directly
+    unit-testable like the rendezvous server's.
+    """
+
+    def __init__(
+        self,
+        listen: Address,
+        rendezvous: Optional[Address] = None,
+        announce_interval: float = DEFAULT_ANNOUNCE_INTERVAL,
+    ):
+        self.listen = listen
+        self.rendezvous = rendezvous
+        self.announce_interval = announce_interval
+        self.worker_id = None
+        self.tasks_done = 0
+        self.tasks_failed = 0
+        self._sock: Optional[socket.socket] = None
+        self._queue: "queue.Queue[Optional[Tuple[str, str, Any]]]" = (
+            queue.Queue()
+        )
+        self._results: "collections.OrderedDict[str, Dict[str, Any]]" = (
+            collections.OrderedDict()
+        )
+        self._current: Optional[str] = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._runner: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+        self._next_rid = 1
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(self) -> Address:
+        """Bind the socket, derive the worker id, start the task
+        thread; returns the bound address."""
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(self.listen)
+        host, port = self._sock.getsockname()[:2]
+        self.listen = (host, port)
+        # A worker is not a protocol node, but the rendezvous directory
+        # keys registrations by NodeId -- hash the address into the
+        # default id space so every worker has a distinct, stable row.
+        self.worker_id = IdSpace(16, 8).hash_name(f"worker:{host}:{port}")
+        self._started_at = time.monotonic()
+        self._runner = threading.Thread(
+            target=self._run_tasks, name="repro-worker-tasks", daemon=True
+        )
+        self._runner.start()
+        return self.listen
+
+    def ready_line(self) -> str:
+        """The machine-readable startup line supervisors wait for."""
+        host, port = self.listen
+        return (
+            f"REPRO-NET READY kind=worker id={self.worker_id} "
+            f"host={host} port={port}"
+        )
+
+    def serve(self) -> None:
+        """Answer control requests (and heartbeat the rendezvous)
+        until stopped."""
+        assert self._sock is not None, "serve() before open()"
+        self._sock.settimeout(_POLL_TIMEOUT)
+        self._announce()
+        last_announce = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                data, addr = self._sock.recvfrom(65535)
+            except socket.timeout:
+                pass
+            except OSError:
+                break  # socket closed under us (close() from a test)
+            else:
+                self._on_datagram(data, (addr[0], addr[1]))
+            now = time.monotonic()
+            if now - last_announce >= self.announce_interval:
+                self._announce()
+                last_announce = now
+
+    def stop(self) -> None:
+        """Ask the serve loop to exit (threadsafe)."""
+        self._stop.set()
+
+    def close(self) -> None:
+        """Stop serving, retire the task thread, release the socket."""
+        self._stop.set()
+        self._queue.put(None)
+        if self._runner is not None:
+            self._runner.join(timeout=2.0)
+            self._runner = None
+        if self._sock is not None:
+            self._send_control("remove")
+            self._sock.close()
+            self._sock = None
+
+    # -- datagram glue --------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: Address) -> None:
+        try:
+            frame = decode_frame(data)
+            if frame.get("k") != CTL:
+                return  # e.g. rendezvous announce responses
+            response = self.handle(frame["op"], frame.get("b") or {}, addr)
+        except (CodecError, KeyError, TypeError, ValueError):
+            return  # garbage or half-spoken protocol: ignore
+        if response is not None and self._sock is not None:
+            self._sock.sendto(
+                encode_frame(rsp_frame(frame["r"], response)), addr
+            )
+
+    # -- control ops ----------------------------------------------------
+
+    def handle(
+        self, op: str, body: Dict[str, Any], addr: Address
+    ) -> Optional[Dict[str, Any]]:
+        """Process one control op; returns the response body."""
+        if op == "hello":
+            return {
+                "ok": True,
+                "kind": "worker",
+                "id": node_id_to_wire(self.worker_id),
+                "busy": self._current is not None,
+            }
+        if op == "submit":
+            return self._handle_submit(body)
+        if op == "poll":
+            return self._handle_poll(body)
+        if op == "status":
+            return self._status_body()
+        if op == "ping":
+            return {"ok": True}
+        if op == "stop":
+            self._stop.set()
+            return {"ok": True}
+        return {"error": f"unknown op: {op}"}
+
+    def _handle_submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        tid = str(body["tid"])
+        with self._lock:
+            if tid == self._current or tid in self._results:
+                return {"accepted": True}  # duplicate datagram: re-ack
+            if self._current is not None:
+                return {"busy": True}
+            self._current = tid
+        self._queue.put((tid, str(body["fn"]), body.get("task")))
+        return {"accepted": True}
+
+    def _handle_poll(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        tid = str(body["tid"])
+        with self._lock:
+            entry = self._results.get(tid)
+            if entry is not None:
+                return dict(entry)
+            if tid == self._current:
+                return {"state": "running"}
+        return {"state": "unknown"}
+
+    def _status_body(self) -> Dict[str, Any]:
+        busy = self._current is not None
+        return {
+            "kind": "worker",
+            "id": node_id_to_wire(self.worker_id),
+            "status": "wrk-busy" if busy else "wrk-idle",
+            "s": False,
+            "now": round(time.monotonic() - self._started_at, 3),
+            "tasks_done": self.tasks_done,
+            "tasks_failed": self.tasks_failed,
+            "telemetry": False,
+        }
+
+    # -- task execution -------------------------------------------------
+
+    def _run_tasks(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            tid, fn_name, task_obj = item
+            try:
+                fn = resolve_task(fn_name)
+                task = decode_task_value(task_obj)
+                entry = {
+                    "state": "done",
+                    "result": encode_task_value(fn(task)),
+                }
+            except Exception as exc:  # noqa: BLE001 - reported to coordinator
+                entry = {
+                    "state": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            with self._lock:
+                self._results[tid] = entry
+                while len(self._results) > MAX_CACHED_RESULTS:
+                    self._results.popitem(last=False)
+                if entry["state"] == "done":
+                    self.tasks_done += 1
+                else:
+                    self.tasks_failed += 1
+                self._current = None
+
+    # -- rendezvous -----------------------------------------------------
+
+    def _announce(self) -> None:
+        self._send_control(
+            "announce",
+            {
+                "id": node_id_to_wire(self.worker_id),
+                "s": False,
+                "kind": "worker",
+            },
+        )
+
+    def _send_control(
+        self, op: str, body: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Fire-and-forget a control request to the rendezvous (the
+        response lands on our socket and is ignored)."""
+        if self.rendezvous is None or self._sock is None:
+            return
+        rid = self._next_rid
+        self._next_rid = rid + 1
+        if body is None:
+            body = {"id": node_id_to_wire(self.worker_id)}
+        try:
+            self._sock.sendto(
+                encode_frame(ctl_frame(rid, op, body)), self.rendezvous
+            )
+        except OSError:  # pragma: no cover - rendezvous unreachable
+            pass
+
+
+def run_worker_daemon(
+    listen: Address,
+    rendezvous: Optional[Address] = None,
+    announce_interval: float = DEFAULT_ANNOUNCE_INTERVAL,
+) -> int:
+    """Entry point for ``repro worker``: open, print the READY line,
+    serve until stopped."""
+    daemon = WorkerDaemon(
+        listen, rendezvous=rendezvous, announce_interval=announce_interval
+    )
+    daemon.open()
+    print(daemon.ready_line(), flush=True)
+    try:
+        daemon.serve()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+__all__ = [
+    "DEFAULT_ANNOUNCE_INTERVAL",
+    "MAX_CACHED_RESULTS",
+    "WorkerDaemon",
+    "run_worker_daemon",
+]

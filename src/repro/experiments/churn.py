@@ -5,14 +5,21 @@ implements: concurrent joins, serialized voluntary leaves, crash
 failures plus recovery, and a final optimization pass -- with a
 consistency verdict after every phase.  Used by ``python -m repro
 churn``, the churn example, and the lifecycle tests.
+
+Like every campaign task, :func:`run_churn` is self-seeding (all
+randomness derives from :class:`ChurnConfig`), so multi-seed churn
+campaigns (:func:`run_churn_tasks`) fan out over any execution
+backend -- serial, process pool, or a remote worker fleet -- with
+identical results.  It is registered on the wire as ``"churn"``.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
+from repro.exec.registry import remote_task
 from repro.experiments.workloads import SMALL_TOPOLOGY, make_workload
 from repro.optimize import measure_stretch, optimize_tables
 from repro.protocol.leave import leave_sequentially
@@ -61,6 +68,7 @@ class ChurnResult:
         return all(phase.consistent for phase in self.phases)
 
 
+@remote_task("churn")
 def run_churn(config: ChurnConfig) -> ChurnResult:
     """Run the full lifecycle and return per-phase outcomes."""
     rng = random.Random(config.seed)
@@ -118,3 +126,28 @@ def run_churn(config: ChurnConfig) -> ChurnResult:
             ),
         )
     return result
+
+
+def churn_seeds(
+    config: ChurnConfig, seeds: Sequence[int]
+) -> List[ChurnConfig]:
+    """Per-seed copies of ``config`` (a churn campaign's task list)."""
+    return [replace(config, seed=seed) for seed in seeds]
+
+
+def run_churn_tasks(
+    configs: Sequence[ChurnConfig],
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    progress=None,
+    backend=None,
+) -> List[ChurnResult]:
+    """Fan :func:`run_churn` over ``configs`` on the execution engine
+    (``jobs`` processes, or an explicit
+    :class:`repro.exec.ExecutionBackend`); results keep config order."""
+    from repro.experiments.parallel import parallel_map
+
+    return parallel_map(
+        run_churn, list(configs), jobs=jobs, chunksize=chunksize,
+        progress=progress, backend=backend,
+    )

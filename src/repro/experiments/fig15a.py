@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.analysis.expected_cost import expected_join_noti_upper_bound
+from repro.exec.registry import remote_task
 
 
 @dataclass(frozen=True)
@@ -54,10 +55,12 @@ def figure15a_series(
     ]
 
 
+@remote_task("fig15a-series")
 def _series_task(
     task: Tuple[Fig15aConfig, Tuple[int, ...]]
 ) -> List[Tuple[int, float]]:
-    """Picklable per-curve task for the parallel engine."""
+    """Picklable, wire-codable per-curve task for the execution
+    engine."""
     config, n_values = task
     return figure15a_series(config, n_values)
 
@@ -66,16 +69,19 @@ def figure15a_all_series(
     configs: Sequence[Fig15aConfig] = FIG15A_CONFIGS,
     n_values: Sequence[int] = FIG15A_N_VALUES,
     jobs: int = 1,
+    backend=None,
 ) -> List[List[Tuple[int, float]]]:
     """All curves, one per config, optionally computed across worker
-    processes (the closed-form bound is cheap at the paper's scale but
-    grows with ``n`` sweeps; the engine keeps curve order regardless)."""
+    processes or an explicit :class:`repro.exec.ExecutionBackend` (the
+    closed-form bound is cheap at the paper's scale but grows with
+    ``n`` sweeps; the engine keeps curve order regardless)."""
     from repro.experiments.parallel import parallel_map
 
     return parallel_map(
         _series_task,
         [(config, tuple(n_values)) for config in configs],
         jobs=jobs,
+        backend=backend,
     )
 
 

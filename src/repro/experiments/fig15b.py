@@ -21,6 +21,7 @@ from repro.analysis.expected_cost import (
     expected_join_noti_upper_bound,
     theorem3_bound,
 )
+from repro.exec.registry import remote_task
 from repro.experiments.harness import Cdf, summarize
 from repro.experiments.workloads import make_workload
 from repro.topology.transit_stub import TransitStubParams
@@ -82,8 +83,10 @@ class Fig15bResult:
         )
 
 
+@remote_task("fig15b")
 def run_fig15b(config: Fig15bConfig) -> Fig15bResult:
-    """Run one Figure 15(b) configuration to quiescence."""
+    """Run one Figure 15(b) configuration to quiescence (registered as
+    the ``"fig15b"`` wire task for remote sweep workers)."""
     workload = make_workload(
         base=config.base,
         num_digits=config.num_digits,
@@ -121,13 +124,15 @@ def run_fig15b_many(
     configs: "Sequence[Fig15bConfig]",
     jobs: int = 1,
     progress=None,
+    backend=None,
 ) -> List[Fig15bResult]:
     """Run several configurations (e.g. :data:`PAPER_CONFIGS`), fanned
-    over worker processes when ``jobs > 1``; results keep config order."""
+    over worker processes when ``jobs > 1`` (or over an explicit
+    :class:`repro.exec.ExecutionBackend`); results keep config order."""
     from repro.experiments.parallel import parallel_map
 
     return parallel_map(run_fig15b, list(configs), jobs=jobs,
-                        progress=progress)
+                        progress=progress, backend=backend)
 
 
 #: The paper's four configurations, at full scale (8320-router topology).

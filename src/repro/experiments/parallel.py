@@ -1,38 +1,44 @@
-"""Parallel experiment engine: fan simulation tasks across processes.
+"""Campaign fan-out: the experiment layer's door into the engine.
 
 The paper's evaluation -- and every bench derived from it -- is a
 multi-seed simulation campaign: the same event-driven run repeated over
 ``seed x config`` points, then aggregated.  Each run is CPU-bound pure
-Python, so threads cannot help; this module fans tasks out over a
-:class:`concurrent.futures.ProcessPoolExecutor` instead.
+Python, so threads cannot help; campaigns fan out over *processes*
+(one per core) or over a fleet of ``repro worker`` daemons instead.
 
-Design rules that keep parallel runs trustworthy:
+The machinery lives in :mod:`repro.exec` -- the backend-pluggable
+execution engine (:class:`~repro.exec.InlineBackend`,
+:class:`~repro.exec.pool.ProcessPoolBackend`,
+:class:`~repro.exec.remote.RemoteBackend`).  This module keeps the
+experiment-facing surface:
 
-* **Self-seeding tasks.**  A task is a picklable config that carries
-  its own seed; the task function derives every RNG it uses from that
-  config (as :func:`repro.experiments.fig15b.run_fig15b` and
-  :func:`run_join_task` do).  Worker processes never share RNG state,
-  so results are independent of scheduling order and of ``jobs``.
+* :func:`parallel_map` -- ``[fn(t) for t in tasks]`` on any backend.
+  The historical ``jobs`` contract still holds (``jobs <= 1`` is the
+  serial in-process loop, ``jobs > 1`` the process pool), and an
+  explicit ``backend=`` overrides it.
+* :func:`verified_parallel_map` -- runs the chosen backend *and* the
+  inline reference and asserts equality: the engine's cross-backend
+  determinism guarantee as an executable check.
+* :class:`JoinTaskConfig` / :func:`run_join_task` -- the ready-made
+  self-seeding concurrent-join task (CLI ``repro join``, the join-cost
+  benches), registered on the wire as ``"join"``.
+
+Design rules that keep any fan-out trustworthy:
+
+* **Self-seeding tasks.**  A task is a picklable (and wire-codable)
+  config that carries its own seed; the task function derives every
+  RNG it uses from that config.  Workers never share RNG state, so
+  results are independent of scheduling order, worker count *and
+  backend*.
 * **Deterministic merge.**  Results are reassembled strictly in task
-  order, whatever order workers finish in.  ``parallel_map(fn, tasks,
-  jobs=k)`` therefore returns exactly ``[fn(t) for t in tasks]`` for
-  any ``k`` -- :func:`verified_parallel_map` asserts that equality by
-  also running the serial path.
-* **Chunked dispatch.**  Tasks are submitted in contiguous chunks to
-  amortize pickling and inter-process latency; chunking never changes
-  results, only scheduling granularity.
-
-``jobs <= 1`` short-circuits to a plain in-process loop -- byte-for-byte
-the serial path, with no executor or pickling involved.
+  order, whatever order workers finish in (the shared
+  :meth:`~repro.exec.ExecutionBackend.map` merge).
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
-    Any,
     Callable,
     Dict,
     List,
@@ -42,6 +48,15 @@ from typing import (
     TypeVar,
 )
 
+from repro.exec import (
+    ExecutionBackend,
+    InlineBackend,
+    ProgressFn,
+    default_chunksize,
+    resolve_backend,
+    resolve_jobs,
+)
+from repro.exec.registry import remote_task
 from repro.experiments.workloads import make_workload
 from repro.protocol.sizing import SizingPolicy
 from repro.topology.transit_stub import TransitStubParams
@@ -49,58 +64,18 @@ from repro.topology.transit_stub import TransitStubParams
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Progress callback: called as ``progress(done, total)`` from the
-#: coordinating process after every completed task.
-ProgressFn = Callable[[int, int], None]
-
-
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: None or 0 means one worker per
-    available CPU; negative values are rejected."""
-    if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
-    return jobs
-
-
-def default_chunksize(num_tasks: int, jobs: int) -> int:
-    """Chunk so each worker sees a handful of submissions (4 per worker
-    when tasks allow), balancing dispatch overhead against stragglers."""
-    if num_tasks <= 0:
-        return 1
-    return max(1, num_tasks // (jobs * 4))
-
-
-def _run_chunk(
-    fn: Callable[[T], R], start: int, chunk: Sequence[T]
-) -> Tuple[int, List[R]]:
-    """Worker-side body: run one contiguous chunk, tagged with its
-    starting task index so the coordinator can merge deterministically."""
-    return start, [fn(task) for task in chunk]
-
-
-#: Worker-global task function, installed once per worker process by
-#: :func:`_init_worker` so chunk submissions carry only ``(start,
-#: tasks)`` -- the function (and anything closed over by a partial) is
-#: pickled once per *worker* instead of once per *chunk*.
-_worker_fn: Optional[Callable[..., Any]] = None
-
-
-def _init_worker(fn: Callable[[T], R]) -> None:
-    """Pool initializer: pin the task function in this worker."""
-    global _worker_fn
-    _worker_fn = fn
-
-
-def _run_chunk_initialized(
-    start: int, chunk: Sequence[T]
-) -> Tuple[int, List[R]]:
-    """Worker-side body using the function installed by
-    :func:`_init_worker` (see :func:`parallel_map`)."""
-    fn = _worker_fn
-    assert fn is not None, "worker used before initializer ran"
-    return start, [fn(task) for task in chunk]
+__all__ = [
+    "JoinTaskConfig",
+    "JoinTaskResult",
+    "ProgressFn",
+    "default_chunksize",
+    "parallel_map",
+    "resolve_jobs",
+    "run_join_task",
+    "run_join_tasks",
+    "seeded_configs",
+    "verified_parallel_map",
+]
 
 
 def parallel_map(
@@ -109,61 +84,26 @@ def parallel_map(
     jobs: int = 1,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[R]:
-    """``[fn(t) for t in tasks]``, computed on ``jobs`` processes.
+    """``[fn(t) for t in tasks]``, computed on the chosen backend.
 
-    ``fn`` and every task must be picklable (top-level function plus
-    self-seeding config objects).  Results are merged in task order, so
-    the output is independent of ``jobs`` whenever ``fn`` is a pure
-    function of its task.  ``progress`` is invoked in this process
-    after each task completes (serial path: after every ``fn`` call;
-    parallel path: chunk completions report every task in the chunk).
+    With no explicit ``backend``, ``jobs`` picks one: ``jobs <= 1`` is
+    the plain in-process loop (no executor, no pickling), anything
+    else the process pool with ``fn`` and every task picklable.  An
+    explicit ``backend`` (e.g. a :class:`~repro.exec.RemoteBackend`)
+    wins over ``jobs`` and remains caller-owned (not closed here).
+    Results are merged in task order, so the output is independent of
+    the backend and of ``jobs`` whenever ``fn`` is a pure function of
+    its task.  ``progress`` is invoked in this process after each
+    completed task.
     """
-    jobs = resolve_jobs(jobs)
-    total = len(tasks)
-    if total == 0:
-        return []
-    if jobs <= 1 or total == 1:
-        results: List[R] = []
-        for index, task in enumerate(tasks):
-            results.append(fn(task))
-            if progress is not None:
-                progress(index + 1, total)
-        return results
-
-    if chunksize is None:
-        chunksize = default_chunksize(total, jobs)
-    chunks = [
-        (start, tasks[start:start + chunksize])
-        for start in range(0, total, chunksize)
-    ]
-    merged: Dict[int, List[R]] = {}
-    done = 0
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(chunks)),
-        initializer=_init_worker,
-        initargs=(fn,),
-    ) as pool:
-        pending = {
-            pool.submit(_run_chunk_initialized, start, chunk)
-            for start, chunk in chunks
-        }
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                start, chunk_results = future.result()
-                merged[start] = chunk_results
-                done += len(chunk_results)
-                if progress is not None:
-                    progress(done, total)
-    out: List[R] = []
-    for start in sorted(merged):
-        out.extend(merged[start])
-    if len(out) != total:  # pragma: no cover - engine invariant
-        raise RuntimeError(
-            f"parallel merge produced {len(out)} results for {total} tasks"
-        )
-    return out
+    engine, owned = resolve_backend(backend, jobs=jobs, chunksize=chunksize)
+    try:
+        return engine.map(fn, tasks, progress=progress)
+    finally:
+        if owned:
+            engine.close()
 
 
 def verified_parallel_map(
@@ -171,23 +111,32 @@ def verified_parallel_map(
     tasks: Sequence[T],
     jobs: int,
     chunksize: Optional[int] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[R]:
     """Run :func:`parallel_map` and assert it matches the serial path.
 
-    Used by the equivalence tests (and available as a belt-and-braces
-    mode anywhere determinism is suspect): runs the tasks both ways and
-    raises :class:`AssertionError` on any mismatch.
+    Used by the cross-backend equivalence tests (and available as a
+    belt-and-braces mode anywhere determinism is suspect): runs the
+    tasks on the chosen backend *and* on the inline reference and
+    raises :class:`AssertionError` on any mismatch -- the engine's
+    "same results for any backend and any jobs count" guarantee as an
+    executable property.
     """
-    parallel = parallel_map(fn, tasks, jobs=jobs, chunksize=chunksize)
-    serial = parallel_map(fn, tasks, jobs=1)
-    if parallel != serial:
+    candidate = parallel_map(
+        fn, tasks, jobs=jobs, chunksize=chunksize, backend=backend
+    )
+    reference = InlineBackend().map(fn, tasks)
+    if candidate != reference:
         mismatches = [
-            i for i, (p, s) in enumerate(zip(parallel, serial)) if p != s
+            i
+            for i, (c, r) in enumerate(zip(candidate, reference))
+            if c != r
         ]
+        label = backend.name if backend is not None else f"jobs={jobs}"
         raise AssertionError(
-            f"parallel results diverge from serial at tasks {mismatches}"
+            f"{label} results diverge from serial at tasks {mismatches}"
         )
-    return parallel
+    return candidate
 
 
 # ---------------------------------------------------------------------------
@@ -215,7 +164,8 @@ class JoinTaskResult:
     """Aggregate outcome of one :class:`JoinTaskConfig` run.
 
     Carries everything the CLI and benches report; comparable with
-    ``==`` so serial/parallel equivalence can be asserted directly.
+    ``==`` so serial/parallel/remote equivalence can be asserted
+    directly.
     """
 
     seed: int
@@ -233,9 +183,10 @@ class JoinTaskResult:
         return dict(self.message_counts)
 
 
+@remote_task("join")
 def run_join_task(config: JoinTaskConfig) -> JoinTaskResult:
-    """Run one concurrent-join experiment to quiescence (picklable
-    top-level task function for :func:`parallel_map`)."""
+    """Run one concurrent-join experiment to quiescence (picklable,
+    wire-codable top-level task function for :func:`parallel_map`)."""
     workload = make_workload(
         base=config.base,
         num_digits=config.num_digits,
@@ -269,11 +220,12 @@ def run_join_tasks(
     jobs: int = 1,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[JoinTaskResult]:
     """Fan :func:`run_join_task` over ``configs``."""
     return parallel_map(
         run_join_task, configs, jobs=jobs, chunksize=chunksize,
-        progress=progress,
+        progress=progress, backend=backend,
     )
 
 

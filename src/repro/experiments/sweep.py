@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.exec import ExecutionBackend
 from repro.experiments.fig15b import Fig15bConfig, Fig15bResult, run_fig15b
 from repro.experiments.harness import Summary, summarize
 from repro.experiments.parallel import ProgressFn, parallel_map
@@ -95,13 +96,16 @@ def sweep_fig15b(
     jobs: int = 1,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    backend: Optional[ExecutionBackend] = None,
 ) -> Fig15bSweep:
     """Run one Figure 15(b) configuration across several seeds.
 
     ``jobs > 1`` fans the per-seed runs over worker processes via
-    :func:`repro.experiments.parallel.parallel_map`; each run derives
-    all randomness from its own config, so the results -- and any
-    aggregate over them -- are identical for every ``jobs`` value.
+    :func:`repro.experiments.parallel.parallel_map`; an explicit
+    ``backend`` (e.g. a :class:`repro.exec.RemoteBackend` fleet)
+    overrides ``jobs``.  Each run derives all randomness from its own
+    config, so the results -- and any aggregate over them -- are
+    identical for every ``jobs`` value and every backend.
     """
     results = parallel_map(
         run_fig15b,
@@ -109,6 +113,7 @@ def sweep_fig15b(
         jobs=jobs,
         chunksize=chunksize,
         progress=progress,
+        backend=backend,
     )
     return Fig15bSweep(config, results)
 

@@ -70,13 +70,24 @@ class TelemetryCollector:
 
     # -- discovery ------------------------------------------------------
 
-    def discover(self, rendezvous: Address) -> List[Tuple[str, Address]]:
+    def discover(
+        self, rendezvous: Address, workers: bool = False
+    ) -> List[Tuple[str, Address]]:
         """All live daemons known to the rendezvous, as
-        ``(node_id_string, address)`` rows (sorted by id)."""
+        ``(node_id_string, address)`` rows (sorted by id).
+
+        Directory rows registered with ``kind="worker"`` (sweep
+        executors, which serve no ``clock``/``telemetry`` ops) are
+        skipped unless ``workers=True``; pre-kind rendezvous rows
+        (length 3) count as protocol nodes.
+        """
         body = self.client.try_request(rendezvous, "directory")
         rows: List[Tuple[str, Address]] = []
         for entry in (body or {}).get("nodes") or []:
             id_wire, addr = entry[0], entry[1]
+            kind = entry[3] if len(entry) > 3 else "node"
+            if kind == "worker" and not workers:
+                continue
             rows.append((str(node_id_from_wire(id_wire)), (addr[0], addr[1])))
         rows.sort(key=lambda row: row[0])
         return rows

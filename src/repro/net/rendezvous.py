@@ -18,7 +18,8 @@ Wire format: the ``c``/``r`` control frames of :mod:`repro.net.wire`.
 =========  =======================================  ==================
 op         body                                     response
 =========  =======================================  ==================
-announce   ``id`` (tagged), ``s`` (is_s_node)       ``ok``, ``peers``
+announce   ``id`` (tagged), ``s`` (is_s_node),      ``ok``, ``peers``
+           ``kind`` (optional, default "node")
 peers      --                                       ``peers`` (S only)
 resolve    ``id`` (tagged)                          ``addr`` or null
 remove     ``id`` (tagged)                          ``ok``
@@ -28,9 +29,13 @@ stop       --                                       ``ok`` (then exits)
 =========  =======================================  ==================
 
 ``directory`` differs from ``peers``: it lists *every* live
-registration (S-node or not, uncapped) with its s-bit -- the full
-roster a telemetry collector or ``repro top`` iterates -- while
-``peers`` is the bootstrap contact list (S-nodes only, capped).
+registration (uncapped) as ``[id, addr, s, kind]`` rows -- the full
+roster a telemetry collector, ``repro top`` or a sweep coordinator
+iterates -- while ``peers`` is the bootstrap contact list (S-nodes
+only, capped).  ``kind`` distinguishes protocol nodes (``"node"``)
+from sweep executors (``"worker"``, announced by ``repro worker``);
+workers never appear in ``peers``, so a mixed cluster bootstraps
+exactly as before.
 """
 
 from __future__ import annotations
@@ -59,12 +64,19 @@ MAX_PEERS_RETURNED = 16
 
 
 class _Registration:
-    __slots__ = ("addr", "is_s_node", "refreshed_at")
+    __slots__ = ("addr", "is_s_node", "refreshed_at", "kind")
 
-    def __init__(self, addr: Address, is_s_node: bool, refreshed_at: float):
+    def __init__(
+        self,
+        addr: Address,
+        is_s_node: bool,
+        refreshed_at: float,
+        kind: str = "node",
+    ):
         self.addr = addr
         self.is_s_node = is_s_node
         self.refreshed_at = refreshed_at
+        self.kind = kind
 
 
 class _RendezvousProtocol(asyncio.DatagramProtocol):
@@ -151,7 +163,10 @@ class RendezvousServer:
             # The announcing socket's source address IS the node's
             # listen address (daemons send from their bound socket).
             self.registrations[node_id] = _Registration(
-                addr, bool(body.get("s")), time.monotonic()
+                addr,
+                bool(body.get("s")),
+                time.monotonic(),
+                str(body.get("kind") or "node"),
             )
             return {"ok": True, "peers": self._peer_list(exclude=node_id)}
         if op == "peers":
@@ -170,7 +185,12 @@ class RendezvousServer:
         if op == "directory":
             return {
                 "nodes": [
-                    [node_id_to_wire(node_id), list(reg.addr), reg.is_s_node]
+                    [
+                        node_id_to_wire(node_id),
+                        list(reg.addr),
+                        reg.is_s_node,
+                        reg.kind,
+                    ]
                     for node_id, reg in sorted(
                         self._live().items(), key=lambda kv: str(kv[0])
                     )
@@ -196,10 +216,12 @@ class RendezvousServer:
         self, exclude: Optional[NodeId] = None
     ) -> List[List[Any]]:
         """S-node peers as ``[id_wire, [host, port]]`` rows -- the
-        contact list a joining node bootstraps from."""
+        contact list a joining node bootstraps from.  Only protocol
+        nodes qualify: sweep workers announce ``s=False`` and
+        ``kind="worker"`` and must never be handed out as contacts."""
         rows = []
         for node_id, reg in self._live().items():
-            if not reg.is_s_node or node_id == exclude:
+            if not reg.is_s_node or reg.kind != "node" or node_id == exclude:
                 continue
             rows.append([node_id_to_wire(node_id), list(reg.addr)])
             if len(rows) >= MAX_PEERS_RETURNED:

@@ -6,11 +6,15 @@ Polls the rendezvous ``directory`` for the roster, then each daemon's
     NODE      STATUS     S  TABLE  UNACKED  RETX  DEDUP  RTT-MS  NOW
     0112      in_system  *     12        0     0      0     0.4  812.0
     2330      waiting          4         2     1      0     0.7  640.5
+    77a1      wrk-idle         -         0     0      0     0.3  15.2
 
 ``RTT-MS`` is measured by the poller itself (request round trip), so
 the view needs no telemetry enabled on the daemons -- ``status`` is
 always served.  Columns that need a live protocol node (status, table
-fullness) show ``-`` for departed daemons.
+fullness) show ``-`` for departed daemons.  Sweep workers (``repro
+worker``, registered with ``kind="worker"``) appear in the same table
+with ``wrk-idle`` / ``wrk-busy`` status rows -- they serve the same
+``status`` op, just without the protocol-node fields.
 
 The renderer writes plain lines with an ANSI home-and-clear prefix
 between refreshes when attached to a TTY, and appends pages when not
@@ -49,13 +53,14 @@ _COLUMNS = (
 def poll_cluster(
     client: ControlClient, rendezvous: Address
 ) -> List[Dict[str, Any]]:
-    """One sample: the rendezvous roster, each daemon's status, and
-    the poller-measured control RTT.  Unreachable daemons still get a
-    row (status ``unreachable``) -- vanishing silently is the one
-    thing a live view must not do."""
+    """One sample: the rendezvous roster (cluster daemons *and* sweep
+    workers), each daemon's status, and the poller-measured control
+    RTT.  Unreachable daemons still get a row (status
+    ``unreachable``) -- vanishing silently is the one thing a live
+    view must not do."""
     collector = TelemetryCollector(client)
     rows: List[Dict[str, Any]] = []
-    for node, addr in collector.discover(rendezvous):
+    for node, addr in collector.discover(rendezvous, workers=True):
         t0 = time.monotonic()
         status = client.try_request(addr, "status")
         rtt_ms = (time.monotonic() - t0) * 1000.0

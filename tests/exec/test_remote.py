@@ -1,0 +1,285 @@
+"""Remote backend and worker-daemon tests.
+
+The in-process classes cover the scheduling/requeue logic against
+:class:`~repro.exec.worker.WorkerDaemon` threads; the subprocess class
+is the acceptance test -- real ``repro worker`` OS processes, one of
+them SIGKILLed mid-sweep, with the merged result still identical to
+the inline run.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec.remote import (
+    RemoteBackend,
+    RemoteBackendError,
+    RemoteTaskError,
+    discover_workers,
+)
+from repro.exec.taskcodec import decode_task_value, encode_task_value
+from repro.exec.worker import WorkerDaemon
+from tests.exec.task_fns import boom, double, sleepy_double
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fleet():
+    """Start in-process worker daemons; yields the starter, cleans up
+    every daemon afterwards."""
+    daemons = []
+
+    def start(count=2, rendezvous=None):
+        addrs = []
+        for _ in range(count):
+            daemon = WorkerDaemon(
+                ("127.0.0.1", 0),
+                rendezvous=rendezvous,
+                announce_interval=0.2,
+            )
+            addr = daemon.open()
+            thread = threading.Thread(target=daemon.serve, daemon=True)
+            thread.start()
+            daemons.append((daemon, thread))
+            addrs.append(addr)
+        return addrs
+
+    yield start
+    for daemon, thread in daemons:
+        daemon.stop()
+        thread.join(timeout=3.0)
+        daemon.close()
+
+
+def dead_address():
+    """A loopback address guaranteed to have no listener."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    addr = probe.getsockname()
+    probe.close()
+    return (addr[0], addr[1])
+
+
+class TestWorkerDaemon:
+    """Direct ``handle()`` tests against one open daemon."""
+
+    def setup_method(self):
+        self.daemon = WorkerDaemon(("127.0.0.1", 0))
+        self.daemon.open()
+
+    def teardown_method(self):
+        self.daemon.close()
+
+    def submit(self, tid, value):
+        return self.daemon.handle(
+            "submit",
+            {
+                "tid": tid,
+                "fn": "tests.exec.task_fns:double",
+                "task": encode_task_value(value),
+            },
+            ("c", 1),
+        )
+
+    def poll_until_done(self, tid, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            reply = self.daemon.handle("poll", {"tid": tid}, ("c", 1))
+            if reply["state"] != "running":
+                return reply
+            time.sleep(0.01)
+        raise AssertionError(f"task {tid} never finished")
+
+    def test_hello_identifies_a_worker(self):
+        hello = self.daemon.handle("hello", {}, ("c", 1))
+        assert hello["ok"] and hello["kind"] == "worker"
+
+    def test_submit_run_poll_roundtrip(self):
+        assert self.submit("t1", 21)["accepted"]
+        reply = self.poll_until_done("t1")
+        assert reply["state"] == "done"
+        assert decode_task_value(reply["result"]) == 42
+        assert self.daemon.tasks_done == 1
+
+    def test_duplicate_submit_is_reacked_not_rerun(self):
+        assert self.submit("t1", 10)["accepted"]
+        assert self.submit("t1", 10)["accepted"]  # retried datagram
+        self.poll_until_done("t1")
+        assert self.daemon.tasks_done == 1
+
+    def test_second_task_while_busy_is_refused(self):
+        self.daemon.handle(
+            "submit",
+            {
+                "tid": "slow",
+                "fn": "tests.exec.task_fns:sleepy_double",
+                "task": encode_task_value(1),
+            },
+            ("c", 1),
+        )
+        assert self.submit("other", 2) == {"busy": True}
+        self.poll_until_done("slow")
+
+    def test_unknown_tid_polls_unknown(self):
+        assert self.daemon.handle("poll", {"tid": "nope"}, ("c", 1)) == {
+            "state": "unknown"
+        }
+
+    def test_task_error_is_reported_not_fatal(self):
+        self.daemon.handle(
+            "submit",
+            {
+                "tid": "bad",
+                "fn": "tests.exec.task_fns:boom",
+                "task": encode_task_value(3),
+            },
+            ("c", 1),
+        )
+        reply = self.poll_until_done("bad")
+        assert reply["state"] == "error"
+        assert "ValueError" in reply["error"]
+        assert self.daemon.tasks_failed == 1
+        # The worker survives and takes the next task.
+        assert self.submit("good", 4)["accepted"]
+        assert decode_task_value(self.poll_until_done("good")["result"]) == 8
+
+    def test_status_row_shape(self):
+        status = self.daemon.handle("status", {}, ("c", 1))
+        assert status["kind"] == "worker"
+        assert status["status"] == "wrk-idle"
+        assert status["s"] is False
+
+
+class TestRemoteBackendInProcess:
+    def test_requires_workers_or_rendezvous(self):
+        with pytest.raises(ValueError, match="rendezvous"):
+            RemoteBackend()
+
+    def test_matches_inline_and_survives_busy_workers(self, fleet):
+        addrs = fleet(count=2)
+        tasks = list(range(7))
+        with RemoteBackend(workers=addrs, poll_interval=0.02) as backend:
+            assert backend.map(double, tasks) == [2 * t for t in tasks]
+
+    def test_task_error_raises_remote_task_error(self, fleet):
+        addrs = fleet(count=1)
+        with RemoteBackend(workers=addrs, poll_interval=0.02) as backend:
+            with pytest.raises(RemoteTaskError, match="ValueError"):
+                backend.map(boom, [1, 2, 3])
+
+    def test_no_live_workers_fails_loudly(self):
+        backend = RemoteBackend(
+            workers=[dead_address()],
+            request_timeout=0.05,
+            request_retries=1,
+            poll_interval=0.01,
+        )
+        with backend:
+            with pytest.raises(RemoteBackendError, match="no live workers"):
+                backend.map(double, [1, 2])
+
+    def test_discovery_via_rendezvous(self, fleet):
+        from repro.net.rendezvous import RendezvousServer
+
+        server = RendezvousServer(("127.0.0.1", 0), ttl=60.0)
+        rendezvous = server.open()
+        server_thread = threading.Thread(target=server.serve, daemon=True)
+        server_thread.start()
+        try:
+            addrs = fleet(count=2, rendezvous=rendezvous)
+            backend = RemoteBackend(
+                rendezvous=rendezvous, poll_interval=0.02
+            )
+            with backend:
+                deadline = time.monotonic() + 5.0
+                roster = []
+                while time.monotonic() < deadline and len(roster) < 2:
+                    roster = backend.roster()
+                    time.sleep(0.05)
+                assert sorted(roster) == sorted(addrs)
+                assert backend.map(double, [1, 2, 3]) == [2, 4, 6]
+        finally:
+            server.stop()
+            server_thread.join(timeout=5.0)
+            server.close()
+
+    def test_discover_workers_ignores_nodes_and_old_rows(self):
+        class FakeClient:
+            """Canned ``directory`` response."""
+
+            def try_request(self, addr, op, body=None):
+                """Return the canned body."""
+                return {
+                    "nodes": [
+                        ["a", ["127.0.0.1", 1], True],  # pre-kind row
+                        ["b", ["127.0.0.1", 2], False, "node"],
+                        ["c", ["127.0.0.1", 3], False, "worker"],
+                    ]
+                }
+
+        assert discover_workers(FakeClient(), ("127.0.0.1", 9)) == [
+            ("127.0.0.1", 3)
+        ]
+
+
+class TestRemoteAcceptance:
+    """Real ``repro worker`` subprocesses, including a SIGKILL."""
+
+    def spawn_worker(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            cwd=str(REPO_ROOT),
+            env=env,
+            text=True,
+        )
+        ready = proc.stdout.readline()
+        assert "REPRO-NET READY kind=worker" in ready, ready
+        port = int(ready.rsplit("port=", 1)[1].strip())
+        return proc, ("127.0.0.1", port)
+
+    def test_kill_dash_nine_mid_sweep_preserves_the_result(self):
+        procs, addrs = [], []
+        for _ in range(2):
+            proc, addr = self.spawn_worker()
+            procs.append(proc)
+            addrs.append(addr)
+        try:
+            tasks = list(range(6))
+            backend = RemoteBackend(
+                workers=addrs,
+                request_timeout=0.3,
+                request_retries=1,
+                poll_interval=0.05,
+            )
+            killer = threading.Timer(
+                0.45, lambda: os.kill(procs[0].pid, signal.SIGKILL)
+            )
+            killer.start()
+            try:
+                with backend:
+                    results = backend.map(sleepy_double, tasks)
+            finally:
+                killer.cancel()
+            # The kill moved tasks between sockets, never changed the
+            # merged result: the engine's cross-backend guarantee.
+            assert results == [2 * t for t in tasks]
+            assert procs[0].wait(timeout=5.0) != 0
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait(timeout=5.0)
+                proc.stdout.close()

@@ -98,6 +98,37 @@ class TestHandlerLogic:
     def test_unknown_op(self):
         assert "error" in self.server.handle("wat", {}, ("c", 1))
 
+    def test_directory_rows_carry_kind_defaulting_to_node(self):
+        handle = self.server.handle
+        handle("announce", {"id": wire_id("0000"), "s": True},
+               ("127.0.0.1", 10))  # no kind: a protocol node
+        handle(
+            "announce",
+            {"id": wire_id("1111"), "s": False, "kind": "worker"},
+            ("127.0.0.1", 11),
+        )
+        nodes = handle("directory", {}, ("c", 1))["nodes"]
+        assert [(str(node_id_from_wire(r[0])), r[3]) for r in nodes] == [
+            ("0000", "node"),
+            ("1111", "worker"),
+        ]
+
+    def test_workers_never_appear_in_peer_lists(self):
+        handle = self.server.handle
+        handle("announce", {"id": wire_id("0000"), "s": True},
+               ("127.0.0.1", 10))
+        # Even a (misconfigured) worker announcing s=True is not a
+        # bootstrap contact.
+        handle(
+            "announce",
+            {"id": wire_id("1111"), "s": True, "kind": "worker"},
+            ("127.0.0.1", 11),
+        )
+        peers = handle("peers", {}, ("c", 1))["peers"]
+        assert [node_id_from_wire(row[0]) for row in peers] == [
+            SPACE.from_string("0000")
+        ]
+
 
 class TestLiveService:
     """End-to-end over a real socket, driven by the blocking client."""

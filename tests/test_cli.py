@@ -174,3 +174,64 @@ class TestNetCli:
         )
         assert args.listen == ":0"
         assert args.ttl == 30.0
+
+
+class TestExecCli:
+    """Execution-engine flags: ``--backend``/``--workers`` on the
+    campaign commands, the ``worker`` daemon entry, multi-seed churn."""
+
+    def test_worker_parser(self):
+        args = build_parser().parse_args([
+            "worker", "--listen", "127.0.0.1:0",
+            "--rendezvous", "127.0.0.1:9000",
+            "--announce-interval", "5",
+        ])
+        assert args.listen == "127.0.0.1:0"
+        assert args.rendezvous == "127.0.0.1:9000"
+        assert args.announce_interval == 5.0
+
+    def test_backend_flags_parse_on_campaign_commands(self):
+        for command in ("fig15b", "join", "sweep", "churn"):
+            args = build_parser().parse_args(
+                [command, "--backend", "pool"]
+            )
+            assert args.backend == "pool"
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "127.0.0.1:7001,127.0.0.1:7002"]
+        )
+        assert args.workers == "127.0.0.1:7001,127.0.0.1:7002"
+
+    def test_backend_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "threads"])
+
+    def test_remote_backend_without_workers_is_refused(self, capsys):
+        assert main(
+            ["sweep", "--seeds", "2", "--n", "40", "--m", "10",
+             "--backend", "remote"]
+        ) == 2
+        assert "rendezvous" in capsys.readouterr().err
+
+    def test_sweep_inline_backend_writes_json(self, capsys, tmp_path):
+        import json
+
+        out = str(tmp_path / "sweep.json")
+        assert main(
+            ["sweep", "--seeds", "2", "--n", "40", "--m", "10",
+             "--backend", "inline", "--out", out]
+        ) == 0
+        assert "seeds" in capsys.readouterr().out
+        with open(out) as handle:
+            data = json.load(handle)
+        assert data["seeds"] == [0, 1]
+        assert len(data["per_seed"]) == 2
+        assert data["all_consistent"] is True
+
+    def test_churn_multi_seed(self, capsys):
+        assert main(
+            ["churn", "--n", "40", "--m", "8", "--leaves", "6",
+             "--failures", "4", "--seeds", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed" in out
+        assert "all consistent" in out
